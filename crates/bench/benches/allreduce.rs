@@ -1,0 +1,36 @@
+//! Criterion bench: collective-engine throughput (plan → flows → drain) for
+//! ring allreduce at 2–16 nodes. Guards the simulator's own performance —
+//! the figure binaries run thousands of these.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use c4::prelude::*;
+use c4::scenarios::benchmark_request;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let topo = Topology::build(&ClosConfig::testbed_128());
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    for nodes in [2usize, 8, 16] {
+        let devices: Vec<GpuId> = (0..nodes)
+            .flat_map(|n| topo.node(NodeId::from_index(n)).gpus.clone())
+            .collect();
+        let comm = Communicator::new(1, devices, &topo).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nodes * 8),
+            &nodes,
+            |b, _| {
+                b.iter(|| {
+                    let mut sel = RailLocalSelector::new();
+                    let mut rng = DetRng::seed_from(1);
+                    let req = benchmark_request(&comm, 0, DrainConfig::default());
+                    run_collective(&topo, &req, &mut sel, None, &mut rng, None)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: C4D delay-matrix localization latency — the paper's
+//! claim is that detection happens "in mere seconds" at production scale, so
+//! the analysis itself must be far below that.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use c4::prelude::*;
+
+fn matrix_of(n: usize, seed: u64) -> DelayMatrix {
+    let mut rng = DetRng::seed_from(seed);
+    let mut m = DelayMatrix::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                m.set(i, j, 0.010 * (1.0 + 0.05 * rng.uniform()));
+            }
+        }
+    }
+    // One anomaly of each flavour.
+    for j in 0..n {
+        if j != 3 {
+            m.set(3, j, 0.045);
+        }
+    }
+    m.set(7 % n, 5 % n, 0.050);
+    m
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_matrix_analyze");
+    group.sample_size(30);
+    for n in [8usize, 64, 512] {
+        let m = matrix_of(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| m.analyze(2.0, 0.7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: one full BSP training iteration (compute model + 8
+//! concurrent DP allreduces through the fluid network).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c4::prelude::*;
+
+fn bench_iteration(c: &mut Criterion) {
+    let topo = Topology::build(&ClosConfig::testbed_128());
+    let spec = JobSpec::gpt22b_tp8_dp16();
+    let nodes: Vec<NodeId> = (0..16).map(NodeId::from_index).collect();
+    let layout = ParallelLayout::place(&topo, &spec, nodes).unwrap();
+    let mut group = c.benchmark_group("training_iteration");
+    group.sample_size(10);
+    group.bench_function("gpt22b_tp8_dp16", |b| {
+        b.iter(|| {
+            let mut job = TrainingJob::new(&topo, spec.clone(), layout.clone(), 1);
+            let mut sel = RailLocalSelector::new();
+            let mut rng = DetRng::seed_from(3);
+            job.run_iteration(&topo, &mut sel, None, &mut rng, &[], None)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: the max-min fair (progressive-filling) solver at
+//! realistic flow/link scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use c4::prelude::*;
+
+/// Synthesizes `flows` random 4-link routes over `links` links.
+fn synth(links: usize, flows: usize, seed: u64) -> (Vec<f64>, Vec<Vec<u32>>) {
+    let mut rng = DetRng::seed_from(seed);
+    let capacity: Vec<f64> = (0..links).map(|_| 100.0 + rng.uniform() * 300.0).collect();
+    let routes: Vec<Vec<u32>> = (0..flows)
+        .map(|_| (0..4).map(|_| rng.index(links) as u32).collect())
+        .collect();
+    (capacity, routes)
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_solve");
+    group.sample_size(20);
+    for &(links, flows) in &[(600usize, 100usize), (3600, 400), (6000, 1500)] {
+        let (capacity, routes) = synth(links, flows, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{links}l_{flows}f")),
+            &(),
+            |b, _| b.iter(|| c4_netsim::maxmin::solve(&capacity, &routes, None)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxmin);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: C4P path-allocation throughput — the master must keep
+//! up with connection establishment at job start (hundreds of QPs per job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use c4::prelude::*;
+
+fn bench_alloc(c: &mut Criterion) {
+    let topo = Topology::build(&ClosConfig::testbed_128_grouped(2));
+    let keys: Vec<FlowKey> = (0..256u64)
+        .map(|i| FlowKey {
+            src_gpu: topo.gpu_at(NodeId::from_index((i % 8) as usize), (i % 8) as usize),
+            dst_gpu: topo.gpu_at(NodeId::from_index(8 + (i % 8) as usize), (i % 8) as usize),
+            comm: i / 16,
+            channel: (i % 16) as u16,
+            qp: (i % 2) as u16,
+            incarnation: 0,
+        })
+        .collect();
+    c.bench_function("c4p_path_alloc_256qps", |b| {
+        b.iter(|| {
+            let mut master = C4pMaster::new(&topo, C4pConfig::default());
+            for k in &keys {
+                criterion::black_box(master.select(&topo, k));
+            }
+        })
+    });
+    c.bench_function("c4p_probe_full_mesh", |b| {
+        b.iter(|| PathCatalog::probe(&topo))
+    });
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

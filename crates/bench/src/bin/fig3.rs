@@ -1,0 +1,39 @@
+//! Regenerates **Fig 3**: actual vs ideal throughput of GPT-22B training at
+//! GPU = 16…512 under baseline (ECMP) networking in a shared pod.
+
+use c4::scenarios::fig3;
+use c4_bench::{banner, parse_cli, pct};
+
+fn main() {
+    let cli = parse_cli(4);
+    banner(
+        "Fig 3 — performance loss grows with system scale",
+        "actual drops to ~30% below ideal at 512 GPUs",
+    );
+    let rows = fig3::run(cli.seed, cli.iters);
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "GPUs", "Actual (sps)", "Ideal (sps)", "Loss"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>14.1} {:>14.1} {:>10}",
+            r.gpus,
+            r.actual_sps,
+            r.ideal_sps,
+            pct(r.loss)
+        );
+    }
+    if cli.json {
+        let rows: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"gpus\":{},\"actual\":{:.2},\"ideal\":{:.2},\"loss\":{:.4}}}",
+                    r.gpus, r.actual_sps, r.ideal_sps, r.loss
+                )
+            })
+            .collect();
+        println!("JSON: [{}]", rows.join(","));
+    }
+}

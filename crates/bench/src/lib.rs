@@ -1,0 +1,93 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Every binary accepts `--seed <u64>` (default 42) and, where meaningful,
+//! `--iters <usize>`; outputs are printed as aligned text tables plus an
+//! optional JSON dump via `--json`.
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cli {
+    /// Root random seed.
+    pub seed: u64,
+    /// Iteration count for iterative experiments.
+    pub iters: usize,
+    /// Emit a JSON block after the human-readable table.
+    pub json: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            seed: 42,
+            iters: 8,
+            json: false,
+        }
+    }
+}
+
+/// Parses `--seed`, `--iters`, `--json` from `std::env::args`.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed values.
+pub fn parse_cli(default_iters: usize) -> Cli {
+    let mut cli = Cli {
+        iters: default_iters,
+        ..Cli::default()
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                cli.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs a u64"));
+            }
+            "--iters" => {
+                i += 1;
+                cli.iters = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--iters needs a usize"));
+            }
+            "--json" => cli.json = true,
+            other => panic!("unknown argument: {other} (expected --seed/--iters/--json)"),
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Prints a header banner for an experiment.
+pub fn banner(title: &str, paper: &str) {
+    println!("════════════════════════════════════════════════════════════════");
+    println!("{title}");
+    println!("paper: {paper}");
+    println!("════════════════════════════════════════════════════════════════");
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Cli::default();
+        assert_eq!(c.seed, 42);
+        assert!(!c.json);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.3119), "31.19%");
+    }
+}

@@ -1,0 +1,366 @@
+//! The C4D master: gathers per-worker snapshots, runs the detectors,
+//! localizes suspects and emits C4 events (paper Fig 4/5).
+
+use c4_simcore::SimTime;
+use c4_telemetry::{C4Event, CommRecord, EventKind, EventLog, Severity, TelemetrySnapshot};
+use c4_topology::{NodeId, Topology};
+
+use crate::detectors::{detect_hang, detect_noncomm_slow, DetectorConfig, Syndrome};
+use crate::matrix::{DelayMatrix, MatrixFinding};
+
+/// A localized diagnosis ready for the steering service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// When it was made.
+    pub at: SimTime,
+    /// The syndrome that triggered it.
+    pub syndrome: Syndrome,
+    /// The node to isolate, when the syndrome localizes to one.
+    pub suspect: Option<NodeId>,
+    /// Whether the finding warrants isolate-and-restart (vs monitoring).
+    pub critical: bool,
+}
+
+/// The central analysis master.
+#[derive(Debug, Clone, Default)]
+pub struct C4dMaster {
+    cfg: DetectorConfig,
+    log: EventLog,
+}
+
+impl C4dMaster {
+    /// Creates a master with the given thresholds.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        C4dMaster {
+            cfg,
+            log: EventLog::new(),
+        }
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// The accumulated event log (`events.csv`).
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Scans one communicator's snapshots; returns diagnoses (may be empty).
+    ///
+    /// `snapshots[rank]` must hold rank `rank`'s snapshot.
+    pub fn scan(
+        &mut self,
+        now: SimTime,
+        topo: &Topology,
+        comm: &CommRecord,
+        snapshots: &[TelemetrySnapshot],
+    ) -> Vec<Diagnosis> {
+        let mut out = Vec::new();
+
+        // Hang syndromes (critical).
+        if let Some(syndrome) = detect_hang(now, comm, snapshots, &self.cfg) {
+            let (kind, rank) = match &syndrome {
+                Syndrome::NonCommHang { missing_ranks, .. } => {
+                    (EventKind::NonCommHang, missing_ranks.first().copied())
+                }
+                Syndrome::CommHang { stuck_ranks, .. } => {
+                    (EventKind::CommHang, stuck_ranks.first().copied())
+                }
+                _ => unreachable!("detect_hang returns hang syndromes"),
+            };
+            // For a comm hang every rank is stuck; the suspect is found via
+            // transport records (the rank whose connections stopped
+            // completing first). For a non-comm hang the missing rank is it.
+            let suspect_rank = match &syndrome {
+                Syndrome::NonCommHang { missing_ranks, .. } => missing_ranks.first().copied(),
+                Syndrome::CommHang { .. } => {
+                    stalled_rank_from_transport(comm, snapshots).or(rank)
+                }
+                _ => None,
+            };
+            let suspect = suspect_rank.map(|r| topo.gpu(comm.devices[r as usize]).node);
+            self.log.push(C4Event {
+                time: now,
+                severity: Severity::Critical,
+                kind,
+                node: suspect,
+                gpu: suspect_rank.map(|r| comm.devices[r as usize]),
+                link: None,
+                detail: format!("comm {} syndrome {:?}", comm.comm, kind),
+            });
+            out.push(Diagnosis {
+                at: now,
+                syndrome,
+                suspect,
+                critical: true,
+            });
+        }
+
+        // Communication slow (warning): delay-matrix localization.
+        let matrix = DelayMatrix::from_conn_records(
+            &comm.devices,
+            snapshots.iter().flat_map(|s| s.conns.iter()),
+        );
+        let findings = matrix.analyze(self.cfg.slow_factor, self.cfg.row_col_fraction);
+        if !findings.is_empty() {
+            let suspect = match findings[0] {
+                MatrixFinding::TxSlow { rank, .. } | MatrixFinding::RxSlow { rank, .. } => {
+                    Some(topo.gpu(comm.devices[rank as usize]).node)
+                }
+                MatrixFinding::ConnectionSlow { .. } => None,
+            };
+            self.log.push(C4Event {
+                time: now,
+                severity: Severity::Warning,
+                kind: EventKind::CommSlow,
+                node: suspect,
+                gpu: None,
+                link: None,
+                detail: format!("comm {}: {:?}", comm.comm, findings[0]),
+            });
+            out.push(Diagnosis {
+                at: now,
+                syndrome: Syndrome::CommSlow {
+                    comm: comm.comm,
+                    findings,
+                },
+                suspect,
+                critical: false,
+            });
+        }
+
+        // Non-communication slow (warning): straggler rank.
+        if let Some(syndrome) = detect_noncomm_slow(comm, snapshots, &self.cfg) {
+            let suspect = match &syndrome {
+                Syndrome::NonCommSlow { straggler, .. } => {
+                    Some(topo.gpu(comm.devices[*straggler as usize]).node)
+                }
+                _ => None,
+            };
+            self.log.push(C4Event {
+                time: now,
+                severity: Severity::Warning,
+                kind: EventKind::NonCommSlow,
+                node: suspect,
+                gpu: None,
+                link: None,
+                detail: format!("comm {} straggler", comm.comm),
+            });
+            out.push(Diagnosis {
+                at: now,
+                syndrome,
+                suspect,
+                critical: false,
+            });
+        }
+
+        out
+    }
+}
+
+/// For a communication hang, the suspect is the rank whose transport went
+/// quiet in **both** directions: its own sends stopped completing *and* the
+/// sends targeting it stopped completing. A rank that merely sends into a
+/// dead peer keeps receiving normally, which disambiguates the two ends of
+/// a dead connection.
+fn stalled_rank_from_transport(
+    comm: &CommRecord,
+    snapshots: &[TelemetrySnapshot],
+) -> Option<u32> {
+    let nranks = comm.nranks();
+    let mut last_tx: Vec<Option<SimTime>> = vec![None; nranks];
+    let mut last_rx: Vec<Option<SimTime>> = vec![None; nranks];
+    for snap in snapshots {
+        for conn in snap.conns.iter().filter(|c| c.key.comm == comm.comm) {
+            let Some(done) = conn.last_completion else {
+                continue;
+            };
+            if let Some(src) = comm.rank_of(conn.key.src_gpu) {
+                let t = &mut last_tx[src];
+                *t = Some(t.map_or(done, |prev| prev.max(done)));
+            }
+            if let Some(dst) = comm.rank_of(conn.key.dst_gpu) {
+                let t = &mut last_rx[dst];
+                *t = Some(t.map_or(done, |prev| prev.max(done)));
+            }
+        }
+    }
+    // Quiet time per rank: the most recent activity in either direction;
+    // the suspect is the rank that has been silent the longest overall.
+    let mut best: Option<(u32, SimTime)> = None;
+    for rank in 0..nranks {
+        let quiet = match (last_tx[rank], last_rx[rank]) {
+            (Some(a), Some(b)) => a.max(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => continue,
+        };
+        best = Some(match best {
+            Some((r, bt)) if bt <= quiet => (r, bt),
+            _ => (rank as u32, quiet),
+        });
+    }
+    best.map(|(r, _)| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4_simcore::SimDuration;
+    use c4_telemetry::{AlgoKind, CollKind, CollRecord, ConnKey, DataType, WorkerTelemetry};
+    use c4_topology::{ClosConfig, GpuId, PortId};
+
+    fn topo() -> Topology {
+        Topology::build(&ClosConfig::testbed_128())
+    }
+
+    fn comm_of(t: &Topology, n: usize) -> CommRecord {
+        CommRecord {
+            comm: 1,
+            devices: (0..n).map(|i| t.gpus()[i].id).collect(),
+            created: SimTime::ZERO,
+        }
+    }
+
+    fn hang_snapshots(comm: &CommRecord, quiet_rank: u32) -> Vec<TelemetrySnapshot> {
+        comm.devices
+            .iter()
+            .enumerate()
+            .map(|(rank, &gpu)| {
+                let mut w = WorkerTelemetry::new(gpu);
+                w.record_coll(CollRecord {
+                    comm: comm.comm,
+                    seq: 9,
+                    rank: rank as u32,
+                    kind: CollKind::AllReduce,
+                    algo: AlgoKind::Ring,
+                    dtype: DataType::F16,
+                    count: 1,
+                    start: SimTime::from_secs(10),
+                    end: None,
+                });
+                // Every rank's transport kept completing except around the
+                // victim: its own sends AND its predecessor's sends into it
+                // went quiet early (a dead NIC stalls both directions).
+                let next = (rank + 1) % comm.devices.len();
+                let last = if rank as u32 == quiet_rank || next as u32 == quiet_rank {
+                    11
+                } else {
+                    30
+                };
+                w.record_message(
+                    ConnKey {
+                        comm: comm.comm,
+                        channel: 0,
+                        qp: 0,
+                        src_gpu: gpu,
+                        dst_gpu: comm.devices[(rank + 1) % comm.devices.len()],
+                    },
+                    PortId::from_index(0),
+                    1000,
+                    SimDuration::from_millis(1),
+                    SimTime::from_secs(last),
+                );
+                w.snapshot(SimTime::from_secs(60))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comm_hang_localizes_quiet_rank() {
+        let t = topo();
+        let comm = comm_of(&t, 16);
+        let snaps = hang_snapshots(&comm, 11);
+        let mut master = C4dMaster::new(DetectorConfig::default());
+        let diags = master.scan(SimTime::from_secs(60), &t, &comm, &snaps);
+        let hang = diags
+            .iter()
+            .find(|d| matches!(d.syndrome, Syndrome::CommHang { .. }))
+            .expect("hang diagnosis");
+        assert!(hang.critical);
+        // Rank 11 = gpu 11 = node 1 on the testbed.
+        assert_eq!(hang.suspect, Some(t.gpu(GpuId::from_index(11)).node));
+        assert!(master.log().of_kind(EventKind::CommHang).count() == 1);
+    }
+
+    #[test]
+    fn healthy_snapshots_produce_no_diagnoses() {
+        let t = topo();
+        let comm = comm_of(&t, 8);
+        let snaps: Vec<TelemetrySnapshot> = comm
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(rank, &gpu)| {
+                let mut w = WorkerTelemetry::new(gpu);
+                w.record_coll(CollRecord {
+                    comm: comm.comm,
+                    seq: 3,
+                    rank: rank as u32,
+                    kind: CollKind::AllReduce,
+                    algo: AlgoKind::Ring,
+                    dtype: DataType::F16,
+                    count: 1,
+                    start: SimTime::from_secs(10),
+                    end: Some(SimTime::from_secs(11)),
+                });
+                w.snapshot(SimTime::from_secs(60))
+            })
+            .collect();
+        let mut master = C4dMaster::new(DetectorConfig::default());
+        let diags = master.scan(SimTime::from_secs(60), &t, &comm, &snaps);
+        assert!(diags.is_empty());
+        assert!(master.log().is_empty());
+    }
+
+    #[test]
+    fn comm_slow_via_conn_records() {
+        let t = topo();
+        let comm = comm_of(&t, 8);
+        // Full-mesh conn records, rank 3's sends all slow.
+        let snaps: Vec<TelemetrySnapshot> = comm
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(rank, &gpu)| {
+                let mut w = WorkerTelemetry::new(gpu);
+                for (peer_rank, &peer) in comm.devices.iter().enumerate() {
+                    if peer_rank == rank {
+                        continue;
+                    }
+                    let ms = if rank == 3 { 50 } else { 10 };
+                    w.record_message(
+                        ConnKey {
+                            comm: comm.comm,
+                            channel: 0,
+                            qp: 0,
+                            src_gpu: gpu,
+                            dst_gpu: peer,
+                        },
+                        PortId::from_index(0),
+                        1_000_000,
+                        SimDuration::from_millis(ms),
+                        SimTime::from_secs(30),
+                    );
+                }
+                w.snapshot(SimTime::from_secs(60))
+            })
+            .collect();
+        let mut master = C4dMaster::new(DetectorConfig::default());
+        let diags = master.scan(SimTime::from_secs(60), &t, &comm, &snaps);
+        let slow = diags
+            .iter()
+            .find(|d| matches!(d.syndrome, Syndrome::CommSlow { .. }))
+            .expect("comm slow diagnosis");
+        match &slow.syndrome {
+            Syndrome::CommSlow { findings, .. } => {
+                assert!(matches!(findings[0], MatrixFinding::TxSlow { rank: 3, .. }));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(slow.suspect, Some(t.gpu(comm.devices[3]).node));
+        assert!(!slow.critical);
+    }
+}

@@ -1,0 +1,383 @@
+//! Background root-cause analysis (paper Fig 4: "Background Root Cause
+//! Analysis").
+//!
+//! C4D's online path stops at *localization* — isolate the node, restart the
+//! job, keep GPUs busy. The deeper question ("was it ECC? a NIC? the user's
+//! code?") is answered offline by correlating the detected syndrome with
+//! transport-layer evidence. Table I shows why this matters: from the user's
+//! view almost everything is an opaque "NCCL Error"; the RCA stage is what
+//! turns syndrome + telemetry into the root-cause taxonomy.
+
+use c4_faults::FaultKind;
+use c4_telemetry::{CommRecord, TelemetrySnapshot};
+
+use crate::detectors::Syndrome;
+use crate::matrix::MatrixFinding;
+
+/// A ranked root-cause hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hypothesis {
+    /// The hypothesized fault class.
+    pub cause: FaultKind,
+    /// Relative confidence in `[0, 1]` (hypotheses sum to ≤ 1).
+    pub confidence: f64,
+    /// Human-readable evidence summary.
+    pub evidence: String,
+}
+
+/// The offline analysis result for one incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcaReport {
+    /// Hypotheses, most likely first (never empty).
+    pub hypotheses: Vec<Hypothesis>,
+}
+
+impl RcaReport {
+    /// The top hypothesis.
+    pub fn probable_cause(&self) -> FaultKind {
+        self.hypotheses[0].cause
+    }
+}
+
+/// Correlates a detected syndrome with transport evidence to rank root
+/// causes.
+///
+/// Heuristics encode the paper's taxonomy:
+/// * a rank that never launched the collective points at host/GPU-side
+///   failure (CUDA error, or an ECC/NVLink fault killing the process);
+/// * a communication hang whose victim's transport is quiet in both
+///   directions points at the NIC/transport (ACK timeout), while a hang
+///   with live transport but no completion points at the library (NCCL
+///   timeout);
+/// * Tx/Rx-row matrix findings indicate NIC-side degradation; single-cell
+///   findings indicate a network path (link) issue.
+pub fn analyze(
+    comm: &CommRecord,
+    snapshots: &[TelemetrySnapshot],
+    syndrome: &Syndrome,
+) -> RcaReport {
+    let hypotheses = match syndrome {
+        Syndrome::NonCommHang { missing_ranks, .. } => {
+            let rank = missing_ranks.first().copied().unwrap_or(0);
+            vec![
+                Hypothesis {
+                    cause: FaultKind::CudaError,
+                    confidence: 0.5,
+                    evidence: format!(
+                        "rank {rank} never launched the collective its peers wait in"
+                    ),
+                },
+                Hypothesis {
+                    cause: FaultKind::EccError,
+                    confidence: 0.3,
+                    evidence: "process death before kernel launch is consistent with an \
+                               uncorrectable memory error"
+                        .into(),
+                },
+                Hypothesis {
+                    cause: FaultKind::GcPause,
+                    confidence: 0.2,
+                    evidence: "host-side stall (user code / GC) can also delay launch".into(),
+                },
+            ]
+        }
+        Syndrome::CommHang { stuck_ranks, .. } => {
+            // Transport evidence: does any rank have genuinely quiet QPs?
+            let quiet = quietest_rank(comm, snapshots);
+            match quiet {
+                Some((rank, true)) => vec![
+                    Hypothesis {
+                        cause: FaultKind::AckTimeout,
+                        confidence: 0.45,
+                        evidence: format!(
+                            "rank {rank}'s transport is silent in both directions — peer \
+                             unreachable at the RDMA layer"
+                        ),
+                    },
+                    Hypothesis {
+                        cause: FaultKind::NvlinkError,
+                        confidence: 0.3,
+                        evidence: "an interconnect fault on the victim stalls its sends and \
+                                   receives alike"
+                            .into(),
+                    },
+                    Hypothesis {
+                        cause: FaultKind::NetworkError,
+                        confidence: 0.25,
+                        evidence: "fabric-level loss can silence one endpoint".into(),
+                    },
+                ],
+                _ => vec![
+                    Hypothesis {
+                        cause: FaultKind::NcclTimeout,
+                        confidence: 0.6,
+                        evidence: format!(
+                            "{} ranks parked with live transport — library-level stall",
+                            stuck_ranks.len()
+                        ),
+                    },
+                    Hypothesis {
+                        cause: FaultKind::NetworkError,
+                        confidence: 0.4,
+                        evidence: "systemic network disturbance remains possible".into(),
+                    },
+                ],
+            }
+        }
+        Syndrome::CommSlow { findings, .. } => match findings.first() {
+            Some(MatrixFinding::TxSlow { rank, ratio }) => vec![
+                Hypothesis {
+                    cause: FaultKind::NicHalfDown,
+                    confidence: 0.5,
+                    evidence: format!(
+                        "rank {rank}'s whole send row is {ratio:.1}× slow — NIC transmit side"
+                    ),
+                },
+                Hypothesis {
+                    cause: FaultKind::PcieDowngrade,
+                    confidence: 0.35,
+                    evidence: "a trained-down PCIe link throttles all egress equally".into(),
+                },
+                Hypothesis {
+                    cause: FaultKind::LinkFailure,
+                    confidence: 0.15,
+                    evidence: "a congested host uplink mimics a slow sender".into(),
+                },
+            ],
+            Some(MatrixFinding::RxSlow { rank, ratio }) => vec![
+                Hypothesis {
+                    cause: FaultKind::NicHalfDown,
+                    confidence: 0.5,
+                    evidence: format!(
+                        "rank {rank}'s whole receive column is {ratio:.1}× slow — NIC \
+                         receive side"
+                    ),
+                },
+                Hypothesis {
+                    cause: FaultKind::PcieDowngrade,
+                    confidence: 0.35,
+                    evidence: "ingress PCIe throttling slows every sender equally".into(),
+                },
+                Hypothesis {
+                    cause: FaultKind::LinkFailure,
+                    confidence: 0.15,
+                    evidence: "a congested host downlink mimics a slow receiver".into(),
+                },
+            ],
+            Some(MatrixFinding::ConnectionSlow { src, dst, ratio }) => vec![
+                Hypothesis {
+                    cause: FaultKind::LinkFailure,
+                    confidence: 0.7,
+                    evidence: format!(
+                        "only the ({src}→{dst}) connection is {ratio:.1}× slow — a specific \
+                         network path is congested or degraded"
+                    ),
+                },
+                Hypothesis {
+                    cause: FaultKind::NetworkError,
+                    confidence: 0.3,
+                    evidence: "transient fabric congestion on one ECMP path".into(),
+                },
+            ],
+            None => vec![Hypothesis {
+                cause: FaultKind::NetworkError,
+                confidence: 1.0,
+                evidence: "communication slow without localization".into(),
+            }],
+        },
+        Syndrome::NonCommSlow { straggler, ratio, .. } => vec![
+            Hypothesis {
+                cause: FaultKind::SlowGpu,
+                confidence: 0.5,
+                evidence: format!(
+                    "rank {straggler} computes {ratio:.1}× slower than the median rank"
+                ),
+            },
+            Hypothesis {
+                cause: FaultKind::GcPause,
+                confidence: 0.3,
+                evidence: "recurring host stalls (GC, CPU contention) inflate compute time"
+                    .into(),
+            },
+            Hypothesis {
+                cause: FaultKind::DataloaderStall,
+                confidence: 0.2,
+                evidence: "slow input pipeline starves this worker".into(),
+            },
+        ],
+    };
+    RcaReport { hypotheses }
+}
+
+/// Returns the rank with the oldest transport activity and whether it is
+/// quiet in *both* directions relative to the busiest rank.
+fn quietest_rank(comm: &CommRecord, snapshots: &[TelemetrySnapshot]) -> Option<(u32, bool)> {
+    let mut newest_any = None;
+    let mut per_rank: Vec<Option<c4_simcore::SimTime>> = vec![None; comm.nranks()];
+    for snap in snapshots {
+        for conn in snap.conns.iter().filter(|c| c.key.comm == comm.comm) {
+            let Some(done) = conn.last_completion else {
+                continue;
+            };
+            newest_any = Some(newest_any.map_or(done, |p: c4_simcore::SimTime| p.max(done)));
+            for gpu in [conn.key.src_gpu, conn.key.dst_gpu] {
+                if let Some(r) = comm.rank_of(gpu) {
+                    let t = &mut per_rank[r];
+                    *t = Some(t.map_or(done, |prev| prev.max(done)));
+                }
+            }
+        }
+    }
+    let newest = newest_any?;
+    let lags: Vec<(usize, c4_simcore::SimDuration)> = per_rank
+        .iter()
+        .enumerate()
+        .filter_map(|(r, t)| t.map(|t| (r, newest - t)))
+        .collect();
+    let (rank, lag) = *lags.iter().max_by_key(|&&(_, l)| l)?;
+    // "Quiet" is relative: the victim's silence must stand clear of the
+    // typical inter-completion jitter of healthy ranks.
+    let mut sorted: Vec<c4_simcore::SimDuration> = lags.iter().map(|&(_, l)| l).collect();
+    sorted.sort();
+    let median = sorted[(sorted.len() - 1) / 2];
+    let threshold = (median * 4).max(c4_simcore::SimDuration::from_millis(1));
+    Some((rank as u32, lag > threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4_simcore::{SimDuration, SimTime};
+    use c4_telemetry::{ConnKey, WorkerTelemetry};
+    use c4_topology::{GpuId, PortId};
+
+    fn comm_of(n: usize) -> CommRecord {
+        CommRecord {
+            comm: 1,
+            devices: (0..n).map(GpuId::from_index).collect(),
+            created: SimTime::ZERO,
+        }
+    }
+
+    fn snapshots_with_quiet(comm: &CommRecord, quiet: u32) -> Vec<TelemetrySnapshot> {
+        comm.devices
+            .iter()
+            .enumerate()
+            .map(|(rank, &gpu)| {
+                let mut w = WorkerTelemetry::new(gpu);
+                let next = (rank + 1) % comm.devices.len();
+                let involved = rank as u32 == quiet || next as u32 == quiet;
+                let last = if involved { 2 } else { 60 };
+                w.record_message(
+                    ConnKey {
+                        comm: 1,
+                        channel: 0,
+                        qp: 0,
+                        src_gpu: gpu,
+                        dst_gpu: comm.devices[next],
+                    },
+                    PortId::from_index(0),
+                    100,
+                    SimDuration::from_millis(1),
+                    SimTime::from_secs(last),
+                );
+                w.snapshot(SimTime::from_secs(90))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quiet_transport_hang_points_at_ack_timeout() {
+        let comm = comm_of(8);
+        let snaps = snapshots_with_quiet(&comm, 5);
+        let syndrome = Syndrome::CommHang {
+            comm: 1,
+            seq: 9,
+            stuck_ranks: (0..8).collect(),
+        };
+        let report = analyze(&comm, &snaps, &syndrome);
+        assert_eq!(report.probable_cause(), FaultKind::AckTimeout);
+        assert!(report.hypotheses[0].evidence.contains("rank 5"));
+    }
+
+    #[test]
+    fn live_transport_hang_points_at_library() {
+        let comm = comm_of(4);
+        // All transport recent → no quiet rank.
+        let snaps: Vec<TelemetrySnapshot> = comm
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(rank, &gpu)| {
+                let mut w = WorkerTelemetry::new(gpu);
+                w.record_message(
+                    ConnKey {
+                        comm: 1,
+                        channel: 0,
+                        qp: 0,
+                        src_gpu: gpu,
+                        dst_gpu: comm.devices[(rank + 1) % 4],
+                    },
+                    PortId::from_index(0),
+                    100,
+                    SimDuration::from_millis(1),
+                    SimTime::from_secs(60),
+                );
+                w.snapshot(SimTime::from_secs(61))
+            })
+            .collect();
+        let syndrome = Syndrome::CommHang {
+            comm: 1,
+            seq: 3,
+            stuck_ranks: vec![0, 1, 2, 3],
+        };
+        let report = analyze(&comm, &snaps, &syndrome);
+        assert_eq!(report.probable_cause(), FaultKind::NcclTimeout);
+    }
+
+    #[test]
+    fn missing_rank_points_at_gpu_side() {
+        let comm = comm_of(4);
+        let syndrome = Syndrome::NonCommHang {
+            comm: 1,
+            seq: 3,
+            missing_ranks: vec![2],
+        };
+        let report = analyze(&comm, &[], &syndrome);
+        assert_eq!(report.probable_cause(), FaultKind::CudaError);
+        assert!(report.hypotheses.len() >= 2);
+    }
+
+    #[test]
+    fn matrix_findings_map_to_nic_and_link_causes() {
+        let comm = comm_of(4);
+        let tx = Syndrome::CommSlow {
+            comm: 1,
+            findings: vec![MatrixFinding::TxSlow { rank: 1, ratio: 4.0 }],
+        };
+        assert_eq!(analyze(&comm, &[], &tx).probable_cause(), FaultKind::NicHalfDown);
+        let cell = Syndrome::CommSlow {
+            comm: 1,
+            findings: vec![MatrixFinding::ConnectionSlow {
+                src: 0,
+                dst: 3,
+                ratio: 5.0,
+            }],
+        };
+        assert_eq!(analyze(&comm, &[], &cell).probable_cause(), FaultKind::LinkFailure);
+    }
+
+    #[test]
+    fn straggler_points_at_slow_gpu() {
+        let comm = comm_of(4);
+        let syndrome = Syndrome::NonCommSlow {
+            comm: 1,
+            straggler: 3,
+            ratio: 2.5,
+        };
+        let report = analyze(&comm, &[], &syndrome);
+        assert_eq!(report.probable_cause(), FaultKind::SlowGpu);
+        let total: f64 = report.hypotheses.iter().map(|h| h.confidence).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

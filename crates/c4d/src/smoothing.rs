@@ -1,0 +1,147 @@
+//! Load smoothing for Expert-Parallel workloads (the paper's §V future
+//! work).
+//!
+//! Under EP, per-rank load genuinely varies step to step (token routing), so
+//! a single slow step must not be misdiagnosed as a slow node. The paper's
+//! proposed mitigation is "averaging collected data over a predefined period
+//! to smooth out random variations and highlight systemic issues" — exactly
+//! what [`LoadSmoother`] does: a per-rank sliding window whose *windowed
+//! mean* feeds the straggler test instead of raw samples.
+
+use std::collections::VecDeque;
+
+/// Sliding-window per-rank load averaging.
+#[derive(Debug, Clone)]
+pub struct LoadSmoother {
+    window: usize,
+    samples: Vec<VecDeque<f64>>,
+}
+
+impl LoadSmoother {
+    /// Creates a smoother for `nranks` ranks with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(nranks: usize, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        LoadSmoother {
+            window,
+            samples: vec![VecDeque::with_capacity(window); nranks],
+        }
+    }
+
+    /// Number of ranks tracked.
+    pub fn nranks(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Pushes one step's load sample for a rank (e.g. compute seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn push(&mut self, rank: usize, load: f64) {
+        let q = &mut self.samples[rank];
+        if q.len() == self.window {
+            q.pop_front();
+        }
+        q.push_back(load);
+    }
+
+    /// Windowed mean load of a rank; `None` until the window is full (so
+    /// transient spikes cannot trigger detection early).
+    pub fn smoothed(&self, rank: usize) -> Option<f64> {
+        let q = &self.samples[rank];
+        if q.len() < self.window {
+            return None;
+        }
+        Some(q.iter().sum::<f64>() / q.len() as f64)
+    }
+
+    /// Runs the straggler test on smoothed loads: returns
+    /// `(rank, ratio_over_median)` if some rank's windowed mean exceeds the
+    /// median by `factor`. Returns `None` until every rank's window is full.
+    pub fn detect_straggler(&self, factor: f64) -> Option<(usize, f64)> {
+        let means: Option<Vec<f64>> = (0..self.nranks()).map(|r| self.smoothed(r)).collect();
+        let means = means?;
+        if means.is_empty() {
+            return None;
+        }
+        let mut sorted = means.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = sorted[(sorted.len() - 1) / 2];
+        if median <= 0.0 {
+            return None;
+        }
+        let (rank, &worst) = means
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))?;
+        let ratio = worst / median;
+        (ratio >= factor).then_some((rank, ratio))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_spike_is_smoothed_away() {
+        let mut s = LoadSmoother::new(4, 8);
+        for step in 0..8 {
+            for r in 0..4 {
+                // Rank 2 has ONE huge step (EP token burst), otherwise equal.
+                let load = if r == 2 && step == 3 { 5.0 } else { 1.0 };
+                s.push(r, load);
+            }
+        }
+        // One 5× step in an 8-step window → mean 1.5 < 1.5×? = exactly 1.5;
+        // use a 1.6 factor: must NOT flag.
+        assert!(s.detect_straggler(1.6).is_none());
+    }
+
+    #[test]
+    fn systemic_slowness_is_flagged() {
+        let mut s = LoadSmoother::new(4, 8);
+        for _ in 0..8 {
+            for r in 0..4 {
+                s.push(r, if r == 1 { 2.0 } else { 1.0 });
+            }
+        }
+        let (rank, ratio) = s.detect_straggler(1.6).unwrap();
+        assert_eq!(rank, 1);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detection_deferred_until_windows_full() {
+        let mut s = LoadSmoother::new(2, 4);
+        s.push(0, 1.0);
+        s.push(1, 10.0);
+        assert!(s.smoothed(1).is_none());
+        assert!(s.detect_straggler(1.5).is_none());
+        for _ in 0..3 {
+            s.push(0, 1.0);
+            s.push(1, 10.0);
+        }
+        assert!(s.detect_straggler(1.5).is_some());
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut s = LoadSmoother::new(1, 2);
+        s.push(0, 10.0);
+        s.push(0, 20.0);
+        assert_eq!(s.smoothed(0), Some(15.0));
+        s.push(0, 30.0);
+        assert_eq!(s.smoothed(0), Some(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = LoadSmoother::new(1, 0);
+    }
+}

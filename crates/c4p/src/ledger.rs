@@ -1,0 +1,148 @@
+//! The per-path connection ledger: C4P's record of how many QPs it has
+//! placed on each fabric link, used to pick the least-loaded path for every
+//! new connection ("the C4P master records the numbers of allocated
+//! connections on each path, and allocates path for new connections
+//! considering the occupied network resources", §III-B).
+
+use std::collections::HashMap;
+
+use c4_topology::{FabricPath, LinkId};
+
+/// QP counts per directed fabric link.
+#[derive(Debug, Clone, Default)]
+pub struct PathLoadLedger {
+    load: HashMap<LinkId, u32>,
+    allocations: u32,
+}
+
+impl PathLoadLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current QP count on a link.
+    pub fn load(&self, link: LinkId) -> u32 {
+        self.load.get(&link).copied().unwrap_or(0)
+    }
+
+    /// Combined load of a path (its uplink plus its downlink).
+    pub fn path_load(&self, path: &FabricPath) -> u32 {
+        self.load(path.up) + self.load(path.down)
+    }
+
+    /// Records one QP on the path.
+    pub fn allocate(&mut self, path: &FabricPath) {
+        *self.load.entry(path.up).or_insert(0) += 1;
+        *self.load.entry(path.down).or_insert(0) += 1;
+        self.allocations += 1;
+    }
+
+    /// Releases one QP from the path (saturating).
+    pub fn release(&mut self, path: &FabricPath) {
+        for l in [path.up, path.down] {
+            if let Some(c) = self.load.get_mut(&l) {
+                *c = c.saturating_sub(1);
+            }
+        }
+        self.allocations = self.allocations.saturating_sub(1);
+    }
+
+    /// Picks the least-loaded path, breaking ties by spine then slot so the
+    /// allocation is deterministic and naturally round-robins across spines.
+    pub fn least_loaded<'a>(&self, candidates: &'a [FabricPath]) -> Option<&'a FabricPath> {
+        self.least_loaded_rotated(candidates, 0)
+    }
+
+    /// Like [`PathLoadLedger::least_loaded`] but ties break starting from
+    /// `offset` into the candidate list. Different leaf pairs use different
+    /// offsets so a single spine failure does not hit the same tenants on
+    /// every leaf.
+    pub fn least_loaded_rotated<'a>(
+        &self,
+        candidates: &'a [FabricPath],
+        offset: usize,
+    ) -> Option<&'a FabricPath> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let n = candidates.len();
+        (0..n)
+            .map(|i| &candidates[(i + offset) % n])
+            .min_by_key(|p| self.path_load(p))
+    }
+
+    /// Drops all records (job restart / rebalance).
+    pub fn clear(&mut self) {
+        self.load.clear();
+        self.allocations = 0;
+    }
+
+    /// Total QPs currently recorded.
+    pub fn total_allocations(&self) -> u32 {
+        self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4_topology::{ClosConfig, Topology};
+
+    fn paths() -> (Topology, Vec<FabricPath>) {
+        let t = Topology::build(&ClosConfig::testbed_128());
+        let p = t.fabric_paths(t.leaves()[0], t.leaves()[4]);
+        (t, p)
+    }
+
+    #[test]
+    fn least_loaded_round_robins() {
+        let (_t, paths) = paths();
+        let mut ledger = PathLoadLedger::new();
+        let mut chosen = Vec::new();
+        for _ in 0..paths.len() {
+            let p = *ledger.least_loaded(&paths).unwrap();
+            ledger.allocate(&p);
+            chosen.push(p);
+        }
+        // All distinct: perfect spreading before any path is reused.
+        let mut ups: Vec<_> = chosen.iter().map(|p| p.up).collect();
+        ups.sort();
+        ups.dedup();
+        assert_eq!(ups.len(), paths.len());
+        // Next allocation reuses a path but load stays balanced at 1→2.
+        let p = *ledger.least_loaded(&paths).unwrap();
+        assert_eq!(ledger.path_load(&p), 2);
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let (_t, paths) = paths();
+        let mut ledger = PathLoadLedger::new();
+        ledger.allocate(&paths[0]);
+        assert_eq!(ledger.path_load(&paths[0]), 2);
+        ledger.release(&paths[0]);
+        assert_eq!(ledger.path_load(&paths[0]), 0);
+        // Releasing again saturates at zero.
+        ledger.release(&paths[0]);
+        assert_eq!(ledger.path_load(&paths[0]), 0);
+    }
+
+    #[test]
+    fn deterministic_tie_breaks() {
+        let (_t, paths) = paths();
+        let a = PathLoadLedger::new().least_loaded(&paths).copied();
+        let b = PathLoadLedger::new().least_loaded(&paths).copied();
+        assert_eq!(a, b);
+        assert!(PathLoadLedger::new().least_loaded(&[]).is_none());
+    }
+
+    #[test]
+    fn clear_empties_ledger() {
+        let (_t, paths) = paths();
+        let mut ledger = PathLoadLedger::new();
+        ledger.allocate(&paths[3]);
+        ledger.clear();
+        assert_eq!(ledger.path_load(&paths[3]), 0);
+    }
+}

@@ -1,0 +1,424 @@
+//! The C4P master: QP path allocation with dual-port balance, spine
+//! spreading, faulty-link elimination, and dynamic load rebalancing.
+
+use std::collections::HashMap;
+
+use c4_netsim::{mix64, FlowKey, PathChoice, PathSelector};
+use c4_simcore::Bandwidth;
+use c4_topology::{FabricPath, PortSide, Topology};
+
+use crate::ledger::PathLoadLedger;
+use crate::probe::PathCatalog;
+
+/// C4P behaviour knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct C4pConfig {
+    /// When true, the master reallocates paths after network changes
+    /// ([`C4pMaster::rebalance`]) and ACCL re-splits stream bytes across QPs
+    /// in proportion to observed rates. When false (static traffic
+    /// engineering, the Fig 12a baseline), initial allocations stay put and
+    /// flows on dead links fall back to uncoordinated ECMP rerouting.
+    pub dynamic: bool,
+    /// EMA factor for observed QP rates (dynamic byte-splitting).
+    pub ema_alpha: f64,
+}
+
+impl Default for C4pConfig {
+    fn default() -> Self {
+        C4pConfig {
+            dynamic: true,
+            ema_alpha: 0.5,
+        }
+    }
+}
+
+/// The cluster-wide traffic-engineering master.
+///
+/// Implements [`PathSelector`], so it drops into the collective engine in
+/// place of the ECMP baseline.
+#[derive(Debug, Clone)]
+pub struct C4pMaster {
+    cfg: C4pConfig,
+    catalog: PathCatalog,
+    ledger: PathLoadLedger,
+    sticky: HashMap<FlowKey, PathChoice>,
+    rate_ema: HashMap<FlowKey, f64>,
+    reroute_salt: u64,
+}
+
+impl C4pMaster {
+    /// Creates a master and performs the start-up full-mesh probe.
+    pub fn new(topo: &Topology, cfg: C4pConfig) -> Self {
+        C4pMaster {
+            cfg,
+            catalog: PathCatalog::probe(topo),
+            ledger: PathLoadLedger::new(),
+            sticky: HashMap::new(),
+            rate_ema: HashMap::new(),
+            reroute_salt: 0xC4B0_5EED,
+        }
+    }
+
+    /// The current path catalog.
+    pub fn catalog(&self) -> &PathCatalog {
+        &self.catalog
+    }
+
+    /// The current allocation ledger.
+    pub fn ledger(&self) -> &PathLoadLedger {
+        &self.ledger
+    }
+
+    /// Re-probes the fabric and, in dynamic mode, drops all allocations so
+    /// subsequent selections spread evenly over the surviving paths. Call
+    /// after a topology change (the paper's "dynamically adapting QP
+    /// workloads in response to network changes").
+    pub fn rebalance(&mut self, topo: &Topology) {
+        self.catalog = PathCatalog::probe(topo);
+        if self.cfg.dynamic {
+            self.sticky.clear();
+            self.ledger.clear();
+        }
+    }
+
+    /// Feeds back observed per-QP mean rates (from
+    /// `CollectiveResult::qp_outcomes`) for dynamic byte-splitting.
+    pub fn observe(&mut self, outcomes: &[c4_netsim::FlowOutcome]) {
+        if !self.cfg.dynamic {
+            return;
+        }
+        let a = self.cfg.ema_alpha;
+        for o in outcomes {
+            let rate = if o.mean_rate > Bandwidth::ZERO {
+                o.mean_rate.as_gbps()
+            } else {
+                // A stalled QP keeps a small weight so it can recover.
+                1.0
+            };
+            let e = self.rate_ema.entry(o.key).or_insert(rate);
+            *e = a * rate + (1.0 - a) * *e;
+        }
+    }
+
+    /// The QP byte-split weight for a key: its observed rate EMA, or 1
+    /// before any observation. Pass as the engine's `qp_weights` so faster
+    /// paths carry more of each stream.
+    pub fn qp_weight(&self, key: &FlowKey) -> f64 {
+        if !self.cfg.dynamic {
+            return 1.0;
+        }
+        self.rate_ema.get(key).copied().unwrap_or(1.0)
+    }
+
+    /// Snapshot of the byte-split weight table (the engine's weight callback
+    /// cannot borrow the master, which the selector borrows mutably).
+    pub fn weight_table(&self) -> HashMap<FlowKey, f64> {
+        if self.cfg.dynamic {
+            self.rate_ema.clone()
+        } else {
+            HashMap::new()
+        }
+    }
+
+    /// The sticky allocation for a key, if one exists.
+    pub fn allocation(&self, key: &FlowKey) -> Option<PathChoice> {
+        self.sticky.get(key).copied()
+    }
+
+    /// Sides rule: QP *q* uses the same physical-port side on both ends
+    /// (left↔left / right↔right), which is what keeps receive traffic
+    /// balanced between the bonded ports.
+    fn side_for(key: &FlowKey) -> PortSide {
+        PortSide::from_index(key.qp as usize)
+    }
+
+    fn choice_is_live(&self, topo: &Topology, choice: &PathChoice) -> bool {
+        match &choice.fabric {
+            None => true,
+            Some(p) => topo.link(p.up).is_up() && topo.link(p.down).is_up(),
+        }
+    }
+
+    /// ECMP-style fallback over live paths — what the switches do to a
+    /// static allocation when its link dies (uncoordinated, hash-based).
+    fn ecmp_fallback(&self, key: &FlowKey, live: &[FabricPath]) -> Option<FabricPath> {
+        if live.is_empty() {
+            return None;
+        }
+        let h = mix64(key.digest(self.reroute_salt));
+        Some(live[(h % live.len() as u64) as usize])
+    }
+
+    /// Hash-threshold reroute: when an ECMP group member dies, the switch
+    /// shifts that bucket's flows onto the *next* member rather than
+    /// re-hashing everything — so all orphans of one dead uplink pile onto
+    /// one survivor (the Fig 12a/13a static-TE pathology).
+    fn neighbor_takeover(
+        topo: &Topology,
+        dead: &FabricPath,
+        all: &[FabricPath],
+    ) -> Option<FabricPath> {
+        let dead_idx = all
+            .iter()
+            .position(|p| p.up == dead.up && p.down == dead.down)?;
+        let n = all.len();
+        (1..n)
+            .map(|i| all[(dead_idx + i) % n])
+            .find(|p| topo.link(p.up).is_up() && topo.link(p.down).is_up())
+    }
+}
+
+impl PathSelector for C4pMaster {
+    fn select(&mut self, topo: &Topology, key: &FlowKey) -> PathChoice {
+        if let Some(existing) = self.sticky.get(key).copied() {
+            if self.choice_is_live(topo, &existing) {
+                return existing;
+            }
+            // Allocation's path died.
+            if !self.cfg.dynamic {
+                // Static TE: the switches reroute without consulting the
+                // master (ledger untouched). Hash-threshold ECMP shifts the
+                // dead bucket onto its neighbour, concentrating orphans.
+                let side = existing.src_side;
+                let sp = topo.port_of_gpu(key.src_gpu, side);
+                let dp = topo.port_of_gpu(key.dst_gpu, existing.dst_side);
+                let src_leaf = topo.port(sp).leaf;
+                let dst_leaf = topo.port(dp).leaf;
+                let all = topo.fabric_paths(src_leaf, dst_leaf);
+                let fabric = existing
+                    .fabric
+                    .and_then(|dead| Self::neighbor_takeover(topo, &dead, &all))
+                    .or_else(|| {
+                        let live: Vec<FabricPath> = all
+                            .iter()
+                            .copied()
+                            .filter(|p| topo.link(p.up).is_up() && topo.link(p.down).is_up())
+                            .collect();
+                        self.ecmp_fallback(key, &live)
+                    });
+                return PathChoice {
+                    src_side: existing.src_side,
+                    dst_side: existing.dst_side,
+                    fabric,
+                };
+            }
+            // Dynamic: fall through to a fresh allocation.
+            if let Some(p) = existing.fabric {
+                self.ledger.release(&p);
+            }
+            self.sticky.remove(key);
+        }
+
+        let side = Self::side_for(key);
+        let sp = topo.port_of_gpu(key.src_gpu, side);
+        let dp = topo.port_of_gpu(key.dst_gpu, side);
+        let src_leaf = topo.port(sp).leaf;
+        let dst_leaf = topo.port(dp).leaf;
+        let fabric = if src_leaf == dst_leaf {
+            None
+        } else {
+            let healthy = self.catalog.healthy_paths(src_leaf, dst_leaf);
+            // Rotate the tie-break start per leaf pair so one spine failure
+            // doesn't strike the same allocation slots on every leaf.
+            let offset = (mix64(src_leaf.0 as u64 ^ (dst_leaf.0 as u64) << 17)
+                % healthy.len().max(1) as u64) as usize;
+            match self.ledger.least_loaded_rotated(healthy, offset) {
+                Some(p) => {
+                    let p = *p;
+                    self.ledger.allocate(&p);
+                    Some(p)
+                }
+                None => {
+                    // Catalog stale or fabric fully dead: last-resort live
+                    // path straight from the topology.
+                    let live: Vec<FabricPath> = topo
+                        .fabric_paths(src_leaf, dst_leaf)
+                        .into_iter()
+                        .filter(|p| topo.link(p.up).is_up() && topo.link(p.down).is_up())
+                        .collect();
+                    self.ecmp_fallback(key, &live)
+                }
+            }
+        };
+        let choice = PathChoice {
+            src_side: side,
+            dst_side: side,
+            fabric,
+        };
+        self.sticky.insert(*key, choice);
+        choice
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.dynamic {
+            "c4p-dynamic"
+        } else {
+            "c4p-static"
+        }
+    }
+
+    fn reset(&mut self) {
+        self.sticky.clear();
+        self.ledger.clear();
+        self.rate_ema.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4_topology::{ClosConfig, NodeId};
+
+    fn topo_grouped() -> Topology {
+        Topology::build(&ClosConfig::testbed_128_grouped(2))
+    }
+
+    fn key(t: &Topology, src_node: usize, dst_node: usize, rail: usize, qp: u16) -> FlowKey {
+        FlowKey {
+            src_gpu: t.gpu_at(NodeId::from_index(src_node), rail),
+            dst_gpu: t.gpu_at(NodeId::from_index(dst_node), rail),
+            comm: 1,
+            channel: 0,
+            qp,
+            incarnation: 0,
+        }
+    }
+
+    #[test]
+    fn sides_are_mirrored_per_qp() {
+        let t = topo_grouped();
+        let mut m = C4pMaster::new(&t, C4pConfig::default());
+        let c0 = m.select(&t, &key(&t, 0, 8, 0, 0));
+        let c1 = m.select(&t, &key(&t, 0, 8, 0, 1));
+        assert_eq!(c0.src_side, PortSide::Left);
+        assert_eq!(c0.dst_side, PortSide::Left);
+        assert_eq!(c1.src_side, PortSide::Right);
+        assert_eq!(c1.dst_side, PortSide::Right);
+    }
+
+    #[test]
+    fn allocations_spread_over_spines() {
+        let t = topo_grouped();
+        let mut m = C4pMaster::new(&t, C4pConfig::default());
+        // 32 QPs between the same leaf pair → 32 distinct uplinks.
+        let mut ups = Vec::new();
+        for i in 0..16 {
+            for qp in 0..2u16 {
+                // vary src/dst nodes within groups to vary keys; same rail 0
+                let k = key(&t, i % 8, 8 + (i % 8), 0, qp);
+                let mut k = k;
+                k.comm = i as u64; // distinct communicators → distinct QPs
+                let c = m.select(&t, &k);
+                if let Some(p) = c.fabric {
+                    ups.push(p.up);
+                }
+            }
+        }
+        // Left-side QPs share a leaf pair, right-side another.
+        let mut dedup = ups.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ups.len(), "no uplink reused before all used");
+    }
+
+    #[test]
+    fn selection_is_sticky() {
+        let t = topo_grouped();
+        let mut m = C4pMaster::new(&t, C4pConfig::default());
+        let k = key(&t, 0, 8, 3, 0);
+        let a = m.select(&t, &k);
+        let b = m.select(&t, &k);
+        assert_eq!(a, b);
+        assert_eq!(m.ledger().total_allocations(), 1, "allocated once");
+    }
+
+    #[test]
+    fn static_mode_falls_back_to_ecmp_on_dead_path() {
+        let t0 = topo_grouped();
+        let mut m = C4pMaster::new(
+            &t0,
+            C4pConfig {
+                dynamic: false,
+                ema_alpha: 0.5,
+            },
+        );
+        let k = key(&t0, 0, 8, 0, 0);
+        let a = m.select(&t0, &k);
+        let path = a.fabric.unwrap();
+        let mut t = t0.clone();
+        t.link_mut(path.up).set_up(false);
+        let b = m.select(&t, &k);
+        let rerouted = b.fabric.unwrap();
+        assert_ne!(rerouted.up, path.up, "must leave the dead link");
+        assert!(t.link(rerouted.up).is_up());
+        // Sides preserved (reroute happens in the fabric, not at the NIC).
+        assert_eq!(b.src_side, a.src_side);
+    }
+
+    #[test]
+    fn dynamic_rebalance_reallocates_evenly() {
+        let t0 = topo_grouped();
+        let mut m = C4pMaster::new(&t0, C4pConfig::default());
+        let keys: Vec<FlowKey> = (0..8)
+            .flat_map(|i| {
+                (0..2u16).map(move |qp| (i, qp))
+            })
+            .map(|(i, qp)| {
+                let mut k = key(&t0, i, 8 + i, 0, qp);
+                k.comm = i as u64;
+                k
+            })
+            .collect();
+        for k in &keys {
+            m.select(&t0, k);
+        }
+        let before = m.ledger().total_allocations();
+        assert_eq!(before, keys.len() as u32);
+        // Kill a spine; rebalance must drop and respread allocations.
+        let mut t = t0.clone();
+        let spine = t.spines()[0];
+        t.set_spine_up(spine, false);
+        m.rebalance(&t);
+        assert_eq!(m.ledger().total_allocations(), 0);
+        for k in &keys {
+            let c = m.select(&t, k);
+            let p = c.fabric.unwrap();
+            assert_ne!(p.spine, spine, "no allocation on the dead spine");
+        }
+        assert_eq!(m.ledger().total_allocations(), keys.len() as u32);
+    }
+
+    #[test]
+    fn observe_updates_weights() {
+        let t = topo_grouped();
+        let mut m = C4pMaster::new(&t, C4pConfig::default());
+        let k = key(&t, 0, 8, 0, 0);
+        assert_eq!(m.qp_weight(&k), 1.0);
+        let outcome = c4_netsim::FlowOutcome {
+            key: k,
+            bytes: c4_simcore::ByteSize::from_mib(1),
+            start: c4_simcore::SimTime::ZERO,
+            finish: Some(c4_simcore::SimTime::from_secs(1)),
+            mean_rate: Bandwidth::from_gbps(100.0),
+            min_rate: Bandwidth::from_gbps(100.0),
+            max_rate: Bandwidth::from_gbps(100.0),
+        };
+        m.observe(&[outcome.clone()]);
+        assert!((m.qp_weight(&k) - 100.0).abs() < 1e-9);
+        // EMA: a second observation at 200 moves halfway.
+        let faster = c4_netsim::FlowOutcome {
+            mean_rate: Bandwidth::from_gbps(200.0),
+            ..outcome
+        };
+        m.observe(&[faster]);
+        assert!((m.qp_weight(&k) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rail_optimized_same_leaf_stays_local() {
+        let t = Topology::build(&ClosConfig::testbed_128());
+        let mut m = C4pMaster::new(&t, C4pConfig::default());
+        let c = m.select(&t, &key(&t, 0, 1, 0, 0));
+        assert!(c.fabric.is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Full-mesh path probing and faulty-link elimination.
+//!
+//! The paper's C4P master probes paths between randomly selected servers
+//! under every leaf pair, cataloging which source ports reach which spine
+//! paths intact (§III-B). Here probing reads link state directly — the
+//! simulator's ground truth *is* what a probe packet would measure — and
+//! classifies each leaf→spine→leaf path as healthy (both links up at full
+//! capacity) or eliminated.
+
+use std::collections::HashMap;
+
+use c4_topology::{FabricPath, LinkId, SwitchId, Topology};
+
+/// The probing result: healthy paths per leaf pair, plus eliminated links.
+#[derive(Debug, Clone, Default)]
+pub struct PathCatalog {
+    healthy: HashMap<(SwitchId, SwitchId), Vec<FabricPath>>,
+    eliminated: Vec<LinkId>,
+}
+
+impl PathCatalog {
+    /// Probes every ordered leaf pair of the topology.
+    pub fn probe(topo: &Topology) -> Self {
+        let mut healthy = HashMap::new();
+        let mut eliminated = Vec::new();
+        for &src in topo.leaves() {
+            for &dst in topo.leaves() {
+                if src == dst {
+                    continue;
+                }
+                let mut ok = Vec::new();
+                for p in topo.fabric_paths(src, dst) {
+                    if p.is_healthy(topo) {
+                        ok.push(p);
+                    } else {
+                        for l in [p.up, p.down] {
+                            if !topo.link(l).is_up() || topo.link(l).degradation() < 1.0 {
+                                if !eliminated.contains(&l) {
+                                    eliminated.push(l);
+                                }
+                            }
+                        }
+                    }
+                }
+                healthy.insert((src, dst), ok);
+            }
+        }
+        PathCatalog {
+            healthy,
+            eliminated,
+        }
+    }
+
+    /// Healthy paths between two leaves (empty slice if none or same leaf).
+    pub fn healthy_paths(&self, src: SwitchId, dst: SwitchId) -> &[FabricPath] {
+        self.healthy
+            .get(&(src, dst))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Links the prober eliminated from the allocation pool.
+    pub fn eliminated_links(&self) -> &[LinkId] {
+        &self.eliminated
+    }
+
+    /// Total healthy paths in the catalog.
+    pub fn healthy_count(&self) -> usize {
+        self.healthy.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4_topology::ClosConfig;
+
+    #[test]
+    fn clean_fabric_catalogs_everything() {
+        let t = Topology::build(&ClosConfig::testbed_128());
+        let cat = PathCatalog::probe(&t);
+        // 8 leaves × 7 peers × 8 spines × 4 slots.
+        assert_eq!(cat.healthy_count(), 8 * 7 * 8 * 4);
+        assert!(cat.eliminated_links().is_empty());
+        let paths = cat.healthy_paths(t.leaves()[0], t.leaves()[1]);
+        assert_eq!(paths.len(), 32);
+    }
+
+    #[test]
+    fn down_link_is_eliminated() {
+        let mut t = Topology::build(&ClosConfig::testbed_128());
+        let victim = t.fabric_up_links(0, 3)[1];
+        t.link_mut(victim).set_up(false);
+        let cat = PathCatalog::probe(&t);
+        assert!(cat.eliminated_links().contains(&victim));
+        // Paths from leaf 0 through that uplink are gone; one per dst leaf.
+        let paths = cat.healthy_paths(t.leaves()[0], t.leaves()[5]);
+        assert_eq!(paths.len(), 31);
+        assert!(paths.iter().all(|p| p.up != victim));
+        // Reverse direction unaffected (directed links).
+        assert_eq!(cat.healthy_paths(t.leaves()[5], t.leaves()[0]).len(), 32);
+    }
+
+    #[test]
+    fn degraded_link_is_also_eliminated() {
+        // ECMP routing would still use a flapping link; the prober won't.
+        let mut t = Topology::build(&ClosConfig::testbed_128());
+        let victim = t.fabric_down_links(2, 4)[0];
+        t.link_mut(victim).set_degradation(0.5);
+        let cat = PathCatalog::probe(&t);
+        assert!(cat.eliminated_links().contains(&victim));
+    }
+
+    #[test]
+    fn same_leaf_has_no_paths() {
+        let t = Topology::build(&ClosConfig::testbed_128());
+        let cat = PathCatalog::probe(&t);
+        assert!(cat.healthy_paths(t.leaves()[0], t.leaves()[0]).is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Communicators: groups of GPUs that perform collectives together.
+
+use std::fmt;
+
+use c4_topology::{GpuId, NodeId, Topology};
+
+/// Tunables of the communication library.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommConfig {
+    /// RDMA QPs per rail stream (the paper's ACCL opens multiple QPs per
+    /// connection and balances them over the bonded ports).
+    pub qps_per_stream: u16,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig { qps_per_stream: 2 }
+    }
+}
+
+/// A communicator: an ordered set of member GPUs (rank order) plus the
+/// distinct nodes they live on.
+///
+/// # Example
+///
+/// ```
+/// use c4_collectives::Communicator;
+/// use c4_topology::{ClosConfig, Topology};
+///
+/// let topo = Topology::build(&ClosConfig::testbed_128());
+/// let gpus: Vec<_> = (0..16).map(|i| topo.gpus()[i].id).collect();
+/// let comm = Communicator::new(1, gpus, &topo).unwrap();
+/// assert_eq!(comm.nranks(), 16);
+/// assert_eq!(comm.nodes().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Communicator {
+    id: u64,
+    devices: Vec<GpuId>,
+    nodes: Vec<NodeId>,
+    incarnation: u32,
+}
+
+/// Error constructing a communicator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommunicatorError {
+    /// The device list was empty.
+    Empty,
+    /// The same GPU appears twice.
+    DuplicateDevice(GpuId),
+}
+
+impl fmt::Display for CommunicatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommunicatorError::Empty => write!(f, "communicator needs at least one device"),
+            CommunicatorError::DuplicateDevice(g) => {
+                write!(f, "device {g} appears more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommunicatorError {}
+
+impl Communicator {
+    /// Creates a communicator over `devices` (rank order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunicatorError`] when the list is empty or contains
+    /// duplicates.
+    pub fn new(
+        id: u64,
+        devices: Vec<GpuId>,
+        topo: &Topology,
+    ) -> Result<Self, CommunicatorError> {
+        if devices.is_empty() {
+            return Err(CommunicatorError::Empty);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &d in &devices {
+            if !seen.insert(d) {
+                return Err(CommunicatorError::DuplicateDevice(d));
+            }
+        }
+        let mut nodes = Vec::new();
+        for &d in &devices {
+            let n = topo.gpu(d).node;
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+        Ok(Communicator {
+            id,
+            devices,
+            nodes,
+            incarnation: 0,
+        })
+    }
+
+    /// The communicator id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Member devices in rank order.
+    pub fn devices(&self) -> &[GpuId] {
+        &self.devices
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Distinct nodes, in first-appearance order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Rank of a device, if a member.
+    pub fn rank_of(&self, gpu: GpuId) -> Option<u32> {
+        self.devices.iter().position(|&d| d == gpu).map(|i| i as u32)
+    }
+
+    /// The device at a rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn device(&self, rank: u32) -> GpuId {
+        self.devices[rank as usize]
+    }
+
+    /// Member devices on the given node, rank order.
+    pub fn devices_on(&self, topo: &Topology, node: NodeId) -> Vec<GpuId> {
+        self.devices
+            .iter()
+            .copied()
+            .filter(|&d| topo.gpu(d).node == node)
+            .collect()
+    }
+
+    /// Restart epoch; bumped when the job restarts so ECMP re-hashes
+    /// (connections are re-established from scratch).
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// Bumps the restart epoch.
+    pub fn bump_incarnation(&mut self) {
+        self.incarnation += 1;
+    }
+
+    /// True when all members live on one node (pure-NVLink communicator).
+    pub fn is_single_node(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4_topology::ClosConfig;
+
+    fn topo() -> Topology {
+        Topology::build(&ClosConfig::testbed_128())
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        let t = topo();
+        assert_eq!(
+            Communicator::new(1, vec![], &t).unwrap_err(),
+            CommunicatorError::Empty
+        );
+        let g = t.gpus()[0].id;
+        assert_eq!(
+            Communicator::new(1, vec![g, g], &t).unwrap_err(),
+            CommunicatorError::DuplicateDevice(g)
+        );
+    }
+
+    #[test]
+    fn nodes_listed_in_rank_order() {
+        let t = topo();
+        // One GPU from node 3, then node 0.
+        let a = t.gpu_at(c4_topology::NodeId::from_index(3), 0);
+        let b = t.gpu_at(c4_topology::NodeId::from_index(0), 0);
+        let comm = Communicator::new(9, vec![a, b], &t).unwrap();
+        assert_eq!(comm.nodes().len(), 2);
+        assert_eq!(comm.nodes()[0].index(), 3);
+        assert_eq!(comm.rank_of(b), Some(1));
+        assert_eq!(comm.device(0), a);
+        assert!(!comm.is_single_node());
+    }
+
+    #[test]
+    fn single_node_detection() {
+        let t = topo();
+        let devices: Vec<_> = t.node(c4_topology::NodeId::from_index(0)).gpus.clone();
+        let comm = Communicator::new(2, devices, &t).unwrap();
+        assert!(comm.is_single_node());
+    }
+
+    #[test]
+    fn incarnation_bumps() {
+        let t = topo();
+        let mut comm = Communicator::new(3, vec![t.gpus()[0].id], &t).unwrap();
+        assert_eq!(comm.incarnation(), 0);
+        comm.bump_incarnation();
+        assert_eq!(comm.incarnation(), 1);
+    }
+
+    #[test]
+    fn devices_on_filters_by_node() {
+        let t = topo();
+        let n0 = c4_topology::NodeId::from_index(0);
+        let n1 = c4_topology::NodeId::from_index(1);
+        let mut devices = t.node(n0).gpus.clone();
+        devices.extend_from_slice(&t.node(n1).gpus);
+        let comm = Communicator::new(4, devices, &t).unwrap();
+        assert_eq!(comm.devices_on(&t, n0).len(), 8);
+        assert_eq!(comm.devices_on(&t, n1).len(), 8);
+    }
+}

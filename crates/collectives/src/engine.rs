@@ -1,0 +1,744 @@
+//! The collective execution engine: plan → flows → drain → result, with
+//! telemetry emission.
+//!
+//! Two entry points:
+//!
+//! * [`run_collective`] — one collective on an otherwise idle network;
+//! * [`run_concurrent`] — several collectives (e.g. the paper's 8
+//!   simultaneous allreduce jobs, Fig 10) sharing the network in a single
+//!   drain, so their flows contend for links exactly as concurrent tenants
+//!   do. A single [`PathSelector`] serves all requests — matching the
+//!   paper's design where one C4P master is the control center for multiple
+//!   jobs/tenants (§III-B).
+
+use c4_netsim::{drain, DrainConfig, FlowKey, FlowSpec, PathSelector};
+use c4_simcore::{ByteSize, DetRng, SimTime};
+use c4_telemetry::{
+    AlgoKind, CollKind, CollRecord, ConnKey, DataType, RankRecord, WorkerTelemetry,
+};
+use c4_topology::Topology;
+
+use crate::comm::{CommConfig, Communicator};
+use crate::plan::{bus_factor, RingPlan};
+use crate::result::CollectiveResult;
+
+/// Per-QP byte-split weight function; C4P's dynamic load balancing supplies
+/// one so faster paths carry more of each stream. Weights are normalized per
+/// stream; non-positive weights are treated as a minimal share.
+pub type QpWeightFn<'a> = dyn Fn(&FlowKey) -> f64 + 'a;
+
+/// One collective to execute.
+#[derive(Debug, Clone)]
+pub struct CollectiveRequest<'a> {
+    /// The communicator performing the operation.
+    pub comm: &'a Communicator,
+    /// Sequence number within the communicator.
+    pub seq: u64,
+    /// Operation type.
+    pub kind: CollKind,
+    /// Element type.
+    pub dtype: DataType,
+    /// Element count (per-rank payload `S = count × dtype`).
+    pub count: u64,
+    /// Library tunables.
+    pub config: CommConfig,
+    /// Earliest possible start.
+    pub start: SimTime,
+    /// Per-rank ready times (stragglers); the collective enters the network
+    /// when the last rank arrives. `None` = all ready at `start`.
+    pub rank_ready: Option<&'a [SimTime]>,
+    /// Network drain configuration (`start` is overridden).
+    pub drain: DrainConfig,
+}
+
+/// Flow specs of one request plus bookkeeping to split outcomes back out.
+struct BuiltRequest {
+    specs: Vec<FlowSpec>,
+    intra_count: usize,
+    message_bytes: ByteSize,
+    edge_bytes: ByteSize,
+    started: SimTime,
+    min_ready: SimTime,
+}
+
+fn build_request(
+    topo: &Topology,
+    req: &CollectiveRequest<'_>,
+    selector: &mut dyn PathSelector,
+    qp_weights: Option<&QpWeightFn<'_>>,
+) -> BuiltRequest {
+    let comm = req.comm;
+    let nranks = comm.nranks();
+    if let Some(ready) = req.rank_ready {
+        assert_eq!(ready.len(), nranks, "rank_ready length mismatch");
+    }
+
+    let message_bytes = ByteSize::from_bytes(req.count * req.dtype.size_bytes());
+    let factor = bus_factor(req.kind, nranks);
+    let edge_bytes = message_bytes.scaled(factor);
+
+    // BSP: the collective enters the network when the last rank arrives.
+    let min_ready = req
+        .rank_ready
+        .map(|r| r.iter().copied().min().unwrap_or(req.start))
+        .unwrap_or(req.start);
+    let started = req
+        .rank_ready
+        .map(|r| r.iter().copied().max().unwrap_or(req.start))
+        .unwrap_or(req.start)
+        .max(req.start);
+
+    let plan = RingPlan::build(topo, comm);
+    let mut specs: Vec<FlowSpec> = Vec::with_capacity(plan.flow_count(req.config.qps_per_stream));
+
+    // Intra-node NVLink edges, each carrying the full stream B.
+    for &(src, dst) in &plan.intra_edges {
+        let key = FlowKey {
+            src_gpu: src,
+            dst_gpu: dst,
+            comm: comm.id(),
+            channel: u16::MAX,
+            qp: 0,
+            incarnation: comm.incarnation(),
+        };
+        specs.push(FlowSpec::new(key, edge_bytes, topo.intra_node_route(src, dst)));
+    }
+    let intra_count = specs.len();
+
+    // Boundary streams: B bytes per rail, split across Q QPs by weight.
+    let qps = req.config.qps_per_stream.max(1);
+    for stream in &plan.boundaries {
+        let keys: Vec<FlowKey> = (0..qps)
+            .map(|q| FlowKey {
+                src_gpu: stream.src_gpu,
+                dst_gpu: stream.dst_gpu,
+                comm: comm.id(),
+                channel: stream.boundary as u16,
+                qp: q,
+                incarnation: comm.incarnation(),
+            })
+            .collect();
+        let raw: Vec<f64> = keys
+            .iter()
+            .map(|k| {
+                let w = qp_weights.map_or(1.0, |f| f(k));
+                if w.is_finite() && w > 0.0 {
+                    w
+                } else {
+                    1e-3
+                }
+            })
+            .collect();
+        let total: f64 = raw.iter().sum();
+        for (k, w) in keys.iter().zip(&raw) {
+            let choice = selector.select(topo, k);
+            let src_port = topo.port_of_gpu(k.src_gpu, choice.src_side);
+            let dst_port = topo.port_of_gpu(k.dst_gpu, choice.dst_side);
+            let route = topo.inter_node_route(
+                k.src_gpu,
+                src_port,
+                choice.fabric.as_ref(),
+                dst_port,
+                k.dst_gpu,
+            );
+            specs.push(FlowSpec::new(*k, edge_bytes.scaled(w / total), route));
+        }
+    }
+
+    BuiltRequest {
+        specs,
+        intra_count,
+        message_bytes,
+        edge_bytes,
+        started,
+        min_ready,
+    }
+}
+
+/// Records telemetry for one completed/hung request.
+fn emit_telemetry(
+    topo: &Topology,
+    req: &CollectiveRequest<'_>,
+    built: &BuiltRequest,
+    outcomes: &[c4_netsim::FlowOutcome],
+    finished: Option<SimTime>,
+    tel: &mut [WorkerTelemetry],
+) {
+    let comm = req.comm;
+    for (rank, &gpu) in comm.devices().iter().enumerate() {
+        tel[gpu.index()].record_coll(CollRecord {
+            comm: comm.id(),
+            seq: req.seq,
+            rank: rank as u32,
+            kind: req.kind,
+            algo: AlgoKind::Ring,
+            dtype: req.dtype,
+            count: req.count,
+            start: built.started,
+            end: finished,
+        });
+        if let Some(ready) = req.rank_ready {
+            tel[gpu.index()].record_rank(RankRecord {
+                comm: comm.id(),
+                rank: rank as u32,
+                step: req.seq,
+                compute: ready[rank] - req.start,
+                ready_delay: ready[rank] - built.min_ready,
+                arrived: ready[rank],
+            });
+        }
+    }
+    for (spec, outcome) in built.specs.iter().zip(outcomes).skip(built.intra_count) {
+        if let (Some(finish), Some(start_port)) = (
+            outcome.finish,
+            spec.route.iter().find_map(|&l| match topo.link(l).kind() {
+                c4_topology::LinkKind::HostUp(p) => Some(p),
+                _ => None,
+            }),
+        ) {
+            let key = ConnKey {
+                comm: comm.id(),
+                channel: spec.key.channel,
+                qp: spec.key.qp,
+                src_gpu: spec.key.src_gpu,
+                dst_gpu: spec.key.dst_gpu,
+            };
+            tel[spec.key.src_gpu.index()].record_message(
+                key,
+                start_port,
+                spec.bytes.as_bytes(),
+                finish - outcome.start,
+                finish,
+            );
+        }
+    }
+}
+
+/// Executes several collectives concurrently in one shared network drain.
+///
+/// All requests share the drain configuration of the **first** request
+/// (except `start`, which is the earliest request start). Results come back
+/// in request order.
+///
+/// # Panics
+///
+/// Panics if `reqs` is empty, a `rank_ready` length mismatches, or
+/// `telemetry` is too short to index a member GPU.
+pub fn run_concurrent(
+    topo: &Topology,
+    reqs: &[CollectiveRequest<'_>],
+    selector: &mut dyn PathSelector,
+    qp_weights: Option<&QpWeightFn<'_>>,
+    rng: &mut DetRng,
+    mut telemetry: Option<&mut [WorkerTelemetry]>,
+) -> Vec<CollectiveResult> {
+    assert!(!reqs.is_empty(), "run_concurrent needs at least one request");
+    if let Some(tel) = telemetry.as_deref() {
+        let max_gpu = reqs
+            .iter()
+            .flat_map(|r| r.comm.devices())
+            .map(|g| g.index())
+            .max()
+            .unwrap_or(0);
+        assert!(tel.len() > max_gpu, "telemetry slice too short");
+    }
+
+    let built: Vec<BuiltRequest> = reqs
+        .iter()
+        .map(|r| build_request(topo, r, selector, qp_weights))
+        .collect();
+
+    // One shared drain over all flows. Note: flows of late-starting requests
+    // are assumed active from the common start (the fluid model has no
+    // per-flow start offsets); BSP iteration experiments use aligned starts.
+    let common_start = built
+        .iter()
+        .map(|b| b.started)
+        .min()
+        .expect("non-empty requests");
+    let all_specs: Vec<FlowSpec> = built.iter().flat_map(|b| b.specs.clone()).collect();
+    let drain_cfg = DrainConfig {
+        start: common_start,
+        ..reqs[0].drain.clone()
+    };
+    let report = drain(topo, &all_specs, &drain_cfg, rng);
+
+    // Split outcomes back per request.
+    let mut results = Vec::with_capacity(reqs.len());
+    let mut offset = 0usize;
+    for (req, b) in reqs.iter().zip(&built) {
+        let n = b.specs.len();
+        let outcomes = &report.outcomes[offset..offset + n];
+        offset += n;
+        let all_done = outcomes.iter().all(|o| o.completed());
+        let finished = if n == 0 {
+            Some(b.started)
+        } else if all_done {
+            outcomes.iter().filter_map(|o| o.finish).max()
+        } else {
+            None
+        };
+        if let Some(tel) = telemetry.as_deref_mut() {
+            emit_telemetry(topo, req, b, outcomes, finished, tel);
+        }
+        let sub_report = c4_netsim::DrainReport {
+            outcomes: outcomes.to_vec(),
+            end: finished.unwrap_or(report.end),
+            link_bytes: report.link_bytes.clone(),
+            cnp_per_port: report.cnp_per_port.clone(),
+            congested_flows: report.congested_flows,
+        };
+        results.push(CollectiveResult {
+            comm: req.comm.id(),
+            seq: req.seq,
+            kind: req.kind,
+            message_bytes: b.message_bytes,
+            edge_bytes: b.edge_bytes,
+            started: b.started,
+            finished,
+            intra_outcomes: outcomes[..b.intra_count].to_vec(),
+            qp_outcomes: outcomes[b.intra_count..].to_vec(),
+            report: sub_report,
+        });
+    }
+    results
+}
+
+/// Executes one collective with the **tree algorithm** (paper Fig 6):
+/// a reduce phase up a binary rank tree followed by a broadcast phase down
+/// it, each moving the full message `S` over every tree edge.
+///
+/// Inter-node tree edges route through the child/parent GPUs' own rails via
+/// the selector; intra-node edges use NVLink. With no ring pipelining, large
+/// messages are slower than [`run_collective`]'s ring — the reason the
+/// paper's benchmarks pin the ring algorithm.
+///
+/// # Panics
+///
+/// Panics if `telemetry` is too short to index every member GPU.
+pub fn run_tree_collective(
+    topo: &Topology,
+    req: &CollectiveRequest<'_>,
+    selector: &mut dyn PathSelector,
+    rng: &mut DetRng,
+    mut telemetry: Option<&mut [WorkerTelemetry]>,
+) -> CollectiveResult {
+    let comm = req.comm;
+    let message_bytes = ByteSize::from_bytes(req.count * req.dtype.size_bytes());
+    let plan = crate::plan::TreePlan::build(comm);
+    let started = req.start;
+
+    let mut build_phase = |edges: &[(c4_topology::GpuId, c4_topology::GpuId)],
+                           phase: u16|
+     -> Vec<FlowSpec> {
+        edges
+            .iter()
+            .map(|&(src, dst)| {
+                let key = FlowKey {
+                    src_gpu: src,
+                    dst_gpu: dst,
+                    comm: comm.id(),
+                    channel: phase,
+                    qp: 0,
+                    incarnation: comm.incarnation(),
+                };
+                let route = if topo.gpu(src).node == topo.gpu(dst).node {
+                    topo.intra_node_route(src, dst)
+                } else {
+                    let choice = selector.select(topo, &key);
+                    let sp = topo.port_of_gpu(src, choice.src_side);
+                    let dp = topo.port_of_gpu(dst, choice.dst_side);
+                    topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst)
+                };
+                FlowSpec::new(key, message_bytes, route)
+            })
+            .collect()
+    };
+
+    // Phase 1: reduce up. Phase 2: broadcast down, starting when the reduce
+    // finished everywhere (BSP within the operation).
+    let up_specs = build_phase(&plan.up_edges, u16::MAX - 1);
+    let up_report = drain(
+        topo,
+        &up_specs,
+        &DrainConfig {
+            start: started,
+            ..req.drain.clone()
+        },
+        rng,
+    );
+    let (finished, down_report, down_specs) = if up_report.all_completed() {
+        let down_specs = build_phase(&plan.down_edges, u16::MAX - 2);
+        let report = drain(
+            topo,
+            &down_specs,
+            &DrainConfig {
+                start: up_report.end,
+                ..req.drain.clone()
+            },
+            rng,
+        );
+        let fin = report.all_completed().then_some(report.end);
+        (fin, Some(report), down_specs)
+    } else {
+        (None, None, Vec::new())
+    };
+    let finished = if plan.up_edges.is_empty() {
+        Some(started)
+    } else {
+        finished
+    };
+
+    if let Some(tel) = telemetry.as_deref_mut() {
+        for (rank, &gpu) in comm.devices().iter().enumerate() {
+            tel[gpu.index()].record_coll(CollRecord {
+                comm: comm.id(),
+                seq: req.seq,
+                rank: rank as u32,
+                kind: req.kind,
+                algo: AlgoKind::Tree,
+                dtype: req.dtype,
+                count: req.count,
+                start: started,
+                end: finished,
+            });
+        }
+    }
+
+    // Report busbw with the standard factor so ring and tree runs compare
+    // on the same metric.
+    let factor = bus_factor(req.kind, comm.nranks());
+    let edge_bytes = message_bytes.scaled(factor);
+    let mut qp_outcomes = up_report.outcomes.clone();
+    let mut link_bytes = up_report.link_bytes.clone();
+    if let Some(down) = &down_report {
+        qp_outcomes.extend(down.outcomes.iter().cloned());
+        for (a, b) in link_bytes.iter_mut().zip(&down.link_bytes) {
+            *a += b;
+        }
+    }
+    let _ = down_specs;
+    let end = finished.unwrap_or(up_report.end);
+    CollectiveResult {
+        comm: comm.id(),
+        seq: req.seq,
+        kind: req.kind,
+        message_bytes,
+        edge_bytes,
+        started,
+        finished,
+        intra_outcomes: Vec::new(),
+        qp_outcomes: qp_outcomes.clone(),
+        report: c4_netsim::DrainReport {
+            outcomes: qp_outcomes,
+            end,
+            link_bytes,
+            cnp_per_port: up_report.cnp_per_port,
+            congested_flows: up_report.congested_flows,
+        },
+    }
+}
+
+/// Executes one collective on an otherwise idle network and optionally
+/// records telemetry into per-worker stores (indexed by global GPU id).
+///
+/// # Panics
+///
+/// Panics if `rank_ready` is provided with a length different from the
+/// communicator's rank count, or if `telemetry` is too short to index every
+/// member GPU.
+pub fn run_collective(
+    topo: &Topology,
+    req: &CollectiveRequest<'_>,
+    selector: &mut dyn PathSelector,
+    qp_weights: Option<&QpWeightFn<'_>>,
+    rng: &mut DetRng,
+    telemetry: Option<&mut [WorkerTelemetry]>,
+) -> CollectiveResult {
+    run_concurrent(topo, std::slice::from_ref(req), selector, qp_weights, rng, telemetry)
+        .pop()
+        .expect("one request yields one result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4_netsim::{EcmpSelector, RailLocalSelector};
+    use c4_simcore::SimDuration;
+    use c4_topology::{ClosConfig, GpuId, NodeId};
+
+    fn topo() -> Topology {
+        Topology::build(&ClosConfig::testbed_128())
+    }
+
+    fn full_comm(t: &Topology, nodes: usize) -> Communicator {
+        full_comm_at(t, 0, nodes, 1)
+    }
+
+    fn full_comm_at(t: &Topology, first: usize, nodes: usize, id: u64) -> Communicator {
+        let devices: Vec<GpuId> = (first..first + nodes)
+            .flat_map(|n| t.node(NodeId::from_index(n)).gpus.clone())
+            .collect();
+        Communicator::new(id, devices, t).unwrap()
+    }
+
+    fn request<'a>(comm: &'a Communicator) -> CollectiveRequest<'a> {
+        CollectiveRequest {
+            comm,
+            seq: 0,
+            kind: CollKind::AllReduce,
+            dtype: DataType::F16,
+            count: 512 * 1024 * 1024, // 1 GiB message
+            config: CommConfig::default(),
+            start: SimTime::ZERO,
+            rank_ready: None,
+            drain: DrainConfig::default(),
+        }
+    }
+
+    #[test]
+    fn balanced_allreduce_hits_nvlink_cap() {
+        let t = topo();
+        let comm = full_comm(&t, 2);
+        let req = request(&comm);
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(1);
+        let res = run_collective(&t, &req, &mut sel, None, &mut rng, None);
+        let busbw = res.busbw_gbps().expect("completed");
+        assert!(
+            (busbw - 362.0).abs() < 2.0,
+            "balanced 2-node allreduce should be NVLink-capped: {busbw}"
+        );
+    }
+
+    #[test]
+    fn ecmp_allreduce_suffers_port_collisions() {
+        let t = topo();
+        let comm = full_comm(&t, 2);
+        let req = request(&comm);
+        let mut sel = EcmpSelector::new(3);
+        let mut rng = DetRng::seed_from(2);
+        let res = run_collective(&t, &req, &mut sel, None, &mut rng, None);
+        let busbw = res.busbw_gbps().expect("completed");
+        assert!(
+            busbw < 240.0,
+            "ECMP baseline should collide below 240 Gbps: {busbw}"
+        );
+        assert!(busbw >= 90.0, "but not collapse: {busbw}");
+    }
+
+    #[test]
+    fn single_node_allreduce_is_nvlink_bound() {
+        let t = topo();
+        let comm = full_comm(&t, 1);
+        let req = request(&comm);
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(3);
+        let res = run_collective(&t, &req, &mut sel, None, &mut rng, None);
+        let busbw = res.busbw_gbps().unwrap();
+        assert!((busbw - 362.0).abs() < 2.0, "busbw {busbw}");
+        assert!(res.qp_outcomes.is_empty());
+    }
+
+    #[test]
+    fn straggler_delays_start() {
+        let t = topo();
+        let comm = full_comm(&t, 2);
+        let mut ready: Vec<SimTime> = vec![SimTime::from_secs(1); comm.nranks()];
+        ready[5] = SimTime::from_secs(4);
+        let mut req = request(&comm);
+        req.rank_ready = Some(&ready);
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(4);
+        let res = run_collective(&t, &req, &mut sel, None, &mut rng, None);
+        assert_eq!(res.started, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn dead_uplink_hangs_the_collective() {
+        let mut t = topo();
+        let comm = full_comm(&t, 2);
+        // Kill the left host uplink of rail 0 on node 0.
+        let g = t.gpu_at(NodeId::from_index(0), 0);
+        let port = t.port_of_gpu(g, c4_topology::PortSide::Left);
+        let up = t.port(port).host_up;
+        t.link_mut(up).set_up(false);
+        let mut req = request(&comm);
+        req.drain.deadline = Some(SimTime::from_secs(30));
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(5);
+        let res = run_collective(&t, &req, &mut sel, None, &mut rng, None);
+        assert!(res.hung());
+        assert_eq!(res.busbw_gbps(), None);
+    }
+
+    #[test]
+    fn telemetry_records_colls_and_conns() {
+        let t = topo();
+        let comm = full_comm(&t, 2);
+        let ready: Vec<SimTime> = (0..comm.nranks())
+            .map(|r| SimTime::from_nanos(r as u64))
+            .collect();
+        let mut req = request(&comm);
+        req.rank_ready = Some(&ready);
+        let mut tel: Vec<WorkerTelemetry> = t
+            .gpus()
+            .iter()
+            .map(|g| WorkerTelemetry::new(g.id))
+            .collect();
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(6);
+        let res = run_collective(&t, &req, &mut sel, None, &mut rng, Some(&mut tel));
+        assert!(!res.hung());
+        for &g in comm.devices() {
+            assert_eq!(tel[g.index()].colls().len(), 1);
+            assert_eq!(tel[g.index()].ranks().len(), 1);
+            assert!(tel[g.index()].colls()[0].end.is_some());
+        }
+        let senders: usize = tel.iter().map(|w| w.conns().count()).sum();
+        assert_eq!(senders, 16 * 2); // 16 streams × 2 QPs
+    }
+
+    #[test]
+    fn qp_weights_shift_bytes() {
+        let t = topo();
+        let comm = full_comm(&t, 2);
+        let req = request(&comm);
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(7);
+        let weights: Box<QpWeightFn<'_>> = Box::new(|k: &FlowKey| if k.qp == 0 { 3.0 } else { 1.0 });
+        let res = run_collective(&t, &req, &mut sel, Some(&*weights), &mut rng, None);
+        let qp0: u64 = res
+            .qp_outcomes
+            .iter()
+            .filter(|o| o.key.qp == 0)
+            .map(|o| o.bytes.as_bytes())
+            .sum();
+        let qp1: u64 = res
+            .qp_outcomes
+            .iter()
+            .filter(|o| o.key.qp == 1)
+            .map(|o| o.bytes.as_bytes())
+            .sum();
+        let ratio = qp0 as f64 / qp1 as f64;
+        assert!((ratio - 3.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_ranks_edge_cases() {
+        let t = topo();
+        let comm = Communicator::new(1, vec![t.gpus()[0].id], &t).unwrap();
+        let req = request(&comm);
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(8);
+        let res = run_collective(&t, &req, &mut sel, None, &mut rng, None);
+        assert!(!res.hung());
+        assert_eq!(res.finished, Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn reduce_scatter_uses_smaller_edge_bytes() {
+        let t = topo();
+        let comm = full_comm(&t, 2);
+        let mut req = request(&comm);
+        req.kind = CollKind::ReduceScatter;
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(9);
+        let res = run_collective(&t, &req, &mut sel, None, &mut rng, None);
+        let expect = req.count * 2 * 15 / 16; // S × (R−1)/R
+        let got = res.edge_bytes.as_bytes();
+        assert!(
+            (got as f64 - expect as f64).abs() < 2.0,
+            "edge bytes {got} vs {expect}"
+        );
+        assert!(res.duration().unwrap() < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn tree_allreduce_completes_but_loses_to_ring_on_large_messages() {
+        let t = topo();
+        let comm = full_comm(&t, 2);
+        let req = request(&comm);
+        let mut rng = DetRng::seed_from(12);
+        let mut sel = RailLocalSelector::new();
+        let ring = run_collective(&t, &req, &mut sel, None, &mut rng, None);
+        let mut sel = RailLocalSelector::new();
+        let tree = run_tree_collective(&t, &req, &mut sel, &mut rng, None);
+        assert!(!tree.hung());
+        assert!(
+            tree.duration().unwrap() > ring.duration().unwrap(),
+            "no pipelining: tree {} should lose to ring {} at 1 GiB",
+            tree.duration().unwrap(),
+            ring.duration().unwrap()
+        );
+    }
+
+    #[test]
+    fn tree_telemetry_is_tagged_tree() {
+        let t = topo();
+        let comm = full_comm(&t, 2);
+        let req = request(&comm);
+        let mut rng = DetRng::seed_from(13);
+        let mut sel = RailLocalSelector::new();
+        let mut tel: Vec<WorkerTelemetry> = t
+            .gpus()
+            .iter()
+            .map(|g| WorkerTelemetry::new(g.id))
+            .collect();
+        let res = run_tree_collective(&t, &req, &mut sel, &mut rng, Some(&mut tel));
+        assert!(!res.hung());
+        for &g in comm.devices() {
+            assert_eq!(tel[g.index()].colls()[0].algo, AlgoKind::Tree);
+        }
+    }
+
+    #[test]
+    fn tree_single_rank_is_instant() {
+        let t = topo();
+        let comm = Communicator::new(1, vec![t.gpus()[0].id], &t).unwrap();
+        let req = request(&comm);
+        let mut rng = DetRng::seed_from(14);
+        let mut sel = RailLocalSelector::new();
+        let res = run_tree_collective(&t, &req, &mut sel, &mut rng, None);
+        assert_eq!(res.finished, Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn concurrent_disjoint_jobs_do_not_interfere() {
+        let t = topo();
+        // Two 2-node jobs on disjoint nodes with balanced paths: both reach
+        // the NVLink cap despite sharing one drain.
+        let c1 = full_comm_at(&t, 0, 2, 1);
+        let c2 = full_comm_at(&t, 2, 2, 2);
+        let r1 = request(&c1);
+        let r2 = request(&c2);
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(10);
+        let results = run_concurrent(&t, &[r1, r2], &mut sel, None, &mut rng, None);
+        assert_eq!(results.len(), 2);
+        for res in &results {
+            let busbw = res.busbw_gbps().unwrap();
+            assert!((busbw - 362.0).abs() < 2.0, "busbw {busbw}");
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_sharing_a_port_contend() {
+        let t = topo();
+        // Job A: nodes 0-1; Job B: nodes 1-2 — both traverse node 1's rails.
+        let c1 = full_comm_at(&t, 0, 2, 1);
+        let c2 = full_comm_at(&t, 1, 2, 2);
+        let r1 = request(&c1);
+        let r2 = request(&c2);
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(11);
+        let results = run_concurrent(&t, &[r1, r2], &mut sel, None, &mut rng, None);
+        for res in &results {
+            let busbw = res.busbw_gbps().unwrap();
+            assert!(
+                busbw < 362.0 - 2.0,
+                "sharing node 1's NVLink/ports must cost bandwidth: {busbw}"
+            );
+        }
+    }
+}

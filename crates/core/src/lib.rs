@@ -1,0 +1,55 @@
+//! # c4 — reproduction of the C4 system (HPCA 2025)
+//!
+//! *Enhancing Large-Scale AI Training Efficiency: The C4 Solution for
+//! Real-Time Anomaly Detection and Communication Optimization*, Dong et al.,
+//! Alibaba Group.
+//!
+//! This facade crate wires the workspace together and hosts the experiment
+//! scenarios that regenerate every table and figure of the paper's
+//! evaluation:
+//!
+//! | Paper artifact | Scenario |
+//! |---|---|
+//! | Table I (crash census) | [`scenarios::tables::table1`] |
+//! | Table III (downtime) | [`scenarios::tables::table3`] |
+//! | Fig 3 (scaling loss) | [`scenarios::fig3::run`] |
+//! | Fig 7 (delay matrices) | [`scenarios::fig7::run`] |
+//! | Fig 9 (dual-port balance) | [`scenarios::fig9::run`] |
+//! | Fig 10a/b (multi-job TE) | [`scenarios::fig10::run`] |
+//! | Fig 11 (CNP counts) | [`scenarios::fig10::run`] (CNP series) |
+//! | Fig 12/13 (link failure) | [`scenarios::fig12::run`] |
+//! | Fig 14 (real jobs) | [`scenarios::fig14::run`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use c4::prelude::*;
+//!
+//! // Build the paper's 128-GPU testbed and run one allreduce with the ECMP
+//! // baseline and with C4P.
+//! let topo = Topology::build(&ClosConfig::testbed_128());
+//! let devices: Vec<_> = topo.gpus().iter().take(16).map(|g| g.id).collect();
+//! let comm = Communicator::new(1, devices, &topo).unwrap();
+//! let req = CollectiveRequest {
+//!     comm: &comm,
+//!     seq: 0,
+//!     kind: CollKind::AllReduce,
+//!     dtype: DataType::Bf16,
+//!     count: 64 * 1024 * 1024,
+//!     config: CommConfig::default(),
+//!     start: SimTime::ZERO,
+//!     rank_ready: None,
+//!     drain: DrainConfig::default(),
+//! };
+//! let mut rng = DetRng::seed_from(7);
+//! let mut ecmp = EcmpSelector::new(1);
+//! let baseline = run_collective(&topo, &req, &mut ecmp, None, &mut rng, None);
+//! let mut c4p = C4pMaster::new(&topo, C4pConfig::default());
+//! let engineered = run_collective(&topo, &req, &mut c4p, None, &mut rng, None);
+//! assert!(engineered.busbw_gbps().unwrap() > baseline.busbw_gbps().unwrap());
+//! ```
+
+pub mod prelude;
+pub mod scenarios;
+
+pub use prelude::*;

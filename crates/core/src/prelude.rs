@@ -1,0 +1,48 @@
+//! One-stop re-exports of the workspace's public API.
+
+pub use c4_simcore::{
+    Bandwidth, ByteSize, DetRng, Engine, EventQueue, Histogram, SimDuration, SimTime,
+    StreamingStats, TimeSeries,
+};
+
+pub use c4_topology::{
+    ClosConfig, FabricPath, Gpu, GpuId, Link, LinkId, LinkKind, Nic, NicId, NicPort, Node,
+    NodeId, PortId, PortSide, Switch, SwitchId, SwitchTier, Topology, WiringMode,
+};
+
+pub use c4_netsim::maxmin;
+pub use c4_netsim::{
+    drain, mix64, CnpModel, DrainConfig, DrainReport, EcmpSelector, FlowKey, FlowOutcome,
+    FlowSpec, PathChoice, PathSelector, RailLocalSelector,
+};
+
+pub use c4_telemetry::csv::to_csv_document;
+pub use c4_telemetry::{
+    AlgoKind, C4Event, ClusterSummary, CollKind, CollRecord, CommRecord, ConnKey, ConnRecord,
+    DataType, EventKind, EventLog, RankRecord, Severity, TelemetrySnapshot, ToCsv,
+    WorkerTelemetry,
+};
+
+pub use c4_collectives::{
+    bus_factor, run_collective, run_concurrent, run_tree_collective, BoundaryStream,
+    CollectiveRequest, CollectiveResult, CommConfig, Communicator, QpWeightFn, RingPlan,
+    TreePlan,
+};
+
+pub use c4_faults::{
+    ComputePerturbation, Degradation, DegradeTarget, FaultEvent, FaultInjector, FaultKind,
+    FaultRates, UserView,
+};
+
+pub use c4_diagnosis::{
+    analyze_root_cause, detect_hang, detect_noncomm_slow, C4dMaster, DelayMatrix,
+    DetectorConfig, Diagnosis, Hypothesis, JobSteering, LoadSmoother, MatrixFinding,
+    RcaReport, ReplacementPlan, SteeringConfig, SteeringError, Syndrome,
+};
+
+pub use c4_traffic::{C4pConfig, C4pMaster, PathCatalog, PathLoadLedger};
+
+pub use c4_trainsim::{
+    simulate_operation, CrashRecord, DetectionModel, DiagnosisModel, IterationReport, JobSpec,
+    OperationConfig, OperationReport, ParallelLayout, RecoveryConfig, TrainingJob,
+};

@@ -1,0 +1,244 @@
+//! Fig 10 (and Fig 11): eight concurrent two-node allreduce jobs contending
+//! for the spine fabric, with and without C4P's global traffic engineering,
+//! at 1:1 and 2:1 oversubscription.
+//!
+//! Paper results:
+//! * 1:1 — baseline tasks range 171.93–263.27 Gbps; C4P 353.86–360.57 Gbps;
+//!   +70.3 % mean throughput.
+//! * 2:1 — C4P tasks within an 11.27 Gbps spread around ≈180 Gbps (CNP rate
+//!   control), +65.55 % over baseline.
+//! * Fig 11 — each bonded port receives ≈15 k CNPs/s (12.5–17.5 k band).
+
+use c4_collectives::{run_concurrent, CollectiveRequest, Communicator};
+use c4_netsim::{CnpModel, DrainConfig, EcmpSelector, FlowKey, PathSelector};
+use c4_simcore::DetRng;
+use c4_topology::{ClosConfig, GpuId, NodeId, Topology};
+use c4_traffic::{C4pConfig, C4pMaster};
+
+use crate::scenarios::benchmark_request;
+
+/// One task's mean bus bandwidth under both selectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Task {
+    /// Task index (1-based in the paper).
+    pub task: usize,
+    /// Baseline (uncoordinated ECMP) mean busbw, Gbps.
+    pub baseline_gbps: f64,
+    /// C4P global-traffic-engineering mean busbw, Gbps.
+    pub c4p_gbps: f64,
+}
+
+/// The full Fig 10 (+ Fig 11) result.
+#[derive(Debug, Clone)]
+pub struct Fig10Report {
+    /// True for the 2:1 oversubscription variant (spines halved).
+    pub two_to_one: bool,
+    /// Per-task means.
+    pub tasks: Vec<Fig10Task>,
+    /// Mean over tasks, baseline.
+    pub baseline_mean: f64,
+    /// Mean over tasks, C4P.
+    pub c4p_mean: f64,
+    /// Relative improvement (C4P/baseline − 1).
+    pub improvement: f64,
+    /// Fig 11: per-iteration CNP rates of every active sender port (kp/s)
+    /// during the C4P run, as `(time_s, rates)` samples.
+    pub cnp_series: Vec<(f64, Vec<f64>)>,
+}
+
+fn build_jobs(topo: &Topology) -> Vec<Communicator> {
+    (0..8)
+        .map(|i| {
+            let devices: Vec<GpuId> = [i, 8 + i]
+                .iter()
+                .flat_map(|&n| topo.node(NodeId::from_index(n)).gpus.clone())
+                .collect();
+            Communicator::new(1 + i as u64, devices, topo).expect("valid job comm")
+        })
+        .collect()
+}
+
+/// Which selector drives an iteration loop.
+enum Mode<'a> {
+    /// ECMP with per-iteration re-salting: benchmark runs re-establish their
+    /// QPs, so the hash placement varies run to run (what nccl-test
+    /// averages over).
+    Baseline {
+        /// Base hash salt.
+        salt: u64,
+    },
+    /// One C4P master serving all jobs; a clone observes QP rates for
+    /// dynamic byte-splitting (the selector borrow is exclusive).
+    C4p {
+        /// The selecting master.
+        master: &'a mut C4pMaster,
+        /// The observing/weighting master.
+        observer: &'a mut C4pMaster,
+    },
+}
+
+fn run_mode(
+    topo: &Topology,
+    jobs: &[Communicator],
+    mut mode: Mode<'_>,
+    drain: &DrainConfig,
+    iters: usize,
+    rng: &mut DetRng,
+) -> (Vec<f64>, Vec<(f64, Vec<f64>)>) {
+    let mut sums = vec![0.0_f64; jobs.len()];
+    let mut cnp = Vec::new();
+    let mut clock = 0.0_f64;
+    for it in 0..iters {
+        let weight_table = match &mode {
+            Mode::Baseline { .. } => Default::default(),
+            Mode::C4p { observer, .. } => observer.weight_table(),
+        };
+        let weight_fn = move |k: &FlowKey| weight_table.get(k).copied().unwrap_or(1.0);
+        let requests: Vec<CollectiveRequest<'_>> = jobs
+            .iter()
+            .map(|c| benchmark_request(c, it as u64, drain.clone()))
+            .collect();
+        let mut fresh_ecmp;
+        let selector: &mut dyn PathSelector = match &mut mode {
+            Mode::Baseline { salt } => {
+                fresh_ecmp = EcmpSelector::new(*salt ^ (it as u64).wrapping_mul(0x9E37_79B9));
+                &mut fresh_ecmp
+            }
+            Mode::C4p { master, .. } => *master,
+        };
+        let results = run_concurrent(topo, &requests, selector, Some(&weight_fn), rng, None);
+        let mut iter_secs = 0.0_f64;
+        for (i, res) in results.iter().enumerate() {
+            sums[i] += res.busbw_gbps().unwrap_or(0.0);
+            iter_secs = iter_secs.max(res.duration().map(|d| d.as_secs_f64()).unwrap_or(0.0));
+            if let Mode::C4p { observer, .. } = &mut mode {
+                observer.observe(&res.qp_outcomes);
+            }
+        }
+        clock += iter_secs;
+        let ports: Vec<f64> = results[0]
+            .report
+            .cnp_per_port
+            .iter()
+            .copied()
+            .filter(|&c| c > 0.0)
+            .collect();
+        if !ports.is_empty() {
+            cnp.push((clock, ports));
+        }
+    }
+    (sums.iter().map(|s| s / iters as f64).collect(), cnp)
+}
+
+/// Runs Fig 10a (`two_to_one = false`) or Fig 10b + Fig 11 (`true`).
+pub fn run(two_to_one: bool, seed: u64, iters: usize) -> Fig10Report {
+    let mut topo = Topology::build(&ClosConfig::testbed_128_grouped(2).trunked());
+    if two_to_one {
+        for s in 4..8 {
+            let spine = topo.spines()[s];
+            topo.set_spine_up(spine, false);
+        }
+    }
+    let jobs = build_jobs(&topo);
+    let drain = DrainConfig {
+        rate_noise: if two_to_one { 0.10 } else { 0.04 },
+        cnp: Some(CnpModel::paper_default()),
+        ..DrainConfig::default()
+    };
+    let mut rng = DetRng::seed_from(seed);
+
+    let (baseline, _) = run_mode(
+        &topo,
+        &jobs,
+        Mode::Baseline { salt: seed ^ 0xEC3F },
+        &drain,
+        iters,
+        &mut rng,
+    );
+
+    let mut master = C4pMaster::new(&topo, C4pConfig::default());
+    let mut observer = master.clone();
+    let (c4p, cnp_series) = run_mode(
+        &topo,
+        &jobs,
+        Mode::C4p {
+            master: &mut master,
+            observer: &mut observer,
+        },
+        &drain,
+        iters,
+        &mut rng,
+    );
+
+    let baseline_mean = baseline.iter().sum::<f64>() / baseline.len() as f64;
+    let c4p_mean = c4p.iter().sum::<f64>() / c4p.len() as f64;
+    Fig10Report {
+        two_to_one,
+        tasks: (0..jobs.len())
+            .map(|i| Fig10Task {
+                task: i + 1,
+                baseline_gbps: baseline[i],
+                c4p_gbps: c4p[i],
+            })
+            .collect(),
+        baseline_mean,
+        c4p_mean,
+        improvement: c4p_mean / baseline_mean - 1.0,
+        cnp_series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_to_one_matches_paper_shape() {
+        let r = run(false, 42, 4);
+        assert_eq!(r.tasks.len(), 8);
+        for t in &r.tasks {
+            assert!(
+                t.c4p_gbps > 330.0,
+                "task {}: C4P {:.1} should approach 360",
+                t.task,
+                t.c4p_gbps
+            );
+            assert!(
+                t.baseline_gbps < 300.0,
+                "task {}: baseline {:.1} should be degraded",
+                t.task,
+                t.baseline_gbps
+            );
+        }
+        assert!(
+            r.improvement > 0.40,
+            "mean improvement {:.2} (paper: 0.703)",
+            r.improvement
+        );
+    }
+
+    #[test]
+    fn two_to_one_keeps_small_spread_under_c4p() {
+        let r = run(true, 42, 4);
+        let min = r.tasks.iter().map(|t| t.c4p_gbps).fold(f64::INFINITY, f64::min);
+        let max = r.tasks.iter().map(|t| t.c4p_gbps).fold(0.0_f64, f64::max);
+        assert!(
+            max - min < 40.0,
+            "C4P spread {:.1} should be small (paper: 11.27)",
+            max - min
+        );
+        // Congested regime: C4P lands near 180, not near the 362 cap.
+        assert!((140.0..230.0).contains(&r.c4p_mean), "c4p mean {}", r.c4p_mean);
+        assert!(r.improvement > 0.30, "improvement {:.2}", r.improvement);
+        // Fig 11: CNP band 12.5–17.5 kp/s.
+        assert!(!r.cnp_series.is_empty());
+        for (_, rates) in &r.cnp_series {
+            for &c in rates {
+                assert!(
+                    (8_000.0..25_000.0).contains(&c),
+                    "CNP rate {c} outside plausible band"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Fig 12 (and Fig 13): tolerance to a link failure during the 8-job
+//! concurrent run — C4P static traffic engineering vs dynamic load balance.
+//!
+//! Paper results: after one of the 8 uplinks dies, static TE degrades to
+//! 160–220 Gbps (mean 185.76) because hash-threshold rerouting piles the
+//! orphaned flows onto a neighbour port; dynamic load balance recovers to
+//! 290–335 Gbps (mean 301.46) against a 7/8 ideal of 315. Fig 13 shows the
+//! same event at the leaf ports: static — a few ports overloaded, the rest
+//! dragged down; dynamic — all surviving ports near-evenly loaded.
+
+use c4_collectives::{run_concurrent, CollectiveRequest, Communicator};
+use c4_netsim::{CnpModel, DrainConfig, FlowKey};
+use c4_simcore::DetRng;
+use c4_topology::{ClosConfig, GpuId, NodeId, Topology, WiringMode};
+use c4_traffic::{C4pConfig, C4pMaster};
+
+use crate::scenarios::benchmark_request;
+
+/// The Fig 12 testbed: the grouped 128-GPU cluster rewired so each leaf has
+/// exactly **8 uplinks** (one 800 Gbps trunk per spine), matching the
+/// paper's "1 link error among the 8 uplinks" framing at 1:1
+/// oversubscription.
+pub fn fig12_testbed() -> ClosConfig {
+    ClosConfig {
+        wiring: WiringMode::NodeGrouped { groups: 2 },
+        ..ClosConfig::testbed_128()
+    }
+    .trunked()
+}
+
+/// The full Fig 12/13 result for one mode.
+#[derive(Debug, Clone)]
+pub struct Fig12Report {
+    /// True for dynamic load balance, false for static TE.
+    pub dynamic: bool,
+    /// Iteration index at which the uplink died.
+    pub fail_at: usize,
+    /// Per-iteration, per-task bus bandwidth (Gbps).
+    pub per_iter_busbw: Vec<Vec<f64>>,
+    /// Mean busbw over tasks before the failure.
+    pub pre_mean: f64,
+    /// Mean busbw over tasks after the failure.
+    pub post_mean: f64,
+    /// Capacity-proportional ideal after losing 1 of 8 uplinks (7/8 of the
+    /// healthy NVLink-capped rate).
+    pub ideal_post: f64,
+    /// Fig 13: `(time_s, per-uplink Gbps)` for leaf 0's 8 uplinks.
+    pub port_series: Vec<(f64, Vec<f64>)>,
+}
+
+/// Runs the failure experiment in one mode.
+pub fn run(dynamic: bool, seed: u64, iters: usize, fail_at: usize) -> Fig12Report {
+    let mut topo = Topology::build(&fig12_testbed());
+    let jobs: Vec<Communicator> = (0..8)
+        .map(|i| {
+            let devices: Vec<GpuId> = [i, 8 + i]
+                .iter()
+                .flat_map(|&n| topo.node(NodeId::from_index(n)).gpus.clone())
+                .collect();
+            Communicator::new(1 + i as u64, devices, &topo).expect("valid job comm")
+        })
+        .collect();
+
+    let drain = DrainConfig {
+        rate_noise: 0.07,
+        cnp: Some(CnpModel::paper_default()),
+        ..DrainConfig::default()
+    };
+    let mut rng = DetRng::seed_from(seed);
+    let mut selector = C4pMaster::new(
+        &topo,
+        C4pConfig {
+            dynamic,
+            ema_alpha: 0.5,
+        },
+    );
+    let mut observer = selector.clone();
+
+    // Leaf 0's eight uplinks, one per spine.
+    let uplinks: Vec<_> = (0..topo.num_spines())
+        .map(|s| topo.fabric_up_links(0, s)[0])
+        .collect();
+
+    let mut per_iter = Vec::with_capacity(iters);
+    let mut port_series = Vec::with_capacity(iters);
+    let mut clock = 0.0_f64;
+    for it in 0..iters {
+        if it == fail_at {
+            let spine = topo.spines()[0];
+            topo.set_spine_up(spine, false);
+            if dynamic {
+                // C4P notices the network change and reallocates.
+                selector.rebalance(&topo);
+            }
+        }
+        let weight_table = observer.weight_table();
+        let weight_fn = move |k: &FlowKey| weight_table.get(k).copied().unwrap_or(1.0);
+        let requests: Vec<CollectiveRequest<'_>> = jobs
+            .iter()
+            .map(|c| benchmark_request(c, it as u64, drain.clone()))
+            .collect();
+        let results = run_concurrent(&topo, &requests, &mut selector, Some(&weight_fn), &mut rng, None);
+        let mut iter_secs = 0.0_f64;
+        let busbws: Vec<f64> = results
+            .iter()
+            .map(|r| {
+                iter_secs = iter_secs.max(r.duration().map(|d| d.as_secs_f64()).unwrap_or(0.0));
+                observer.observe(&r.qp_outcomes);
+                r.busbw_gbps().unwrap_or(0.0)
+            })
+            .collect();
+        clock += iter_secs;
+        // Fig 13: per-uplink bandwidth this iteration.
+        let link_bytes = &results[0].report.link_bytes;
+        let ports: Vec<f64> = uplinks
+            .iter()
+            .map(|l| {
+                if iter_secs > 0.0 {
+                    link_bytes[l.index()] * 8.0 / iter_secs / 1e9
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        port_series.push((clock, ports));
+        per_iter.push(busbws);
+    }
+
+    let mean_over = |range: std::ops::Range<usize>| -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for row in &per_iter[range] {
+            for &v in row {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    };
+    let pre_mean = mean_over(0..fail_at.min(iters));
+    let post_mean = mean_over(fail_at.min(iters)..iters);
+
+    Fig12Report {
+        dynamic,
+        fail_at,
+        per_iter_busbw: per_iter,
+        pre_mean,
+        post_mean,
+        ideal_post: 362.0 * 7.0 / 8.0,
+        port_series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_te_collapses_after_failure() {
+        let r = run(false, 42, 12, 4);
+        assert!(r.pre_mean > 330.0, "pre-failure mean {:.1}", r.pre_mean);
+        assert!(
+            r.post_mean < 280.0,
+            "static post-failure mean {:.1} (paper: 185.76)",
+            r.post_mean
+        );
+    }
+
+    #[test]
+    fn dynamic_lb_recovers_near_ideal() {
+        let r = run(true, 42, 12, 4);
+        assert!(r.pre_mean > 330.0, "pre-failure mean {:.1}", r.pre_mean);
+        assert!(
+            r.post_mean > 270.0,
+            "dynamic post-failure mean {:.1} (paper: 301.46)",
+            r.post_mean
+        );
+        assert!(
+            r.post_mean < r.ideal_post * 1.15,
+            "dynamic {:.1} cannot beat the 7/8 ideal {:.1} by much",
+            r.post_mean,
+            r.ideal_post
+        );
+    }
+
+    #[test]
+    fn dynamic_beats_static_after_failure() {
+        let s = run(false, 7, 10, 3);
+        let d = run(true, 7, 10, 3);
+        assert!(
+            d.post_mean > s.post_mean * 1.2,
+            "dynamic {:.1} vs static {:.1} (paper: +62.3%)",
+            d.post_mean,
+            s.post_mean
+        );
+    }
+
+    #[test]
+    fn port_series_shows_takeover_vs_spreading() {
+        let s = run(false, 11, 10, 3);
+        // After failure under static TE the dead uplink carries nothing and
+        // its neighbour is the hottest port.
+        let (_, last) = s.port_series.last().unwrap();
+        assert!(last[0] < 1.0, "dead uplink still carrying traffic");
+        let hottest = last
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(hottest, 1, "orphans should pile on the neighbour port");
+
+        let d = run(true, 11, 10, 3);
+        let (_, last) = d.port_series.last().unwrap();
+        let live: Vec<f64> = last[1..].to_vec();
+        let max = live.iter().copied().fold(0.0_f64, f64::max);
+        let min = live.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min.max(1.0) < 1.8,
+            "dynamic LB should even out surviving ports: {live:?}"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig 3: actual vs ideal training throughput of a GPT-22B job as the
+//! system scales from 16 to 512 GPUs under baseline (ECMP) networking in a
+//! shared pod.
+//!
+//! Paper result: the gap between actual and linearly-scaled ideal
+//! throughput widens with scale — ≈30 % below ideal at 512 GPUs — because
+//! the extent of traffic collision grows with the number of flows.
+
+use c4_netsim::EcmpSelector;
+use c4_simcore::DetRng;
+use c4_topology::{ClosConfig, NodeId, Topology};
+use c4_trainsim::{JobSpec, ParallelLayout, TrainingJob};
+
+/// One scale point of Fig 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// GPU count.
+    pub gpus: usize,
+    /// Measured throughput, samples/s.
+    pub actual_sps: f64,
+    /// Linear scaling of the smallest measured point.
+    pub ideal_sps: f64,
+    /// `1 − actual/ideal`.
+    pub loss: f64,
+}
+
+/// Runs the scaling sweep at GPU = 16 … 512.
+pub fn run(seed: u64, iters: usize) -> Vec<Fig3Row> {
+    let topo = Topology::build(&ClosConfig::pod_shared(64));
+    let mut rng = DetRng::seed_from(seed);
+    let scales = [2usize, 4, 8, 16, 32, 64];
+
+    let mut actuals = Vec::new();
+    for &dp in &scales {
+        let spec = JobSpec::gpt22b_scaling(dp);
+        let nodes: Vec<NodeId> = (0..dp).map(NodeId::from_index).collect();
+        let layout = ParallelLayout::place(&topo, &spec, nodes).expect("pod placement");
+        let mut job = TrainingJob::new(&topo, spec.clone(), layout, dp as u64 * 100);
+        let mut ecmp = EcmpSelector::new(seed ^ dp as u64);
+        let mut sps = Vec::new();
+        for it in 0..iters.max(2) {
+            let report = job.run_iteration(&topo, &mut ecmp, None, &mut rng, &[], None);
+            if it > 0 {
+                sps.push(report.samples_per_sec(spec.global_batch));
+            }
+        }
+        actuals.push(sps.iter().sum::<f64>() / sps.len() as f64);
+    }
+
+    let base_per_unit = actuals[0] / scales[0] as f64;
+    scales
+        .iter()
+        .zip(&actuals)
+        .map(|(&dp, &actual)| {
+            let ideal = base_per_unit * dp as f64;
+            Fig3Row {
+                gpus: dp * 8,
+                actual_sps: actual,
+                ideal_sps: ideal,
+                loss: 1.0 - actual / ideal,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_grows_with_scale() {
+        let rows = run(42, 3);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].gpus, 16);
+        assert_eq!(rows[5].gpus, 512);
+        // First point defines the ideal.
+        assert!(rows[0].loss.abs() < 1e-9);
+        // Monotone-ish growth: the largest scale loses the most.
+        let max_loss = rows.iter().map(|r| r.loss).fold(0.0_f64, f64::max);
+        assert!(
+            (rows[5].loss - max_loss).abs() < 0.05,
+            "largest scale should be at/near the worst loss: {:?}",
+            rows.iter().map(|r| r.loss).collect::<Vec<_>>()
+        );
+        assert!(
+            rows[5].loss > 0.12,
+            "512-GPU loss {:.3} should be substantial (paper: ≈0.30)",
+            rows[5].loss
+        );
+        // Throughput still rises with scale (no collapse).
+        assert!(rows[5].actual_sps > rows[0].actual_sps * 10.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fig 7: the three communication-slow syndromes in the delay matrix —
+//! a single hot cell (one congested connection), a hot row (sender Tx slow),
+//! a hot column (receiver Rx slow) — and C4D's localization of each.
+
+use c4_collectives::{run_collective, CollectiveRequest, CommConfig, Communicator};
+use c4_diagnosis::{DelayMatrix, MatrixFinding};
+use c4_faults::Degradation;
+use c4_netsim::{DrainConfig, FlowKey};
+use c4_simcore::{DetRng, SimTime};
+use c4_telemetry::{CollKind, DataType, WorkerTelemetry};
+use c4_topology::{ClosConfig, GpuId, NodeId, Topology};
+use c4_traffic::{C4pConfig, C4pMaster};
+
+/// Which syndrome to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig7Case {
+    /// No fault: reference matrix.
+    Healthy,
+    /// One congested fabric path on the (3→4) connection.
+    ConnectionSlow,
+    /// Rank 3's NIC send side congested.
+    TxSlow,
+    /// Rank 4's NIC receive side congested.
+    RxSlow,
+}
+
+/// One case's matrix and C4D findings.
+#[derive(Debug, Clone)]
+pub struct Fig7Report {
+    /// The injected case.
+    pub case: Fig7Case,
+    /// The 8×8 delay matrix in milliseconds (`NaN` on the diagonal).
+    pub matrix_ms: Vec<Vec<f64>>,
+    /// C4D's localization.
+    pub findings: Vec<MatrixFinding>,
+}
+
+/// The eight matrix workers: rail-0 GPUs of four nodes per leaf group, so
+/// cross-group pairs traverse the spine fabric.
+fn workers(topo: &Topology) -> Vec<GpuId> {
+    [0usize, 1, 2, 3, 8, 9, 10, 11]
+        .iter()
+        .map(|&n| topo.gpu_at(NodeId::from_index(n), 0))
+        .collect()
+}
+
+fn full_mesh(
+    topo: &Topology,
+    devices: &[GpuId],
+    master: &mut C4pMaster,
+    rng: &mut DetRng,
+    tel: &mut [WorkerTelemetry],
+) {
+    let mut comm_id = 1u64;
+    for i in 0..devices.len() {
+        for j in (i + 1)..devices.len() {
+            let comm =
+                Communicator::new(comm_id, vec![devices[i], devices[j]], topo).expect("pair");
+            comm_id += 1;
+            let req = CollectiveRequest {
+                comm: &comm,
+                seq: 0,
+                kind: CollKind::SendRecv,
+                dtype: DataType::Bf16,
+                count: 128 * 1024 * 1024, // 256 MiB per direction
+                config: CommConfig::default(),
+                start: SimTime::ZERO,
+                rank_ready: None,
+                drain: DrainConfig::default(),
+            };
+            run_collective(topo, &req, master, None, rng, Some(tel));
+        }
+    }
+}
+
+/// Runs one case and returns the matrix plus C4D's findings.
+pub fn run(case: Fig7Case, seed: u64) -> Fig7Report {
+    let mut topo = Topology::build(&ClosConfig::testbed_128_grouped(2));
+    let devices = workers(&topo);
+    let mut rng = DetRng::seed_from(seed);
+    let mut master = C4pMaster::new(&topo, C4pConfig::default());
+
+    // Dry run to establish sticky paths (needed to find the (3→4) path).
+    let mut warmup_tel: Vec<WorkerTelemetry> = topo
+        .gpus()
+        .iter()
+        .map(|g| WorkerTelemetry::new(g.id))
+        .collect();
+    full_mesh(&topo, &devices, &mut master, &mut rng, &mut warmup_tel);
+
+    // Inject.
+    let degradation = match case {
+        Fig7Case::Healthy => None,
+        Fig7Case::ConnectionSlow => {
+            // Rank 3 (node 3, group 0) → rank 4 (node 8, group 1) crosses
+            // the fabric; congest the up link of its allocated path.
+            let key = FlowKey {
+                src_gpu: devices[3],
+                dst_gpu: devices[4],
+                comm: 0, // unknown; search allocations by endpoints below
+                channel: 0,
+                qp: 0,
+                incarnation: 0,
+            };
+            // Find the sticky allocation whose endpoints match (the comm id
+            // differs per pair, so scan plausible ids).
+            let path = (1..100u64).find_map(|c| {
+                let mut k = key;
+                k.comm = c;
+                master.allocation(&k).and_then(|choice| choice.fabric)
+            });
+            let path = path.expect("pair (3,4) crosses the fabric");
+            Some(Degradation::link_congested(path.up, 0.2))
+        }
+        Fig7Case::TxSlow => Some(Degradation::node_tx_slow(NodeId::from_index(3), 0.25)),
+        Fig7Case::RxSlow => Some(Degradation::node_rx_slow(NodeId::from_index(8), 0.25)),
+    };
+    if let Some(d) = &degradation {
+        d.apply(&mut topo);
+    }
+
+    // Measured run.
+    let mut tel: Vec<WorkerTelemetry> = topo
+        .gpus()
+        .iter()
+        .map(|g| WorkerTelemetry::new(g.id))
+        .collect();
+    full_mesh(&topo, &devices, &mut master, &mut rng, &mut tel);
+
+    let matrix = DelayMatrix::from_conn_records(
+        &devices,
+        tel.iter().flat_map(|w| w.conns()),
+    );
+    let findings = matrix.analyze(2.0, 0.7);
+    Fig7Report {
+        case,
+        matrix_ms: matrix.to_display_ms(),
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_matrix_is_clean() {
+        let r = run(Fig7Case::Healthy, 42);
+        assert!(r.findings.is_empty(), "findings: {:?}", r.findings);
+    }
+
+    #[test]
+    fn connection_slow_localizes_the_cell() {
+        let r = run(Fig7Case::ConnectionSlow, 42);
+        assert!(
+            r.findings.iter().any(|f| matches!(
+                f,
+                MatrixFinding::ConnectionSlow { src: 3, dst: 4, .. }
+            )),
+            "findings: {:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn tx_slow_localizes_the_row() {
+        let r = run(Fig7Case::TxSlow, 42);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| matches!(f, MatrixFinding::TxSlow { rank: 3, .. })),
+            "findings: {:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn rx_slow_localizes_the_column() {
+        let r = run(Fig7Case::RxSlow, 42);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| matches!(f, MatrixFinding::RxSlow { rank: 4, .. })),
+            "findings: {:?}",
+            r.findings
+        );
+    }
+}

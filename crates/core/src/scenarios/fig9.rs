@@ -1,0 +1,98 @@
+//! Fig 9: bus bandwidth of a single allreduce with and without C4P's
+//! dual-port balancing, at GPU = 16 / 32 / 64 / 128.
+//!
+//! Paper result: without C4P the effective busbw stays **below 240 Gbps**
+//! (receive-side collisions on the bonded ports); with C4P it rises close to
+//! the 362 Gbps NVLink-fabric peak (≈50 % gain).
+
+use c4_collectives::run_collective;
+use c4_netsim::{DrainConfig, EcmpSelector};
+use c4_simcore::DetRng;
+use c4_topology::{ClosConfig, GpuId, NodeId, Topology};
+use c4_traffic::{C4pConfig, C4pMaster};
+
+use crate::scenarios::benchmark_request;
+use c4_collectives::Communicator;
+
+/// One bar pair of Fig 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// GPU count (2–16 nodes × 8).
+    pub gpus: usize,
+    /// Baseline (NIC-bond + ECMP hashing) bus bandwidth, Gbps.
+    pub baseline_gbps: f64,
+    /// C4P (dual-port balanced) bus bandwidth, Gbps.
+    pub c4p_gbps: f64,
+}
+
+/// Runs the sweep. `trials` allreduces are averaged per point (the paper
+/// reports nccl-test averages).
+pub fn run(seed: u64, trials: usize) -> Vec<Fig9Row> {
+    let topo = Topology::build(&ClosConfig::testbed_128().trunked());
+    let mut rng = DetRng::seed_from(seed);
+    let drain = DrainConfig {
+        rate_noise: 0.08,
+        ..DrainConfig::default()
+    };
+
+    [2usize, 4, 8, 16]
+        .iter()
+        .map(|&nodes| {
+            let devices: Vec<GpuId> = (0..nodes)
+                .flat_map(|n| topo.node(NodeId::from_index(n)).gpus.clone())
+                .collect();
+            let comm = Communicator::new(nodes as u64, devices, &topo).expect("valid comm");
+
+            let mut baseline_sum = 0.0;
+            let mut c4p_sum = 0.0;
+            for t in 0..trials.max(1) {
+                // A fresh ECMP salt per trial models re-established QPs.
+                let mut ecmp = EcmpSelector::new(seed ^ (t as u64) << 8 ^ nodes as u64);
+                let req = benchmark_request(&comm, t as u64, drain.clone());
+                let res = run_collective(&topo, &req, &mut ecmp, None, &mut rng, None);
+                baseline_sum += res.busbw_gbps().expect("baseline completes");
+
+                let mut c4p = C4pMaster::new(&topo, C4pConfig::default());
+                let res = run_collective(&topo, &req, &mut c4p, None, &mut rng, None);
+                c4p_sum += res.busbw_gbps().expect("c4p completes");
+            }
+            Fig9Row {
+                gpus: nodes * 8,
+                baseline_gbps: baseline_sum / trials.max(1) as f64,
+                c4p_gbps: c4p_sum / trials.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let rows = run(42, 3);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(
+                row.baseline_gbps < 240.0,
+                "GPU={}: baseline {:.1} must stay below 240",
+                row.gpus,
+                row.baseline_gbps
+            );
+            assert!(
+                row.c4p_gbps > 340.0,
+                "GPU={}: C4P {:.1} must approach the 362 NVLink cap",
+                row.gpus,
+                row.c4p_gbps
+            );
+            let gain = row.c4p_gbps / row.baseline_gbps;
+            assert!(
+                gain > 1.3,
+                "GPU={}: gain {:.2} should be ≈1.5×",
+                row.gpus,
+                gain
+            );
+        }
+    }
+}

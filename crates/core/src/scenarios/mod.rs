@@ -1,0 +1,36 @@
+//! Experiment scenarios regenerating the paper's tables and figures.
+//!
+//! Each submodule exposes a `run(...)`-style entry point returning plain
+//! data, so the `c4-bench` binaries print them, integration tests assert
+//! their shapes, and EXPERIMENTS.md records paper-vs-measured values from a
+//! single source of truth.
+
+pub mod fig10;
+pub mod fig12;
+pub mod fig14;
+pub mod fig3;
+pub mod fig7;
+pub mod fig9;
+pub mod tables;
+
+use c4_collectives::{CollectiveRequest, CommConfig, Communicator};
+use c4_netsim::DrainConfig;
+use c4_simcore::SimTime;
+use c4_telemetry::{CollKind, DataType};
+
+/// A standard large-message allreduce request used by the benchmark
+/// scenarios (1 GiB of BF16, ring algorithm, 2 QPs per stream — the
+/// `nccl-test` configuration of §IV-A).
+pub fn benchmark_request<'a>(comm: &'a Communicator, seq: u64, drain: DrainConfig) -> CollectiveRequest<'a> {
+    CollectiveRequest {
+        comm,
+        seq,
+        kind: CollKind::AllReduce,
+        dtype: DataType::Bf16,
+        count: 512 * 1024 * 1024, // 1 GiB message
+        config: CommConfig::default(),
+        start: SimTime::ZERO,
+        rank_ready: None,
+        drain,
+    }
+}

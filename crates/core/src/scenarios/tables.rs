@@ -1,0 +1,51 @@
+//! Table I (crash census) and Table III (error-induced downtime).
+
+use c4_trainsim::{simulate_operation, OperationConfig, OperationReport};
+
+/// Table I: one month of a 4,096-GPU job under June-2023 conditions.
+///
+/// Paper: 40 crashes; CUDA 12.5 % (100 % local), ECC/NVLink 27.5 % (100 %),
+/// NCCL timeout 20 % (75 %), ACK timeout 27.5 % (81.8 %), others 12.5 %
+/// (40 %).
+pub fn table1(seed: u64) -> OperationReport {
+    simulate_operation(&OperationConfig::june_2023_4096(), seed)
+}
+
+/// Table III: the 2,400-GPU 175-B job, before (June) and after (December)
+/// C4D + frequent checkpointing.
+///
+/// Paper totals: 31.19 % → 1.16 % downtime (≈30×).
+pub fn table3(seed: u64) -> (OperationReport, OperationReport) {
+    (
+        simulate_operation(&OperationConfig::june_2023_175b(), seed),
+        simulate_operation(&OperationConfig::december_2023_175b(), seed ^ 0xDEC),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_census_shape() {
+        let report = table1(42);
+        let rows = report.cause_census();
+        // Five cause rows summing to 1.
+        assert_eq!(rows.len(), 5);
+        let total: f64 = rows.iter().map(|r| r.proportion).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // ECC/NVLink should be among the most frequent causes.
+        let ecc = rows.iter().find(|r| r.cause == "ECC/NVLink Error").unwrap();
+        assert!(ecc.proportion > 0.1, "ECC/NVLink {:.2}", ecc.proportion);
+    }
+
+    #[test]
+    fn table3_improvement_shape() {
+        let (june, dec) = table3(42);
+        let jf = june.downtime_fraction();
+        let df = dec.downtime_fraction();
+        assert!((0.20..0.45).contains(&jf), "June {jf}");
+        assert!(df < 0.04, "December {df}");
+        assert!(jf / df.max(1e-9) > 10.0, "ratio {}", jf / df.max(1e-9));
+    }
+}

@@ -1,0 +1,271 @@
+//! Applying degradations to the topology (and to compute phases).
+//!
+//! A [`Degradation`] is a reversible change to link state that models a
+//! non-critical hardware issue: PCIe downgrade, half-down dual-port NIC,
+//! fabric link failure, or congestion on a NIC's send/receive side. C4D's
+//! Fig 7 delay-matrix experiments inject exactly these and ask the analyzer
+//! to localize them.
+
+use c4_simcore::SimDuration;
+use c4_topology::{GpuId, LinkId, NodeId, PortId, Topology};
+
+use crate::kind::FaultKind;
+
+/// What a degradation touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeTarget {
+    /// Both PCIe directions of a GPU.
+    GpuPcie(GpuId),
+    /// One physical NIC port (both directions).
+    Port(PortId),
+    /// A single directed link.
+    Link(LinkId),
+    /// A node's NIC send side (all ports' host-up links) — the paper's
+    /// "Rank Tx slow" row syndrome.
+    NodeTx(NodeId),
+    /// A node's NIC receive side (all ports' host-down links) — the
+    /// "Rank Rx slow" column syndrome.
+    NodeRx(NodeId),
+}
+
+/// A reversible capacity degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// The fault kind this degradation models.
+    pub kind: FaultKind,
+    /// What it touches.
+    pub target: DegradeTarget,
+    /// Remaining capacity fraction (0 = down, 1 = healthy).
+    pub factor: f64,
+}
+
+impl Degradation {
+    /// PCIe ×16 trained down to the given fraction (e.g. 0.25 for ×4).
+    pub fn pcie_downgrade(gpu: GpuId, factor: f64) -> Self {
+        Degradation {
+            kind: FaultKind::PcieDowngrade,
+            target: DegradeTarget::GpuPcie(gpu),
+            factor,
+        }
+    }
+
+    /// One physical port of a dual-port NIC down.
+    pub fn nic_half_down(port: PortId) -> Self {
+        Degradation {
+            kind: FaultKind::NicHalfDown,
+            target: DegradeTarget::Port(port),
+            factor: 0.0,
+        }
+    }
+
+    /// A fabric link fully down.
+    pub fn link_down(link: LinkId) -> Self {
+        Degradation {
+            kind: FaultKind::LinkFailure,
+            target: DegradeTarget::Link(link),
+            factor: 0.0,
+        }
+    }
+
+    /// A single link congested/degraded to `factor` of nominal capacity.
+    pub fn link_congested(link: LinkId, factor: f64) -> Self {
+        Degradation {
+            kind: FaultKind::LinkFailure,
+            target: DegradeTarget::Link(link),
+            factor,
+        }
+    }
+
+    /// Node NIC send side congested (Fig 7 "Rank Tx slow").
+    pub fn node_tx_slow(node: NodeId, factor: f64) -> Self {
+        Degradation {
+            kind: FaultKind::NicHalfDown,
+            target: DegradeTarget::NodeTx(node),
+            factor,
+        }
+    }
+
+    /// Node NIC receive side congested (Fig 7 "Rank Rx slow").
+    pub fn node_rx_slow(node: NodeId, factor: f64) -> Self {
+        Degradation {
+            kind: FaultKind::NicHalfDown,
+            target: DegradeTarget::NodeRx(node),
+            factor,
+        }
+    }
+
+    fn links_of(&self, topo: &Topology) -> Vec<LinkId> {
+        match &self.target {
+            DegradeTarget::GpuPcie(g) => {
+                let gpu = topo.gpu(*g);
+                vec![gpu.pcie_tx, gpu.pcie_rx]
+            }
+            DegradeTarget::Port(p) => {
+                let port = topo.port(*p);
+                vec![port.host_up, port.host_down]
+            }
+            DegradeTarget::Link(l) => vec![*l],
+            DegradeTarget::NodeTx(n) => topo
+                .node(*n)
+                .nics
+                .iter()
+                .flat_map(|&nic| topo.nic(nic).ports)
+                .map(|p| topo.port(p).host_up)
+                .collect(),
+            DegradeTarget::NodeRx(n) => topo
+                .node(*n)
+                .nics
+                .iter()
+                .flat_map(|&nic| topo.nic(nic).ports)
+                .map(|p| topo.port(p).host_down)
+                .collect(),
+        }
+    }
+
+    /// Applies the degradation to the topology.
+    pub fn apply(&self, topo: &mut Topology) {
+        for l in self.links_of(topo) {
+            if self.factor <= 0.0 {
+                topo.link_mut(l).set_up(false);
+            } else {
+                topo.link_mut(l).set_degradation(self.factor);
+            }
+        }
+    }
+
+    /// Reverts the degradation (link back up, full capacity).
+    pub fn revert(&self, topo: &mut Topology) {
+        for l in self.links_of(topo) {
+            topo.link_mut(l).set_up(true);
+            topo.link_mut(l).set_degradation(1.0);
+        }
+    }
+}
+
+/// A compute-side perturbation (slow GPU, GC pause, dataloader stall):
+/// consumed by the training simulator, which stretches the affected worker's
+/// non-communication phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputePerturbation {
+    /// The fault kind this models.
+    pub kind: FaultKind,
+    /// Affected GPU (worker).
+    pub gpu: GpuId,
+    /// Multiplier on the worker's compute time (≥ 1).
+    pub slowdown: f64,
+    /// Additive stall per iteration (GC pause, dataloader hiccup).
+    pub extra: SimDuration,
+}
+
+impl ComputePerturbation {
+    /// A GPU running at `1/slowdown` of nominal speed.
+    pub fn slow_gpu(gpu: GpuId, slowdown: f64) -> Self {
+        ComputePerturbation {
+            kind: FaultKind::SlowGpu,
+            gpu,
+            slowdown: slowdown.max(1.0),
+            extra: SimDuration::ZERO,
+        }
+    }
+
+    /// A recurring host-side stall of `pause` per iteration.
+    pub fn gc_pause(gpu: GpuId, pause: SimDuration) -> Self {
+        ComputePerturbation {
+            kind: FaultKind::GcPause,
+            gpu,
+            slowdown: 1.0,
+            extra: pause,
+        }
+    }
+
+    /// The perturbed compute duration for a nominal `base`.
+    pub fn perturb(&self, base: SimDuration) -> SimDuration {
+        base * self.slowdown + self.extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4_topology::{ClosConfig, PortSide};
+
+    fn topo() -> Topology {
+        Topology::build(&ClosConfig::testbed_128())
+    }
+
+    #[test]
+    fn pcie_downgrade_applies_and_reverts() {
+        let mut t = topo();
+        let g = t.gpus()[5].id;
+        let d = Degradation::pcie_downgrade(g, 0.25);
+        d.apply(&mut t);
+        let gpu = *t.gpu(g);
+        assert!((t.link(gpu.pcie_tx).capacity().as_gbps() - 100.0).abs() < 1e-9);
+        assert!((t.link(gpu.pcie_rx).capacity().as_gbps() - 100.0).abs() < 1e-9);
+        d.revert(&mut t);
+        assert!((t.link(gpu.pcie_tx).capacity().as_gbps() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nic_half_down_kills_one_port() {
+        let mut t = topo();
+        let g = t.gpus()[0].id;
+        let p = t.port_of_gpu(g, PortSide::Right);
+        let d = Degradation::nic_half_down(p);
+        d.apply(&mut t);
+        assert!(!t.link(t.port(p).host_up).is_up());
+        assert!(!t.link(t.port(p).host_down).is_up());
+        // Left port unaffected.
+        let lp = t.port_of_gpu(g, PortSide::Left);
+        assert!(t.link(t.port(lp).host_up).is_up());
+        d.revert(&mut t);
+        assert!(t.link(t.port(p).host_up).is_up());
+    }
+
+    #[test]
+    fn node_tx_slow_degrades_all_uplinks() {
+        let mut t = topo();
+        let n = NodeId::from_index(3);
+        let d = Degradation::node_tx_slow(n, 0.5);
+        d.apply(&mut t);
+        for &nic in &t.node(n).nics.clone() {
+            for p in t.nic(nic).ports {
+                assert!((t.link(t.port(p).host_up).capacity().as_gbps() - 100.0).abs() < 1e-9);
+                // Rx untouched.
+                assert!((t.link(t.port(p).host_down).capacity().as_gbps() - 200.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn node_rx_slow_degrades_all_downlinks() {
+        let mut t = topo();
+        let n = NodeId::from_index(2);
+        Degradation::node_rx_slow(n, 0.25).apply(&mut t);
+        let nic = t.node(n).nics[0];
+        let p = t.nic(nic).ports[0];
+        assert!((t.link(t.port(p).host_down).capacity().as_gbps() - 50.0).abs() < 1e-9);
+        assert!((t.link(t.port(p).host_up).capacity().as_gbps() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_perturbations_stretch_time() {
+        let g = GpuId::from_index(0);
+        let slow = ComputePerturbation::slow_gpu(g, 1.5);
+        assert_eq!(
+            slow.perturb(SimDuration::from_millis(100)),
+            SimDuration::from_millis(150)
+        );
+        let gc = ComputePerturbation::gc_pause(g, SimDuration::from_millis(30));
+        assert_eq!(
+            gc.perturb(SimDuration::from_millis(100)),
+            SimDuration::from_millis(130)
+        );
+        // Slowdown below 1 clamps to 1.
+        let clamped = ComputePerturbation::slow_gpu(g, 0.5);
+        assert_eq!(
+            clamped.perturb(SimDuration::from_millis(100)),
+            SimDuration::from_millis(100)
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Fault events: a concrete fault occurring at a time and place.
+
+use std::fmt;
+
+use c4_simcore::SimTime;
+use c4_topology::{GpuId, LinkId, NodeId};
+
+use crate::kind::FaultKind;
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Monotone event id.
+    pub id: u64,
+    /// When the fault strikes.
+    pub time: SimTime,
+    /// What kind of fault.
+    pub kind: FaultKind,
+    /// Whether this instance is confined to one node/device (drawn from
+    /// [`FaultKind::locality_probability`]).
+    pub local: bool,
+    /// Affected node (for node/GPU scoped faults).
+    pub node: Option<NodeId>,
+    /// Affected GPU (for GPU-scoped faults).
+    pub gpu: Option<GpuId>,
+    /// Affected link (for fabric faults).
+    pub link: Option<LinkId>,
+}
+
+impl FaultEvent {
+    /// True when the fault crashes the job.
+    pub fn is_crash(&self) -> bool {
+        self.kind.is_crash()
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {} {}", self.id, self.time, self.kind)?;
+        if let Some(n) = self.node {
+            write!(f, " @{n}")?;
+        }
+        if let Some(g) = self.gpu {
+            write!(f, " {g}")?;
+        }
+        if let Some(l) = self.link {
+            write!(f, " {l}")?;
+        }
+        write!(f, " ({})", if self.local { "local" } else { "systemic" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_location() {
+        let e = FaultEvent {
+            id: 3,
+            time: SimTime::from_secs(60),
+            kind: FaultKind::EccError,
+            local: true,
+            node: Some(NodeId::from_index(5)),
+            gpu: Some(GpuId::from_index(42)),
+            link: None,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ECC Error"));
+        assert!(s.contains("node5"));
+        assert!(s.contains("gpu42"));
+        assert!(s.contains("local"));
+        assert!(e.is_crash());
+    }
+}

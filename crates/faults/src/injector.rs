@@ -1,0 +1,299 @@
+//! Poisson fault injection over a simulated horizon.
+
+use c4_simcore::{DetRng, SimDuration, SimTime};
+use c4_topology::{GpuId, LinkId, NodeId};
+
+use crate::event::FaultEvent;
+use crate::kind::FaultKind;
+use crate::rates::FaultRates;
+
+/// Generates fault schedules for a job of a given shape.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rates: FaultRates,
+    rng: DetRng,
+    next_id: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with the given rates and seed.
+    pub fn new(rates: FaultRates, seed: u64) -> Self {
+        FaultInjector {
+            rates,
+            rng: DetRng::seed_from(seed),
+            next_id: 0,
+        }
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// Draws the crash schedule for a job over `[start, start+horizon)`.
+    ///
+    /// Inter-arrivals are exponential with the job's total crash rate;
+    /// each crash is assigned a kind by the calibrated Table I mix, a
+    /// locality coin per the kind's locality probability, and a uniformly
+    /// random victim node/GPU.
+    pub fn schedule_crashes(
+        &mut self,
+        gpus: usize,
+        nodes: usize,
+        gpus_per_node: usize,
+        start: SimTime,
+        horizon: SimDuration,
+    ) -> Vec<FaultEvent> {
+        let rate_per_hour = self.rates.total_crash_rate(gpus, nodes);
+        let weights = self.rates.crash_weights(gpus, nodes);
+        let mut out = Vec::new();
+        if rate_per_hour <= 0.0 {
+            return out;
+        }
+        let mut t = start;
+        let end = start + horizon;
+        loop {
+            let gap_hours = self.rng.exponential(1.0 / rate_per_hour);
+            t += SimDuration::from_secs_f64(gap_hours * 3600.0);
+            if t >= end {
+                break;
+            }
+            let kind = FaultKind::CRASH_KINDS[self
+                .rng
+                .pick_weighted(&weights)
+                .expect("crash weights are positive")];
+            out.push(self.make_event(t, kind, nodes, gpus_per_node));
+        }
+        out
+    }
+
+    /// Draws degradation events (slow GPUs, PCIe downgrades, half-down
+    /// NICs, GC pauses) over the horizon.
+    pub fn schedule_degradations(
+        &mut self,
+        gpus: usize,
+        nodes: usize,
+        gpus_per_node: usize,
+        start: SimTime,
+        horizon: SimDuration,
+    ) -> Vec<FaultEvent> {
+        let g = gpus as f64;
+        let n = nodes as f64;
+        let kinds = [
+            (FaultKind::SlowGpu, self.rates.slow_gpu_per_gpu_hour * g),
+            (
+                FaultKind::PcieDowngrade,
+                self.rates.pcie_downgrade_per_gpu_hour * g,
+            ),
+            (
+                FaultKind::NicHalfDown,
+                self.rates.nic_half_down_per_node_hour * n,
+            ),
+            (FaultKind::GcPause, self.rates.gc_pause_per_node_hour * n),
+        ];
+        let mut out = Vec::new();
+        for (kind, rate) in kinds {
+            if rate <= 0.0 {
+                continue;
+            }
+            let mut t = start;
+            let end = start + horizon;
+            loop {
+                let gap_hours = self.rng.exponential(1.0 / rate);
+                t += SimDuration::from_secs_f64(gap_hours * 3600.0);
+                if t >= end {
+                    break;
+                }
+                out.push(self.make_event(t, kind, nodes, gpus_per_node));
+            }
+        }
+        out.sort_by_key(|e| e.time);
+        out
+    }
+
+    /// Draws fabric link failures over the candidate links.
+    pub fn schedule_link_failures(
+        &mut self,
+        links: &[LinkId],
+        start: SimTime,
+        horizon: SimDuration,
+    ) -> Vec<FaultEvent> {
+        let rate = self.rates.link_failure_per_link_hour * links.len() as f64;
+        let mut out = Vec::new();
+        if rate <= 0.0 || links.is_empty() {
+            return out;
+        }
+        let mut t = start;
+        let end = start + horizon;
+        loop {
+            let gap_hours = self.rng.exponential(1.0 / rate);
+            t += SimDuration::from_secs_f64(gap_hours * 3600.0);
+            if t >= end {
+                break;
+            }
+            let link = *self.rng.pick(links).expect("links not empty");
+            let id = self.next_id;
+            self.next_id += 1;
+            out.push(FaultEvent {
+                id,
+                time: t,
+                kind: FaultKind::LinkFailure,
+                local: false,
+                node: None,
+                gpu: None,
+                link: Some(link),
+            });
+        }
+        out
+    }
+
+    fn make_event(
+        &mut self,
+        time: SimTime,
+        kind: FaultKind,
+        nodes: usize,
+        gpus_per_node: usize,
+    ) -> FaultEvent {
+        let local = self.rng.chance(kind.locality_probability());
+        let node = NodeId::from_index(self.rng.index(nodes.max(1)));
+        let gpu = kind.is_gpu_scoped().then(|| {
+            GpuId::from_index(node.index() * gpus_per_node + self.rng.index(gpus_per_node.max(1)))
+        });
+        let id = self.next_id;
+        self.next_id += 1;
+        FaultEvent {
+            id,
+            time,
+            kind,
+            local,
+            node: Some(node),
+            gpu,
+            link: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::MONTH_HOURS;
+
+    #[test]
+    fn month_of_crashes_is_near_forty() {
+        let mut inj = FaultInjector::new(FaultRates::june_2023(), 42);
+        let events = inj.schedule_crashes(
+            4096,
+            512,
+            8,
+            SimTime::ZERO,
+            SimDuration::from_hours(MONTH_HOURS as u64),
+        );
+        // Poisson(40): overwhelmingly within ±3σ ≈ ±19.
+        assert!(
+            (21..=59).contains(&events.len()),
+            "got {} crashes",
+            events.len()
+        );
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(events.iter().all(|e| e.is_crash()));
+    }
+
+    #[test]
+    fn kind_mix_is_roughly_table_one() {
+        let mut inj = FaultInjector::new(FaultRates::june_2023(), 7);
+        // Many months for statistics.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50 {
+            for e in inj.schedule_crashes(
+                4096,
+                512,
+                8,
+                SimTime::ZERO,
+                SimDuration::from_hours(720),
+            ) {
+                *counts.entry(e.kind).or_insert(0usize) += 1;
+            }
+        }
+        let total: usize = counts.values().sum();
+        let frac = |k: FaultKind| *counts.get(&k).unwrap_or(&0) as f64 / total as f64;
+        assert!((frac(FaultKind::CudaError) - 0.125).abs() < 0.03);
+        assert!(
+            (frac(FaultKind::EccError) + frac(FaultKind::NvlinkError) - 0.275).abs() < 0.03
+        );
+        assert!((frac(FaultKind::NcclTimeout) - 0.20).abs() < 0.03);
+        assert!((frac(FaultKind::AckTimeout) - 0.275).abs() < 0.03);
+        assert!((frac(FaultKind::NetworkError) - 0.125).abs() < 0.03);
+    }
+
+    #[test]
+    fn gpu_scoped_events_have_gpus_on_their_node() {
+        let mut inj = FaultInjector::new(FaultRates::june_2023(), 11);
+        for e in inj.schedule_crashes(
+            4096,
+            512,
+            8,
+            SimTime::ZERO,
+            SimDuration::from_hours(720 * 10),
+        ) {
+            if let Some(g) = e.gpu {
+                let node = e.node.unwrap();
+                assert_eq!(g.index() / 8, node.index());
+                assert!(e.kind.is_gpu_scoped());
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let ev1 = FaultInjector::new(FaultRates::june_2023(), 5).schedule_crashes(
+            1024,
+            128,
+            8,
+            SimTime::ZERO,
+            SimDuration::from_hours(720),
+        );
+        let ev2 = FaultInjector::new(FaultRates::june_2023(), 5).schedule_crashes(
+            1024,
+            128,
+            8,
+            SimTime::ZERO,
+            SimDuration::from_hours(720),
+        );
+        assert_eq!(ev1, ev2);
+    }
+
+    #[test]
+    fn link_failures_pick_from_candidates() {
+        let mut inj = FaultInjector::new(FaultRates::june_2023(), 13);
+        let links: Vec<LinkId> = (0..64).map(LinkId::from_index).collect();
+        let events = inj.schedule_link_failures(
+            &links,
+            SimTime::ZERO,
+            SimDuration::from_hours(720 * 1000),
+        );
+        assert!(!events.is_empty());
+        for e in &events {
+            assert_eq!(e.kind, FaultKind::LinkFailure);
+            assert!(links.contains(&e.link.unwrap()));
+        }
+        assert!(inj
+            .schedule_link_failures(&[], SimTime::ZERO, SimDuration::from_hours(720))
+            .is_empty());
+    }
+
+    #[test]
+    fn degradations_cover_expected_kinds() {
+        let mut inj = FaultInjector::new(FaultRates::june_2023(), 17);
+        let events = inj.schedule_degradations(
+            4096,
+            512,
+            8,
+            SimTime::ZERO,
+            SimDuration::from_hours(720 * 20),
+        );
+        let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&FaultKind::GcPause));
+        assert!(kinds.contains(&FaultKind::SlowGpu));
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+}

@@ -1,0 +1,187 @@
+//! The fault taxonomy (paper Fig 1, Table I).
+
+use std::fmt;
+
+/// Everything that can go wrong, per the paper's operational experience.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// CUDA runtime error on a GPU (crash; Table I: 12.5%, 100% local).
+    CudaError,
+    /// GPU memory ECC error (crash; part of Table I's 27.5% ECC/NVLink).
+    EccError,
+    /// NVLink fault (crash; part of Table I's 27.5% ECC/NVLink).
+    NvlinkError,
+    /// Collective-library timeout — a peer stopped responding (crash;
+    /// Table I: 20%, 75% local).
+    NcclTimeout,
+    /// RDMA ACK timeout — transport-level loss of a peer (crash;
+    /// Table I: 27.5%, 81.8% local).
+    AckTimeout,
+    /// Other network errors (crash; Table I: 12.5%, 40% local).
+    NetworkError,
+    /// GPU running below nominal throughput (degradation: slow node).
+    SlowGpu,
+    /// PCIe link trained down (e.g. ×16→×4); degrades NIC-bound traffic.
+    PcieDowngrade,
+    /// One physical port of a dual-port NIC down (degradation).
+    NicHalfDown,
+    /// Host-software stall: Python GC, CPU contention (turbulence).
+    GcPause,
+    /// Storage slow/hang: dataloader starves the GPUs.
+    DataloaderStall,
+    /// Leaf↔spine fabric link failure (degradation at cluster level; the
+    /// Fig 12/13 experiments inject exactly this).
+    LinkFailure,
+}
+
+/// How the failure surfaces to the job owner before C4D (Table I's
+/// "Users' View" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UserView {
+    /// The opaque "NCCL Error" that most root causes collapse into.
+    NcclError,
+    /// Explicit network error reported by the framework.
+    NetworkError,
+    /// No error at all — throughput just drops (degradations).
+    Slowdown,
+}
+
+impl FaultKind {
+    /// True when the fault crashes the whole job (BSP: any worker failure
+    /// blocks every peer).
+    pub fn is_crash(self) -> bool {
+        matches!(
+            self,
+            FaultKind::CudaError
+                | FaultKind::EccError
+                | FaultKind::NvlinkError
+                | FaultKind::NcclTimeout
+                | FaultKind::AckTimeout
+                | FaultKind::NetworkError
+        )
+    }
+
+    /// How the fault presents to users before C4D (Table I).
+    pub fn user_view(self) -> UserView {
+        match self {
+            FaultKind::CudaError
+            | FaultKind::EccError
+            | FaultKind::NvlinkError
+            | FaultKind::NcclTimeout
+            | FaultKind::AckTimeout => UserView::NcclError,
+            FaultKind::NetworkError => UserView::NetworkError,
+            _ => UserView::Slowdown,
+        }
+    }
+
+    /// Probability the fault is confined to one node/device (Table I's
+    /// "Local" column). The remainder are systemic (fabric, storage,
+    /// software) and cannot be fixed by isolating one node.
+    pub fn locality_probability(self) -> f64 {
+        match self {
+            FaultKind::CudaError | FaultKind::EccError | FaultKind::NvlinkError => 1.0,
+            FaultKind::NcclTimeout => 0.75,
+            FaultKind::AckTimeout => 0.818,
+            FaultKind::NetworkError => 0.40,
+            FaultKind::SlowGpu
+            | FaultKind::PcieDowngrade
+            | FaultKind::NicHalfDown
+            | FaultKind::GcPause => 1.0,
+            FaultKind::DataloaderStall => 0.3,
+            FaultKind::LinkFailure => 0.0,
+        }
+    }
+
+    /// True for faults pinned to a single GPU (vs node-level or fabric).
+    pub fn is_gpu_scoped(self) -> bool {
+        matches!(
+            self,
+            FaultKind::CudaError
+                | FaultKind::EccError
+                | FaultKind::NvlinkError
+                | FaultKind::SlowGpu
+                | FaultKind::PcieDowngrade
+        )
+    }
+
+    /// The crash kinds in Table I order.
+    pub const CRASH_KINDS: [FaultKind; 6] = [
+        FaultKind::CudaError,
+        FaultKind::EccError,
+        FaultKind::NvlinkError,
+        FaultKind::NcclTimeout,
+        FaultKind::AckTimeout,
+        FaultKind::NetworkError,
+    ];
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::CudaError => "CUDA Error",
+            FaultKind::EccError => "ECC Error",
+            FaultKind::NvlinkError => "NVLink Error",
+            FaultKind::NcclTimeout => "NCCL timeout",
+            FaultKind::AckTimeout => "ACK timeout",
+            FaultKind::NetworkError => "Network error",
+            FaultKind::SlowGpu => "Slow GPU",
+            FaultKind::PcieDowngrade => "PCIe downgrade",
+            FaultKind::NicHalfDown => "NIC half-down",
+            FaultKind::GcPause => "GC pause",
+            FaultKind::DataloaderStall => "Dataloader stall",
+            FaultKind::LinkFailure => "Link failure",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for UserView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UserView::NcclError => "NCCL Error",
+            UserView::NetworkError => "Network Error",
+            UserView::Slowdown => "Slowdown",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_kinds_are_crashes() {
+        for k in FaultKind::CRASH_KINDS {
+            assert!(k.is_crash(), "{k} should crash");
+        }
+        assert!(!FaultKind::SlowGpu.is_crash());
+        assert!(!FaultKind::LinkFailure.is_crash());
+    }
+
+    #[test]
+    fn user_views_match_table_one() {
+        assert_eq!(FaultKind::CudaError.user_view(), UserView::NcclError);
+        assert_eq!(FaultKind::EccError.user_view(), UserView::NcclError);
+        assert_eq!(FaultKind::NcclTimeout.user_view(), UserView::NcclError);
+        assert_eq!(FaultKind::AckTimeout.user_view(), UserView::NcclError);
+        assert_eq!(FaultKind::NetworkError.user_view(), UserView::NetworkError);
+        assert_eq!(FaultKind::SlowGpu.user_view(), UserView::Slowdown);
+    }
+
+    #[test]
+    fn locality_matches_table_one() {
+        assert_eq!(FaultKind::CudaError.locality_probability(), 1.0);
+        assert_eq!(FaultKind::NcclTimeout.locality_probability(), 0.75);
+        assert!((FaultKind::AckTimeout.locality_probability() - 0.818).abs() < 1e-12);
+        assert_eq!(FaultKind::NetworkError.locality_probability(), 0.40);
+        assert_eq!(FaultKind::LinkFailure.locality_probability(), 0.0);
+    }
+
+    #[test]
+    fn gpu_scoping() {
+        assert!(FaultKind::EccError.is_gpu_scoped());
+        assert!(FaultKind::PcieDowngrade.is_gpu_scoped());
+        assert!(!FaultKind::AckTimeout.is_gpu_scoped());
+        assert!(!FaultKind::GcPause.is_gpu_scoped());
+    }
+}

@@ -1,0 +1,32 @@
+//! # c4-faults
+//!
+//! Fault catalog, injection schedules and degradation models for large AI
+//! clusters, reproducing the failure taxonomy of the paper's §II
+//! (Fig 1/Fig 2) and the empirical crash-cause mix of Table I.
+//!
+//! Two families of anomalies:
+//!
+//! * **Crashes** ([`FaultKind::is_crash`]) — CUDA errors, ECC/NVLink errors,
+//!   NCCL timeouts, ACK timeouts, other network errors. These kill the job;
+//!   from the user's view most surface as the same opaque "NCCL Error"
+//!   ([`UserView`]), which is why manual diagnosis took hours (§II-C).
+//! * **Degradations** — slow GPUs, PCIe downgrades, half-down dual-port
+//!   NICs, GC pauses, dataloader stalls, link failures. These don't crash
+//!   the job but produce the *slow* syndromes C4D localizes.
+//!
+//! [`FaultRates`] presets are calibrated to the paper: `june_2023()`
+//! reproduces ~40 crashes/month on a 4096-GPU job with Table I's cause mix;
+//! `december_2023()` scales rates down 3.33× (the fleet hardening the paper
+//! credits for the residual improvement).
+
+pub mod degrade;
+pub mod event;
+pub mod injector;
+pub mod kind;
+pub mod rates;
+
+pub use degrade::{ComputePerturbation, Degradation, DegradeTarget};
+pub use event::FaultEvent;
+pub use injector::FaultInjector;
+pub use kind::{FaultKind, UserView};
+pub use rates::FaultRates;

@@ -1,0 +1,509 @@
+//! The drain loop: advances virtual time until a set of flows completes.
+//!
+//! Between re-solve points the rate allocation is constant, so the loop only
+//! needs events at flow completions, epoch boundaries (when congestion noise
+//! is enabled) and the optional deadline. Flows whose route crosses a dead
+//! link receive rate 0 and are reported as *stalled* — exactly the syndrome
+//! C4D's hang detector consumes.
+
+use c4_simcore::{Bandwidth, DetRng, SimDuration, SimTime};
+use c4_topology::{LinkKind, Topology};
+
+use crate::congestion::CnpModel;
+use crate::flow::{FlowOutcome, FlowSpec};
+use crate::maxmin;
+
+/// Configuration of one drain run.
+#[derive(Debug, Clone)]
+pub struct DrainConfig {
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Absolute give-up time for stalled flows (`None` = stop as soon as all
+    /// movable flows finished; stalled flows are reported immediately).
+    pub deadline: Option<SimTime>,
+    /// Re-solve cadence when `rate_noise` or `cnp` is active.
+    pub epoch: SimDuration,
+    /// DCQCN-style multiplicative rate jitter applied to congested flows
+    /// (0 = off). A value of `a` throttles each congested flow by a uniform
+    /// factor in `[1−a, 1]`, re-drawn every epoch.
+    pub rate_noise: f64,
+    /// CNP accounting model (`None` = no CNP accounting).
+    pub cnp: Option<CnpModel>,
+}
+
+impl Default for DrainConfig {
+    fn default() -> Self {
+        DrainConfig {
+            start: SimTime::ZERO,
+            deadline: None,
+            epoch: SimDuration::from_millis(10),
+            rate_noise: 0.0,
+            cnp: None,
+        }
+    }
+}
+
+/// Everything a drain run produced.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Per-flow outcomes, in spec order.
+    pub outcomes: Vec<FlowOutcome>,
+    /// When the drain ended (last completion, or deadline).
+    pub end: SimTime,
+    /// Bytes carried per link (indexed by `LinkId`).
+    pub link_bytes: Vec<f64>,
+    /// Average CNPs/s received per sender port (indexed by `PortId`) over
+    /// the drain; all zeros when CNP accounting is off.
+    pub cnp_per_port: Vec<f64>,
+    /// Number of flows that crossed at least one saturated shared link.
+    pub congested_flows: usize,
+}
+
+impl DrainReport {
+    /// True when every flow completed.
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.completed())
+    }
+
+    /// Total drain duration from the configured start.
+    pub fn duration_from(&self, start: SimTime) -> SimDuration {
+        self.end - start
+    }
+
+    /// Indices of stalled flows.
+    pub fn stalled(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.completed())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Rates below this (bytes/s) count as stalled.
+const STALL_RATE: f64 = 1.0;
+
+/// Drains `specs` over the topology's current link state.
+///
+/// Returns per-flow outcomes in spec order plus per-link byte counters and
+/// CNP accounting. Deterministic for a given `rng` state.
+pub fn drain(
+    topo: &Topology,
+    specs: &[FlowSpec],
+    cfg: &DrainConfig,
+    rng: &mut DetRng,
+) -> DrainReport {
+    let nf = specs.len();
+    let nl = topo.num_links();
+    let capacity: Vec<f64> = (0..nl)
+        .map(|l| {
+            topo.link(c4_topology::LinkId::from_index(l))
+                .capacity()
+                .as_bytes_per_sec()
+        })
+        .collect();
+    let routes: Vec<Vec<u32>> = specs
+        .iter()
+        .map(|s| s.route.iter().map(|l| l.index() as u32).collect())
+        .collect();
+
+    // Sender port of each flow (first HostUp link on the route), for CNP
+    // attribution.
+    let src_port_of: Vec<Option<usize>> = specs
+        .iter()
+        .map(|s| {
+            s.route.iter().find_map(|&l| match topo.link(l).kind() {
+                LinkKind::HostUp(p) => Some(p.index()),
+                _ => None,
+            })
+        })
+        .collect();
+
+    let mut remaining: Vec<f64> = specs.iter().map(|s| s.bytes.as_bytes() as f64).collect();
+    let mut finish: Vec<Option<SimTime>> = vec![None; nf];
+    let mut min_rate = vec![f64::INFINITY; nf];
+    let mut max_rate = vec![0.0_f64; nf];
+    let mut link_bytes = vec![0.0_f64; nl];
+    let mut cnp_accum = vec![0.0_f64; topo.ports().len()];
+    let mut congested_flags = vec![false; nf];
+
+    // Flows with zero bytes complete instantly.
+    for f in 0..nf {
+        if remaining[f] <= 0.0 {
+            finish[f] = Some(cfg.start);
+            min_rate[f] = 0.0;
+        }
+    }
+
+    let noisy = cfg.rate_noise > 0.0 || cfg.cnp.is_some();
+    let mut now = cfg.start;
+    let mut active: Vec<usize> = (0..nf).filter(|&f| finish[f].is_none()).collect();
+
+    while !active.is_empty() {
+        if let Some(deadline) = cfg.deadline {
+            if now >= deadline {
+                break;
+            }
+        }
+
+        // Base max-min allocation over the active flows.
+        let act_routes: Vec<Vec<u32>> = active.iter().map(|&f| routes[f].clone()).collect();
+        let mut rates = maxmin::solve(&capacity, &act_routes, None);
+
+        // Identify sharing pressure for noise/CNP.
+        let mut link_load = vec![0.0_f64; nl];
+        let mut link_flows = vec![0u32; nl];
+        for (i, r) in act_routes.iter().enumerate() {
+            let mut ls = r.clone();
+            ls.sort_unstable();
+            ls.dedup();
+            for &l in &ls {
+                link_load[l as usize] += rates[i];
+                link_flows[l as usize] += 1;
+            }
+        }
+        let cnp_model = cfg.cnp.unwrap_or_default();
+        let scores: Vec<f64> = act_routes
+            .iter()
+            .map(|r| cnp_model.flow_score(r, &link_load, &capacity, &link_flows))
+            .collect();
+
+        if cfg.rate_noise > 0.0 {
+            let caps: Vec<f64> = rates
+                .iter()
+                .zip(&scores)
+                .map(|(&r, &s)| {
+                    if s > 0.0 {
+                        r * (1.0 - cfg.rate_noise * rng.uniform())
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect();
+            rates = maxmin::solve(&capacity, &act_routes, Some(&caps));
+        }
+
+        for (i, &f) in active.iter().enumerate() {
+            if scores[i] > 0.0 {
+                congested_flags[f] = true;
+            }
+        }
+
+        // Time to next event: earliest completion, epoch boundary, deadline.
+        let mut dt = f64::INFINITY;
+        for (i, &f) in active.iter().enumerate() {
+            if rates[i] > STALL_RATE {
+                dt = dt.min(remaining[f] / rates[i]);
+            }
+        }
+        let any_moving = dt.is_finite();
+        if noisy {
+            dt = dt.min(cfg.epoch.as_secs_f64());
+        }
+        if let Some(deadline) = cfg.deadline {
+            dt = dt.min((deadline - now).as_secs_f64());
+        }
+        if !any_moving && (!noisy || cfg.deadline.is_none()) {
+            // Nothing can make progress and no deadline to wait out: the
+            // remaining flows are permanently stalled.
+            break;
+        }
+        if !dt.is_finite() || dt <= 0.0 {
+            break;
+        }
+
+        // Advance.
+        let step = SimDuration::from_secs_f64(dt);
+        if let Some(cnp) = cfg.cnp {
+            for (i, &f) in active.iter().enumerate() {
+                if let Some(port) = src_port_of[f] {
+                    cnp_accum[port] += cnp.cnp_rate(scores[i], rng.uniform()) * dt;
+                }
+            }
+        }
+        for (i, &f) in active.iter().enumerate() {
+            let moved = rates[i] * dt;
+            remaining[f] = (remaining[f] - moved).max(0.0);
+            if rates[i] > STALL_RATE {
+                min_rate[f] = min_rate[f].min(rates[i]);
+                max_rate[f] = max_rate[f].max(rates[i]);
+            }
+            let mut ls = routes[f].clone();
+            ls.sort_unstable();
+            ls.dedup();
+            for l in ls {
+                link_bytes[l as usize] += moved;
+            }
+        }
+        now += step;
+        // Completion tolerance: one byte.
+        for &f in &active {
+            if remaining[f] <= 1.0 && finish[f].is_none() {
+                finish[f] = Some(now);
+            }
+        }
+        active.retain(|&f| finish[f].is_none());
+    }
+
+    let end = finish
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .unwrap_or(now)
+        .max(now.min(cfg.deadline.unwrap_or(now)));
+
+    let span = (end - cfg.start).as_secs_f64().max(1e-12);
+    let cnp_per_port: Vec<f64> = cnp_accum.iter().map(|c| c / span).collect();
+
+    let outcomes = specs
+        .iter()
+        .enumerate()
+        .map(|(f, s)| {
+            let mean = match finish[f] {
+                Some(t) => {
+                    let secs = (t - cfg.start).as_secs_f64();
+                    if secs > 0.0 {
+                        Bandwidth::from_bps(s.bytes.as_bytes() as f64 * 8.0 / secs)
+                    } else {
+                        Bandwidth::ZERO
+                    }
+                }
+                None => Bandwidth::ZERO,
+            };
+            FlowOutcome {
+                key: s.key,
+                bytes: s.bytes,
+                start: cfg.start,
+                finish: finish[f],
+                mean_rate: mean,
+                min_rate: if min_rate[f].is_finite() {
+                    Bandwidth::from_bps(min_rate[f] * 8.0)
+                } else {
+                    Bandwidth::ZERO
+                },
+                max_rate: Bandwidth::from_bps(max_rate[f] * 8.0),
+            }
+        })
+        .collect();
+
+    DrainReport {
+        outcomes,
+        end,
+        link_bytes,
+        cnp_per_port,
+        congested_flows: congested_flags.iter().filter(|c| **c).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKey;
+    use c4_simcore::ByteSize;
+    use c4_topology::{ClosConfig, NodeId, PortSide};
+
+    fn topo() -> Topology {
+        Topology::build(&ClosConfig::testbed_128())
+    }
+
+    fn key(src: usize, dst: usize, qp: u16) -> FlowKey {
+        FlowKey {
+            src_gpu: c4_topology::GpuId::from_index(src),
+            dst_gpu: c4_topology::GpuId::from_index(dst),
+            comm: 1,
+            channel: 0,
+            qp,
+            incarnation: 0,
+        }
+    }
+
+    /// Route gpu0@node0 → gpu0@node1, both left ports (same leaf).
+    fn simple_route(t: &Topology) -> Vec<c4_topology::LinkId> {
+        let a = t.gpu_at(NodeId::from_index(0), 0);
+        let b = t.gpu_at(NodeId::from_index(1), 0);
+        let pa = t.port_of_gpu(a, PortSide::Left);
+        let pb = t.port_of_gpu(b, PortSide::Left);
+        t.inter_node_route(a, pa, None, pb, b)
+    }
+
+    #[test]
+    fn single_flow_gets_port_bandwidth() {
+        let t = topo();
+        let spec = FlowSpec::new(key(0, 8, 0), ByteSize::from_gib(1), simple_route(&t));
+        let mut rng = DetRng::seed_from(1);
+        let report = drain(&t, &[spec], &DrainConfig::default(), &mut rng);
+        assert!(report.all_completed());
+        let o = &report.outcomes[0];
+        // Bottleneck is the 200 Gbps port.
+        assert!((o.mean_rate.as_gbps() - 200.0).abs() < 1.0, "{}", o.mean_rate);
+    }
+
+    #[test]
+    fn two_flows_share_receive_port() {
+        let t = topo();
+        // Two flows into the same destination port → 100 Gbps each.
+        let a = t.gpu_at(NodeId::from_index(0), 0);
+        let b = t.gpu_at(NodeId::from_index(2), 0);
+        let dst = t.gpu_at(NodeId::from_index(1), 0);
+        let pd = t.port_of_gpu(dst, PortSide::Left);
+        let ra = t.inter_node_route(a, t.port_of_gpu(a, PortSide::Left), None, pd, dst);
+        let rb = t.inter_node_route(b, t.port_of_gpu(b, PortSide::Left), None, pd, dst);
+        let specs = vec![
+            FlowSpec::new(key(0, 8, 0), ByteSize::from_gib(1), ra),
+            FlowSpec::new(key(16, 8, 1), ByteSize::from_gib(1), rb),
+        ];
+        let mut rng = DetRng::seed_from(2);
+        let report = drain(&t, &specs, &DrainConfig::default(), &mut rng);
+        assert!(report.all_completed());
+        for o in &report.outcomes {
+            assert!((o.mean_rate.as_gbps() - 100.0).abs() < 1.0, "{}", o.mean_rate);
+        }
+    }
+
+    #[test]
+    fn down_link_stalls_flow() {
+        let mut t = topo();
+        let route = simple_route(&t);
+        // Kill the host uplink on the route.
+        let up = route[1];
+        t.link_mut(up).set_up(false);
+        let spec = FlowSpec::new(key(0, 8, 0), ByteSize::from_mib(64), route);
+        let mut rng = DetRng::seed_from(3);
+        let cfg = DrainConfig {
+            deadline: Some(SimTime::from_secs(5)),
+            ..DrainConfig::default()
+        };
+        let report = drain(&t, &[spec], &cfg, &mut rng);
+        assert!(!report.all_completed());
+        assert_eq!(report.stalled(), vec![0]);
+        assert_eq!(report.outcomes[0].mean_rate, Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn stalled_without_deadline_returns_immediately() {
+        let mut t = topo();
+        let route = simple_route(&t);
+        t.link_mut(route[1]).set_up(false);
+        let spec = FlowSpec::new(key(0, 8, 0), ByteSize::from_mib(64), route);
+        let mut rng = DetRng::seed_from(4);
+        let report = drain(&t, &[spec], &DrainConfig::default(), &mut rng);
+        assert!(!report.all_completed());
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_instantly() {
+        let t = topo();
+        let spec = FlowSpec::new(key(0, 8, 0), ByteSize::ZERO, simple_route(&t));
+        let mut rng = DetRng::seed_from(5);
+        let report = drain(&t, &[spec], &DrainConfig::default(), &mut rng);
+        assert!(report.all_completed());
+        assert_eq!(report.outcomes[0].finish, Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn link_bytes_account_for_traffic() {
+        let t = topo();
+        let route = simple_route(&t);
+        let bytes = ByteSize::from_mib(256);
+        let spec = FlowSpec::new(key(0, 8, 0), bytes, route.clone());
+        let mut rng = DetRng::seed_from(6);
+        let report = drain(&t, &[spec], &DrainConfig::default(), &mut rng);
+        for l in route {
+            let carried = report.link_bytes[l.index()];
+            assert!(
+                (carried - bytes.as_bytes() as f64).abs() < 2.0,
+                "link {l} carried {carried}"
+            );
+        }
+    }
+
+    #[test]
+    fn cnp_emitted_only_under_shared_saturation() {
+        let t = topo();
+        // Single flow: saturated but unshared → no CNPs.
+        let spec = FlowSpec::new(key(0, 8, 0), ByteSize::from_gib(1), simple_route(&t));
+        let mut rng = DetRng::seed_from(7);
+        let cfg = DrainConfig {
+            cnp: Some(CnpModel::paper_default()),
+            rate_noise: 0.1,
+            ..DrainConfig::default()
+        };
+        let report = drain(&t, &[spec], &cfg, &mut rng);
+        assert!(report.cnp_per_port.iter().all(|&c| c == 0.0));
+        assert_eq!(report.congested_flows, 0);
+
+        // Two flows sharing an rx port → CNPs on both sender ports.
+        let a = t.gpu_at(NodeId::from_index(0), 0);
+        let b = t.gpu_at(NodeId::from_index(2), 0);
+        let dst = t.gpu_at(NodeId::from_index(1), 0);
+        let pd = t.port_of_gpu(dst, PortSide::Left);
+        let ra = t.inter_node_route(a, t.port_of_gpu(a, PortSide::Left), None, pd, dst);
+        let rb = t.inter_node_route(b, t.port_of_gpu(b, PortSide::Left), None, pd, dst);
+        let specs = vec![
+            FlowSpec::new(key(0, 8, 0), ByteSize::from_gib(1), ra),
+            FlowSpec::new(key(16, 8, 1), ByteSize::from_gib(1), rb),
+        ];
+        let mut rng = DetRng::seed_from(8);
+        let report = drain(&t, &specs, &cfg, &mut rng);
+        assert_eq!(report.congested_flows, 2);
+        let nonzero: Vec<f64> = report
+            .cnp_per_port
+            .iter()
+            .copied()
+            .filter(|&c| c > 0.0)
+            .collect();
+        assert_eq!(nonzero.len(), 2);
+        for c in nonzero {
+            assert!((10_000.0..=20_000.0).contains(&c), "cnp rate {c}");
+        }
+    }
+
+    #[test]
+    fn noise_reduces_rates_slightly() {
+        let t = topo();
+        let a = t.gpu_at(NodeId::from_index(0), 0);
+        let b = t.gpu_at(NodeId::from_index(2), 0);
+        let dst = t.gpu_at(NodeId::from_index(1), 0);
+        let pd = t.port_of_gpu(dst, PortSide::Left);
+        let ra = t.inter_node_route(a, t.port_of_gpu(a, PortSide::Left), None, pd, dst);
+        let rb = t.inter_node_route(b, t.port_of_gpu(b, PortSide::Left), None, pd, dst);
+        let specs = vec![
+            FlowSpec::new(key(0, 8, 0), ByteSize::from_gib(1), ra),
+            FlowSpec::new(key(16, 8, 1), ByteSize::from_gib(1), rb),
+        ];
+        let mut rng = DetRng::seed_from(9);
+        let cfg = DrainConfig {
+            rate_noise: 0.2,
+            ..DrainConfig::default()
+        };
+        let report = drain(&t, &specs, &cfg, &mut rng);
+        assert!(report.all_completed());
+        for o in &report.outcomes {
+            let g = o.mean_rate.as_gbps();
+            assert!((80.0..100.0).contains(&g), "noisy rate {g}");
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let t = topo();
+        let specs = vec![FlowSpec::new(
+            key(0, 8, 0),
+            ByteSize::from_gib(1),
+            simple_route(&t),
+        )];
+        let cfg = DrainConfig {
+            rate_noise: 0.15,
+            cnp: Some(CnpModel::paper_default()),
+            ..DrainConfig::default()
+        };
+        let mut r1 = DetRng::seed_from(77);
+        let mut r2 = DetRng::seed_from(77);
+        let a = drain(&t, &specs, &cfg, &mut r1);
+        let b = drain(&t, &specs, &cfg, &mut r2);
+        assert_eq!(a.outcomes[0].finish, b.outcomes[0].finish);
+        assert_eq!(a.cnp_per_port, b.cnp_per_port);
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic mixing for ECMP-style hashing.
+//!
+//! Real switches hash the five-tuple of a flow to pick among equal-cost
+//! paths; the source UDP port of an RoCE QP is the knob C4P turns to steer a
+//! flow. The simulator reproduces the *determinism* of that mapping (same key
+//! → same path) with a splitmix64 finalizer.
+
+/// splitmix64 finalizer: a fast, well-distributed 64-bit mix.
+///
+/// # Example
+///
+/// ```
+/// use c4_netsim::mix64;
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(7), mix64(7));
+/// ```
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combines two words into one mixed word (order-sensitive).
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix64(a ^ mix64(b).rotate_left(17))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic() {
+        assert_eq!(mix64(12345), mix64(12345));
+        assert_eq!(mix2(1, 2), mix2(1, 2));
+    }
+
+    #[test]
+    fn mix_is_order_sensitive() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+    }
+
+    #[test]
+    fn mix_spreads_low_entropy_inputs() {
+        // Consecutive keys should land in different mod-8 buckets reasonably
+        // often (no catastrophic clustering).
+        let mut buckets = [0u32; 8];
+        for i in 0..800u64 {
+            buckets[(mix64(i) % 8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((60..=140).contains(&b), "bucket count {b} out of range");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # c4-netsim
+//!
+//! Flow-level (fluid) network simulator for the C4 reproduction.
+//!
+//! The paper's communication phenomena — traffic collision on leaf→spine
+//! uplinks, dual-port receive imbalance, down-link rerouting, DCQCN/CNP rate
+//! fluctuation — are all *bandwidth-sharing* effects over long-lived elephant
+//! flows (§II-D: "parallel training tasks involve a small number of data
+//! flows but transmit large volumes of data"). A fluid model therefore
+//! captures them faithfully:
+//!
+//! * every flow has a byte demand and a route (a list of directed
+//!   [`c4_topology::LinkId`]s);
+//! * link bandwidth is shared **max-min fairly** ([`maxmin::solve`]);
+//! * a drain loop ([`drain()`](drain::drain)) advances virtual time between flow
+//!   completions, optionally re-solving each epoch with DCQCN-style rate
+//!   noise on congested flows and accounting CNPs per sender port
+//!   ([`congestion`]).
+//!
+//! Path selection is abstracted behind [`PathSelector`] so the ECMP baseline
+//! ([`EcmpSelector`]) and C4P's engineered selector (crate `c4-traffic`) plug
+//! into the same collective layer.
+
+pub mod congestion;
+pub mod drain;
+pub mod flow;
+pub mod hash;
+pub mod maxmin;
+pub mod selector;
+
+pub use congestion::CnpModel;
+pub use drain::{drain, DrainConfig, DrainReport};
+pub use flow::{FlowKey, FlowOutcome, FlowSpec};
+pub use hash::mix64;
+pub use selector::{EcmpSelector, PathChoice, PathSelector, RailLocalSelector};

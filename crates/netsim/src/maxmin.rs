@@ -1,0 +1,264 @@
+//! Max-min fair bandwidth allocation by progressive filling.
+//!
+//! Given link capacities and flow routes, raise every unfrozen flow's rate
+//! uniformly; when a link saturates, freeze the flows crossing it; repeat.
+//! Optional per-flow caps model DCQCN rate limiting. This is the textbook
+//! water-filling algorithm; routes are short (≤ 6 links), so the dense
+//! implementation below is ample for the experiment sizes (≤ a few thousand
+//! concurrent flows).
+
+/// Per-flow rate caps; `f64::INFINITY` means uncapped.
+pub type RateCaps = Vec<f64>;
+
+/// Computes the max-min fair rate for each flow.
+///
+/// * `capacity[l]` — capacity of link `l` (any units; rates come back in the
+///   same units). Zero-capacity links pin their flows to rate 0.
+/// * `routes[f]` — the link indices flow `f` traverses (duplicates are
+///   counted once).
+/// * `caps` — optional per-flow rate caps.
+///
+/// Returns one rate per flow, in `routes` order.
+///
+/// # Panics
+///
+/// Panics if a route references a link index out of range, or if `caps` is
+/// provided with a length different from `routes`.
+pub fn solve(capacity: &[f64], routes: &[Vec<u32>], caps: Option<&RateCaps>) -> Vec<f64> {
+    let nf = routes.len();
+    if let Some(c) = caps {
+        assert_eq!(c.len(), nf, "caps length must match flow count");
+    }
+    let mut rate = vec![0.0_f64; nf];
+    if nf == 0 {
+        return rate;
+    }
+
+    // Compact the link table to links actually referenced by some route —
+    // topologies have thousands of links but a drain touches only hundreds,
+    // and the filling loop below scans the whole table every round.
+    let mut dense_of = vec![u32::MAX; capacity.len()];
+    let mut dense_capacity: Vec<f64> = Vec::new();
+    // Deduplicate link ids within each route (a flow crossing a link twice
+    // still consumes its share once per direction; routes are directed so
+    // duplicates only arise from degenerate inputs).
+    let mut flow_links: Vec<Vec<u32>> = Vec::with_capacity(nf);
+    for r in routes {
+        let mut ls = r.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        for l in &mut ls {
+            assert!(
+                (*l as usize) < capacity.len(),
+                "route references link {l} beyond capacity table"
+            );
+            if dense_of[*l as usize] == u32::MAX {
+                dense_of[*l as usize] = dense_capacity.len() as u32;
+                dense_capacity.push(capacity[*l as usize]);
+            }
+            *l = dense_of[*l as usize];
+        }
+        flow_links.push(ls);
+    }
+    let capacity: &[f64] = &dense_capacity;
+
+    let nl = capacity.len();
+    let mut remaining: Vec<f64> = capacity.iter().map(|c| c.max(0.0)).collect();
+    let mut active_count = vec![0u32; nl];
+    let mut active = vec![true; nf];
+    // Flows with an empty route are unconstrained: give them their cap (or
+    // infinity, represented as f64::MAX / 4 to avoid arithmetic overflow).
+    const UNBOUNDED: f64 = f64::MAX / 4.0;
+
+    for (f, ls) in flow_links.iter().enumerate() {
+        if ls.is_empty() {
+            rate[f] = caps.map_or(UNBOUNDED, |c| {
+                if c[f].is_finite() {
+                    c[f].max(0.0)
+                } else {
+                    UNBOUNDED
+                }
+            });
+            active[f] = false;
+            continue;
+        }
+        for &l in ls {
+            active_count[l as usize] += 1;
+        }
+    }
+
+    let mut n_active = active.iter().filter(|a| **a).count();
+    let eps = 1e-9;
+
+    while n_active > 0 {
+        // Uniform increment limited by the tightest link or flow cap.
+        let mut delta = f64::INFINITY;
+        for l in 0..nl {
+            if active_count[l] > 0 {
+                delta = delta.min(remaining[l] / active_count[l] as f64);
+            }
+        }
+        if let Some(c) = caps {
+            for f in 0..nf {
+                if active[f] && c[f].is_finite() {
+                    delta = delta.min((c[f] - rate[f]).max(0.0));
+                }
+            }
+        }
+        if !delta.is_finite() {
+            // No constraining link and no cap: shouldn't happen for routed
+            // flows, but guard against livelock.
+            delta = 0.0;
+        }
+
+        if delta > 0.0 {
+            for f in 0..nf {
+                if active[f] {
+                    rate[f] += delta;
+                }
+            }
+            for l in 0..nl {
+                if active_count[l] > 0 {
+                    remaining[l] -= delta * active_count[l] as f64;
+                }
+            }
+        }
+
+        // Freeze flows on saturated links and flows at their cap.
+        let mut froze_any = false;
+        for f in 0..nf {
+            if !active[f] {
+                continue;
+            }
+            let capped = caps.is_some_and(|c| c[f].is_finite() && rate[f] + eps >= c[f]);
+            let saturated = flow_links[f]
+                .iter()
+                .any(|&l| remaining[l as usize] <= eps * capacity[l as usize].max(1.0));
+            if capped || saturated {
+                active[f] = false;
+                froze_any = true;
+                n_active -= 1;
+                for &l in &flow_links[f] {
+                    active_count[l as usize] -= 1;
+                }
+            }
+        }
+        if !froze_any {
+            // Numerical stalemate: freeze the slowest-growing flow to ensure
+            // termination (practically unreachable, but cheap insurance).
+            if let Some(f) = (0..nf).find(|f| active[*f]) {
+                active[f] = false;
+                n_active -= 1;
+                for &l in &flow_links[f] {
+                    active_count[l as usize] -= 1;
+                }
+            }
+        }
+    }
+
+    rate
+}
+
+/// The per-link leftover capacity after the given allocation.
+pub fn residual(capacity: &[f64], routes: &[Vec<u32>], rates: &[f64]) -> Vec<f64> {
+    let mut res: Vec<f64> = capacity.to_vec();
+    for (r, &rate) in routes.iter().zip(rates) {
+        let mut ls = r.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        for l in ls {
+            res[l as usize] -= rate;
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_link_fair_share() {
+        let rates = solve(&[100.0], &[vec![0], vec![0], vec![0], vec![0]], None);
+        assert!(rates.iter().all(|&r| close(r, 25.0)));
+    }
+
+    #[test]
+    fn classic_three_link_example() {
+        // Flow A crosses links 0,1; flow B crosses 1; flow C crosses 0.
+        // cap0=10, cap1=4 → B and A share link1 at 2 each; C gets 10-2=8.
+        let rates = solve(&[10.0, 4.0], &[vec![0, 1], vec![1], vec![0]], None);
+        assert!(close(rates[0], 2.0), "A={}", rates[0]);
+        assert!(close(rates[1], 2.0), "B={}", rates[1]);
+        assert!(close(rates[2], 8.0), "C={}", rates[2]);
+    }
+
+    #[test]
+    fn zero_capacity_link_pins_flow() {
+        let rates = solve(&[0.0, 100.0], &[vec![0, 1], vec![1]], None);
+        assert!(close(rates[0], 0.0));
+        assert!(close(rates[1], 100.0));
+    }
+
+    #[test]
+    fn caps_are_respected_and_redistributed() {
+        let caps = vec![3.0, f64::INFINITY];
+        let rates = solve(&[10.0], &[vec![0], vec![0]], Some(&caps));
+        assert!(close(rates[0], 3.0));
+        assert!(close(rates[1], 7.0), "uncapped flow got {}", rates[1]);
+    }
+
+    #[test]
+    fn empty_route_gets_cap_or_unbounded() {
+        let caps = vec![5.0];
+        let rates = solve(&[10.0], &[vec![]], Some(&caps));
+        assert!(close(rates[0], 5.0));
+        let rates = solve(&[10.0], &[vec![]], None);
+        assert!(rates[0] > 1e30);
+    }
+
+    #[test]
+    fn duplicate_links_counted_once() {
+        let rates = solve(&[10.0], &[vec![0, 0]], None);
+        assert!(close(rates[0], 10.0));
+    }
+
+    #[test]
+    fn allocation_never_exceeds_capacity() {
+        // Random-ish mesh checked for feasibility.
+        let caps_links = [7.0, 3.0, 9.0, 2.0];
+        let routes = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 2],
+            vec![2, 3],
+            vec![3],
+            vec![0],
+        ];
+        let rates = solve(&caps_links, &routes, None);
+        let res = residual(&caps_links, &routes, &rates);
+        for (l, r) in res.iter().enumerate() {
+            assert!(*r >= -1e-6, "link {l} oversubscribed by {r}");
+        }
+        // Max-min property: every flow is bottlenecked somewhere.
+        for (f, route) in routes.iter().enumerate() {
+            let bottlenecked = route.iter().any(|&l| res[l as usize] <= 1e-6);
+            assert!(bottlenecked, "flow {f} has slack on every link");
+        }
+    }
+
+    #[test]
+    fn no_flows_returns_empty() {
+        assert!(solve(&[1.0], &[], None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity table")]
+    fn out_of_range_link_panics() {
+        let _ = solve(&[1.0], &[vec![3]], None);
+    }
+}

@@ -1,0 +1,253 @@
+//! Path selection: how a QP's source port — and therefore its whole network
+//! path — gets chosen.
+//!
+//! On the paper's hardware, a QP's path is fixed by its source UDP port via
+//! ECMP hashing. The baseline lets the NIC bond and the switches hash
+//! ([`EcmpSelector`]); C4P (crate `c4-traffic`) replaces this with engineered
+//! allocation. Both implement [`PathSelector`], which is what the collective
+//! layer calls when establishing connections.
+
+use std::collections::HashMap;
+
+use c4_topology::{FabricPath, PortSide, SwitchId, Topology};
+
+use crate::flow::FlowKey;
+
+/// A concrete path decision for one QP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathChoice {
+    /// Physical port used on the sending NIC.
+    pub src_side: PortSide,
+    /// Physical port used on the receiving NIC.
+    pub dst_side: PortSide,
+    /// Spine crossing, `None` when source and destination leaves coincide.
+    pub fabric: Option<FabricPath>,
+}
+
+/// Chooses the path for each QP at connection-establishment time.
+pub trait PathSelector {
+    /// Decides the path for the QP identified by `key`.
+    fn select(&mut self, topo: &Topology, key: &FlowKey) -> PathChoice;
+
+    /// Human-readable selector name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Notifies the selector that previously allocated paths should be
+    /// forgotten (job restart). Default: no-op.
+    fn reset(&mut self) {}
+}
+
+/// Resolves the (src_leaf, dst_leaf) pair for a key under chosen sides.
+pub fn leaves_for(
+    topo: &Topology,
+    key: &FlowKey,
+    src_side: PortSide,
+    dst_side: PortSide,
+) -> (SwitchId, SwitchId) {
+    let sp = topo.port_of_gpu(key.src_gpu, src_side);
+    let dp = topo.port_of_gpu(key.dst_gpu, dst_side);
+    (topo.port(sp).leaf, topo.port(dp).leaf)
+}
+
+/// The production baseline: the NIC bond transmits QPs round-robin over its
+/// two physical ports ("two flows dispatched from two distinct physical
+/// ports", §IV-B2), but the *receive* port and the spine path are fixed by
+/// uncoordinated hashing — so two flows may land on the same receiving port
+/// (Fig 9's imbalance) and on the same fabric link (Fig 10's collisions).
+#[derive(Debug, Clone)]
+pub struct EcmpSelector {
+    salt: u64,
+}
+
+impl EcmpSelector {
+    /// Creates a selector with the given hash seed (models the switch hash
+    /// configuration; different seeds give different—but equally
+    /// uncoordinated—placements).
+    pub fn new(salt: u64) -> Self {
+        EcmpSelector { salt }
+    }
+}
+
+impl PathSelector for EcmpSelector {
+    fn select(&mut self, topo: &Topology, key: &FlowKey) -> PathChoice {
+        let digest = key.digest(self.salt);
+        // Bond TX is deterministic (round-robin per QP); RX is hashed.
+        let src_side = PortSide::from_index(key.qp as usize);
+        let dst_side = PortSide::from_index(((digest >> 1) & 1) as usize);
+        let (src_leaf, dst_leaf) = leaves_for(topo, key, src_side, dst_side);
+        let fabric = if src_leaf == dst_leaf {
+            None
+        } else {
+            // Routing removes down links from the ECMP group, so hash over
+            // live paths only; fall back to any path if all are down.
+            let all = topo.fabric_paths(src_leaf, dst_leaf);
+            let live: Vec<FabricPath> = all
+                .iter()
+                .copied()
+                .filter(|p| topo.link(p.up).is_up() && topo.link(p.down).is_up())
+                .collect();
+            let pool = if live.is_empty() { &all } else { &live };
+            if pool.is_empty() {
+                None
+            } else {
+                Some(pool[(digest >> 2) as usize % pool.len()])
+            }
+        };
+        PathChoice {
+            src_side,
+            dst_side,
+            fabric,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ecmp-baseline"
+    }
+}
+
+/// A simple engineered selector used by tests and as a lower bound for C4P:
+/// QP *q* uses side *q mod 2* on **both** ends (keeping bonded-port load
+/// balanced) and round-robins cross-leaf traffic over live spine paths.
+#[derive(Debug, Clone, Default)]
+pub struct RailLocalSelector {
+    rr: HashMap<(SwitchId, SwitchId), usize>,
+}
+
+impl RailLocalSelector {
+    /// Creates the selector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PathSelector for RailLocalSelector {
+    fn select(&mut self, topo: &Topology, key: &FlowKey) -> PathChoice {
+        let side = PortSide::from_index(key.qp as usize);
+        let (src_leaf, dst_leaf) = leaves_for(topo, key, side, side);
+        let fabric = if src_leaf == dst_leaf {
+            None
+        } else {
+            let live: Vec<FabricPath> = topo
+                .fabric_paths(src_leaf, dst_leaf)
+                .into_iter()
+                .filter(|p| topo.link(p.up).is_up() && topo.link(p.down).is_up())
+                .collect();
+            if live.is_empty() {
+                None
+            } else {
+                let counter = self.rr.entry((src_leaf, dst_leaf)).or_insert(0);
+                let choice = live[*counter % live.len()];
+                *counter += 1;
+                Some(choice)
+            }
+        };
+        PathChoice {
+            src_side: side,
+            dst_side: side,
+            fabric,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rail-local"
+    }
+
+    fn reset(&mut self) {
+        self.rr.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4_topology::{ClosConfig, NodeId};
+
+    fn key(t: &Topology, src_node: usize, dst_node: usize, rail: usize, qp: u16) -> FlowKey {
+        FlowKey {
+            src_gpu: t.gpu_at(NodeId::from_index(src_node), rail),
+            dst_gpu: t.gpu_at(NodeId::from_index(dst_node), rail),
+            comm: 7,
+            channel: rail as u16,
+            qp,
+            incarnation: 0,
+        }
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_key() {
+        let t = Topology::build(&ClosConfig::testbed_128());
+        let mut sel = EcmpSelector::new(42);
+        let k = key(&t, 0, 1, 0, 0);
+        let a = sel.select(&t, &k);
+        let b = sel.select(&t, &k);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ecmp_rehashes_on_incarnation_bump() {
+        let t = Topology::build(&ClosConfig::testbed_128());
+        let mut sel = EcmpSelector::new(42);
+        let mut k = key(&t, 0, 1, 0, 0);
+        let choices: Vec<PathChoice> = (0..16)
+            .map(|inc| {
+                k.incarnation = inc;
+                sel.select(&t, &k)
+            })
+            .collect();
+        // Over 16 rehashes at least two distinct placements must appear.
+        let first = choices[0];
+        assert!(choices.iter().any(|c| *c != first));
+    }
+
+    #[test]
+    fn ecmp_avoids_down_paths() {
+        let mut t = Topology::build(&ClosConfig::testbed_128_grouped(2));
+        let k = key(&t, 0, 8, 0, 0);
+        let mut sel = EcmpSelector::new(1);
+        // Bring down all fabric paths except those via spine 0.
+        for s in 1..t.num_spines() {
+            let spine = t.spines()[s];
+            t.set_spine_up(spine, false);
+        }
+        let c = sel.select(&t, &k);
+        let p = c.fabric.expect("cross-group flow needs fabric");
+        assert_eq!(p.spine, t.spines()[0]);
+    }
+
+    #[test]
+    fn rail_local_balances_sides_and_paths() {
+        let t = Topology::build(&ClosConfig::testbed_128_grouped(2));
+        let mut sel = RailLocalSelector::new();
+        let c0 = sel.select(&t, &key(&t, 0, 8, 0, 0));
+        let c1 = sel.select(&t, &key(&t, 0, 8, 0, 1));
+        assert_eq!(c0.src_side, PortSide::Left);
+        assert_eq!(c0.dst_side, PortSide::Left);
+        assert_eq!(c1.src_side, PortSide::Right);
+        assert_eq!(c1.dst_side, PortSide::Right);
+        // Round-robin avoids reusing the same path for the next same-leaf QP.
+        let c2 = sel.select(&t, &key(&t, 1, 9, 0, 0));
+        assert_ne!(
+            c0.fabric.unwrap().up,
+            c2.fabric.unwrap().up,
+            "round-robin should advance"
+        );
+    }
+
+    #[test]
+    fn rail_local_same_leaf_is_local() {
+        let t = Topology::build(&ClosConfig::testbed_128());
+        let mut sel = RailLocalSelector::new();
+        let c = sel.select(&t, &key(&t, 0, 1, 0, 0));
+        assert!(c.fabric.is_none(), "rail-aligned wiring keeps flow local");
+    }
+
+    #[test]
+    fn reset_clears_round_robin() {
+        let t = Topology::build(&ClosConfig::testbed_128_grouped(2));
+        let mut sel = RailLocalSelector::new();
+        let a = sel.select(&t, &key(&t, 0, 8, 0, 0));
+        sel.reset();
+        let b = sel.select(&t, &key(&t, 0, 8, 0, 0));
+        assert_eq!(a, b, "after reset the sequence restarts");
+    }
+}

@@ -1,0 +1,221 @@
+//! A minimal discrete-event execution loop: an [`Engine`] owns the clock and
+//! the pending-event queue and repeatedly dispatches to a [`Process`].
+//!
+//! Higher layers (the network simulator, the training-job simulator) define
+//! their own event enums and implement [`Process`]; the engine guarantees the
+//! clock is monotone and that same-timestamp events run in schedule order.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Handler for simulation events of type `E`.
+pub trait Process<E> {
+    /// Handles one event fired at `now`; new events may be scheduled through
+    /// `ctx`.
+    fn handle(&mut self, now: SimTime, event: E, ctx: &mut Context<'_, E>);
+}
+
+/// Scheduling interface handed to [`Process::handle`].
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+    stop: &'a mut bool,
+}
+
+impl<E> Context<'_, E> {
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past, which would break clock
+    /// monotonicity.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, event);
+    }
+
+    /// Requests that the engine stop after the current event completes.
+    pub fn request_stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The discrete-event loop: a clock plus a deterministic event queue.
+///
+/// # Example
+///
+/// ```
+/// use c4_simcore::{Engine, Process, SimDuration, SimTime};
+/// use c4_simcore::engine::Context;
+///
+/// struct Counter(u32);
+/// impl Process<()> for Counter {
+///     fn handle(&mut self, _now: SimTime, _e: (), ctx: &mut Context<'_, ()>) {
+///         self.0 += 1;
+///         if self.0 < 3 {
+///             ctx.schedule_in(SimDuration::from_secs(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// engine.schedule_at(SimTime::ZERO, ());
+/// let mut proc = Counter(0);
+/// engine.run(&mut proc);
+/// assert_eq!(proc.0, 3);
+/// assert_eq!(engine.now(), SimTime::from_secs(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at an absolute instant (must not be in the past).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedules an event `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Runs until the queue drains or a handler requests a stop. Returns the
+    /// number of events dispatched.
+    pub fn run(&mut self, process: &mut impl Process<E>) -> u64 {
+        self.run_until(SimTime::MAX, process)
+    }
+
+    /// Runs until the queue drains, a handler requests a stop, or the next
+    /// event would fire after `deadline` (that event stays queued; the clock
+    /// advances to `deadline`). Returns the number of events dispatched.
+    pub fn run_until(&mut self, deadline: SimTime, process: &mut impl Process<E>) -> u64 {
+        let mut dispatched = 0;
+        let mut stop = false;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                self.now = deadline;
+                return dispatched;
+            }
+            let (t, event) = self.queue.pop().expect("peeked event must exist");
+            debug_assert!(t >= self.now, "event queue went backwards");
+            self.now = t;
+            let mut ctx = Context {
+                queue: &mut self.queue,
+                now: t,
+                stop: &mut stop,
+            };
+            process.handle(t, event, &mut ctx);
+            dispatched += 1;
+            if stop {
+                return dispatched;
+            }
+        }
+        if deadline != SimTime::MAX {
+            self.now = deadline;
+        }
+        dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl Process<u32> for Recorder {
+        fn handle(&mut self, now: SimTime, event: u32, ctx: &mut Context<'_, u32>) {
+            self.seen.push((now.as_nanos(), event));
+            if event == 1 {
+                ctx.schedule_in(SimDuration::from_nanos(10), 99);
+            }
+            if event == 42 {
+                ctx.request_stop();
+            }
+        }
+    }
+
+    #[test]
+    fn dispatches_in_order_and_cascades() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_nanos(5), 1);
+        engine.schedule_at(SimTime::from_nanos(3), 0);
+        let mut p = Recorder::default();
+        let n = engine.run(&mut p);
+        assert_eq!(n, 3);
+        assert_eq!(p.seen, vec![(3, 0), (5, 1), (15, 99)]);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_secs(1), 1);
+        engine.schedule_at(SimTime::from_secs(10), 2);
+        let mut p = Recorder::default();
+        let n = engine.run_until(SimTime::from_secs(5), &mut p);
+        assert_eq!(n, 2); // event 1 plus its cascade
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn stop_request_halts_loop() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_nanos(1), 42);
+        engine.schedule_at(SimTime::from_nanos(2), 7);
+        let mut p = Recorder::default();
+        let n = engine.run(&mut p);
+        assert_eq!(n, 1);
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_at(SimTime::from_secs(1), 1);
+        let mut p = Recorder::default();
+        engine.run(&mut p);
+        engine.schedule_at(SimTime::ZERO, 2);
+    }
+}

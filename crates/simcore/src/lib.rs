@@ -1,0 +1,45 @@
+//! # c4-simcore
+//!
+//! Deterministic discrete-event simulation engine underpinning the C4
+//! reproduction.
+//!
+//! The C4 paper evaluates its two subsystems (C4D fault diagnosis and C4P
+//! traffic engineering) on a physical GPU cluster. This workspace replaces the
+//! physical substrate with simulation; every layer above (topology, network,
+//! collectives, training jobs) is driven by the primitives defined here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time.
+//! * [`EventQueue`] — a deterministic priority queue of timestamped events
+//!   (FIFO among equal timestamps).
+//! * [`DetRng`] — a seeded random source with the distributions the fault and
+//!   congestion models need (exponential, log-normal, Poisson).
+//! * [`stats`] / [`series`] — streaming statistics and time-series recording
+//!   used by telemetry and the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use c4_simcore::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "later");
+//! q.schedule(SimTime::ZERO, "now");
+//! let (t0, e0) = q.pop().unwrap();
+//! assert_eq!((t0, e0), (SimTime::ZERO, "now"));
+//! ```
+
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use engine::{Engine, Process};
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use series::TimeSeries;
+pub use stats::{Histogram, StreamingStats};
+pub use time::{SimDuration, SimTime};
+pub use units::{Bandwidth, ByteSize};

@@ -1,0 +1,229 @@
+//! Time-series recording: `(SimTime, f64)` samples with binning and
+//! moving-average helpers.
+//!
+//! The figure-regeneration binaries (Fig 11 CNP counts, Fig 12 per-iteration
+//! bus bandwidth, Fig 13 per-port bandwidth) all print series recorded with
+//! this type.
+
+use crate::time::{SimDuration, SimTime};
+
+/// An append-only series of timestamped samples.
+///
+/// # Example
+///
+/// ```
+/// use c4_simcore::{TimeSeries, SimTime};
+/// let mut s = TimeSeries::new("busbw_gbps");
+/// s.record(SimTime::from_secs(1), 350.0);
+/// s.record(SimTime::from_secs(2), 355.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.mean(), 352.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded timestamp (series must be
+    /// recorded in time order).
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "time series must be recorded in order");
+        }
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The raw values in record order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The raw timestamps in record order.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Mean of all values; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Minimum value; `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum value; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Averages samples into fixed-width time bins over `[start, end)`;
+    /// returns `(bin_center_time, mean_value)` for each non-empty bin.
+    pub fn bin_by_time(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        width: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
+        assert!(!width.is_zero(), "bin width must be positive");
+        let mut out = Vec::new();
+        if end <= start {
+            return out;
+        }
+        let nbins = ((end - start).as_nanos() + width.as_nanos() - 1) / width.as_nanos();
+        let mut sums = vec![0.0; nbins as usize];
+        let mut counts = vec![0u64; nbins as usize];
+        for (t, v) in self.iter() {
+            if t < start || t >= end {
+                continue;
+            }
+            let idx = ((t - start).as_nanos() / width.as_nanos()) as usize;
+            sums[idx] += v;
+            counts[idx] += 1;
+        }
+        for i in 0..nbins as usize {
+            if counts[i] > 0 {
+                let center = start + width * i as u64 + width / 2;
+                out.push((center, sums[i] / counts[i] as f64));
+            }
+        }
+        out
+    }
+
+    /// Simple trailing moving average with the given window size (in samples).
+    pub fn moving_average(&self, window: usize) -> Vec<f64> {
+        let w = window.max(1);
+        let mut out = Vec::with_capacity(self.values.len());
+        let mut sum = 0.0;
+        for (i, v) in self.values.iter().enumerate() {
+            sum += v;
+            if i >= w {
+                sum -= self.values[i - w];
+            }
+            let n = (i + 1).min(w);
+            out.push(sum / n as f64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn record_and_summaries() {
+        let mut s = TimeSeries::new("x");
+        for (t, v) in [(1, 10.0), (2, 20.0), (3, 30.0)] {
+            s.record(secs(t), v);
+        }
+        assert_eq!(s.name(), "x");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.max(), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded in order")]
+    fn out_of_order_record_panics() {
+        let mut s = TimeSeries::new("x");
+        s.record(secs(2), 1.0);
+        s.record(secs(1), 2.0);
+    }
+
+    #[test]
+    fn binning_averages_within_bins() {
+        let mut s = TimeSeries::new("x");
+        s.record(secs(0), 1.0);
+        s.record(secs(1), 3.0);
+        s.record(secs(5), 10.0);
+        let bins = s.bin_by_time(secs(0), secs(10), SimDuration::from_secs(2));
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].1, 2.0);
+        assert_eq!(bins[1].1, 10.0);
+    }
+
+    #[test]
+    fn binning_excludes_out_of_range() {
+        let mut s = TimeSeries::new("x");
+        s.record(secs(0), 1.0);
+        s.record(secs(100), 9.0);
+        let bins = s.bin_by_time(secs(10), secs(20), SimDuration::from_secs(5));
+        assert!(bins.is_empty());
+    }
+
+    #[test]
+    fn moving_average_warms_up() {
+        let mut s = TimeSeries::new("x");
+        for (i, v) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            s.record(secs(i as u64), *v);
+        }
+        let ma = s.moving_average(2);
+        assert_eq!(ma, vec![1.0, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = TimeSeries::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert!(s.moving_average(3).is_empty());
+    }
+}

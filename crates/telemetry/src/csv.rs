@@ -1,0 +1,188 @@
+//! CSV serialization of the four statistics streams, matching the per-worker
+//! artifact set of the paper's Fig 5 (`comm-stats.csv`, `coll-stats.csv`,
+//! `rank-stats.csv`, `conn-stats.csv`).
+
+use crate::record::{CollRecord, CommRecord, ConnRecord, RankRecord};
+
+/// Types that serialize to one CSV row (plus a static header).
+pub trait ToCsv {
+    /// The header row for this record type.
+    fn csv_header() -> &'static str;
+    /// This record as one CSV row (no trailing newline).
+    fn to_csv_row(&self) -> String;
+}
+
+impl ToCsv for CommRecord {
+    fn csv_header() -> &'static str {
+        "comm,nranks,devices,created_s"
+    }
+
+    fn to_csv_row(&self) -> String {
+        let devices: Vec<String> = self.devices.iter().map(|d| d.index().to_string()).collect();
+        format!(
+            "{},{},{},{:.6}",
+            self.comm,
+            self.nranks(),
+            devices.join("|"),
+            self.created.as_secs_f64()
+        )
+    }
+}
+
+impl ToCsv for CollRecord {
+    fn csv_header() -> &'static str {
+        "comm,seq,rank,op,algo,dtype,count,start_s,end_s,duration_ms"
+    }
+
+    fn to_csv_row(&self) -> String {
+        let (end, dur) = match self.end {
+            Some(e) => (
+                format!("{:.6}", e.as_secs_f64()),
+                format!("{:.3}", (e - self.start).as_millis_f64()),
+            ),
+            None => ("".to_string(), "".to_string()),
+        };
+        format!(
+            "{},{},{},{},{},{},{},{:.6},{},{}",
+            self.comm,
+            self.seq,
+            self.rank,
+            self.kind,
+            self.algo,
+            self.dtype,
+            self.count,
+            self.start.as_secs_f64(),
+            end,
+            dur
+        )
+    }
+}
+
+impl ToCsv for ConnRecord {
+    fn csv_header() -> &'static str {
+        "comm,channel,qp,src_gpu,dst_gpu,src_port,messages,bytes,busy_ms,last_completion_s,effective_gbps"
+    }
+
+    fn to_csv_row(&self) -> String {
+        let last = self
+            .last_completion
+            .map(|t| format!("{:.6}", t.as_secs_f64()))
+            .unwrap_or_default();
+        format!(
+            "{},{},{},{},{},{},{},{},{:.3},{},{:.3}",
+            self.key.comm,
+            self.key.channel,
+            self.key.qp,
+            self.key.src_gpu.index(),
+            self.key.dst_gpu.index(),
+            self.src_port.index(),
+            self.messages,
+            self.bytes,
+            self.busy.as_millis_f64(),
+            last,
+            self.effective_gbps()
+        )
+    }
+}
+
+impl ToCsv for RankRecord {
+    fn csv_header() -> &'static str {
+        "comm,rank,step,compute_ms,ready_delay_ms,arrived_s"
+    }
+
+    fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.3},{:.3},{:.6}",
+            self.comm,
+            self.rank,
+            self.step,
+            self.compute.as_millis_f64(),
+            self.ready_delay.as_millis_f64(),
+            self.arrived.as_secs_f64()
+        )
+    }
+}
+
+/// Renders a full CSV document (header + rows).
+pub fn to_csv_document<T: ToCsv>(records: &[T]) -> String {
+    let mut out = String::from(T::csv_header());
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.to_csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AlgoKind, CollKind, ConnKey, DataType};
+    use c4_simcore::{SimDuration, SimTime};
+    use c4_topology::{GpuId, PortId};
+
+    #[test]
+    fn comm_csv_round_trip_shape() {
+        let rec = CommRecord {
+            comm: 12,
+            devices: vec![GpuId::from_index(0), GpuId::from_index(4)],
+            created: SimTime::from_secs(1),
+        };
+        assert_eq!(rec.to_csv_row(), "12,2,0|4,1.000000");
+        assert!(CommRecord::csv_header().starts_with("comm,"));
+    }
+
+    #[test]
+    fn coll_csv_handles_in_flight_ops() {
+        let rec = CollRecord {
+            comm: 1,
+            seq: 7,
+            rank: 3,
+            kind: CollKind::AllReduce,
+            algo: AlgoKind::Ring,
+            dtype: DataType::F32,
+            count: 10,
+            start: SimTime::from_secs(2),
+            end: None,
+        };
+        let row = rec.to_csv_row();
+        assert!(row.ends_with(",,"), "in-flight op has empty end columns: {row}");
+        let done = CollRecord {
+            end: Some(SimTime::from_secs(3)),
+            ..rec
+        };
+        assert!(done.to_csv_row().ends_with("3.000000,1000.000"));
+    }
+
+    #[test]
+    fn conn_csv_includes_src_port() {
+        let key = ConnKey {
+            comm: 2,
+            channel: 1,
+            qp: 0,
+            src_gpu: GpuId::from_index(5),
+            dst_gpu: GpuId::from_index(6),
+        };
+        let mut rec = ConnRecord::new(key, PortId::from_index(11));
+        rec.record_message(100, SimDuration::from_millis(1), SimTime::from_secs(1));
+        let row = rec.to_csv_row();
+        assert!(row.contains(",11,"), "src_port column missing: {row}");
+    }
+
+    #[test]
+    fn document_has_header_and_rows() {
+        let rec = RankRecord {
+            comm: 1,
+            rank: 0,
+            step: 3,
+            compute: SimDuration::from_millis(250),
+            ready_delay: SimDuration::from_millis(10),
+            arrived: SimTime::from_secs(5),
+        };
+        let doc = to_csv_document(&[rec, rec]);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], RankRecord::csv_header());
+        assert_eq!(lines[1], lines[2]);
+    }
+}

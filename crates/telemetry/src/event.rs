@@ -1,0 +1,223 @@
+//! C4 events: what the C4D master emits towards the job-steering service and
+//! the background root-cause-analysis pipeline (paper Fig 4, "C4 Events").
+
+use std::fmt;
+
+use c4_simcore::SimTime;
+use c4_topology::{GpuId, LinkId, NodeId};
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational (e.g. job restarted).
+    Info,
+    /// Degradation that does not crash the job (slow node, congestion).
+    Warning,
+    /// Fault requiring isolation and restart.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "INFO",
+            Severity::Warning => "WARN",
+            Severity::Critical => "CRIT",
+        })
+    }
+}
+
+/// What a C4 event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A communication hang was detected on a communicator.
+    CommHang,
+    /// A non-communication hang (rank never reached the sync point).
+    NonCommHang,
+    /// A communication slowdown was localized.
+    CommSlow,
+    /// A non-communication slowdown was localized.
+    NonCommSlow,
+    /// A node was isolated.
+    NodeIsolated,
+    /// A job restart was triggered.
+    JobRestart,
+    /// A faulty link was eliminated from path allocation.
+    LinkEliminated,
+    /// QP loads were rebalanced after a network change.
+    Rebalanced,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::CommHang => "comm_hang",
+            EventKind::NonCommHang => "noncomm_hang",
+            EventKind::CommSlow => "comm_slow",
+            EventKind::NonCommSlow => "noncomm_slow",
+            EventKind::NodeIsolated => "node_isolated",
+            EventKind::JobRestart => "job_restart",
+            EventKind::LinkEliminated => "link_eliminated",
+            EventKind::Rebalanced => "rebalanced",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One event (`events.csv` row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct C4Event {
+    /// When the event was raised.
+    pub time: SimTime,
+    /// Severity.
+    pub severity: Severity,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Node involved, if localized to one.
+    pub node: Option<NodeId>,
+    /// GPU involved, if localized to one.
+    pub gpu: Option<GpuId>,
+    /// Link involved, if localized to one.
+    pub link: Option<LinkId>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for C4Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}]",
+            self.time, self.severity, self.kind
+        )?;
+        if let Some(n) = self.node {
+            write!(f, " {n}")?;
+        }
+        if let Some(g) = self.gpu {
+            write!(f, " {g}")?;
+        }
+        if let Some(l) = self.link {
+            write!(f, " {l}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " — {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// An append-only event log with filtering helpers.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<C4Event>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: C4Event) {
+        self.events.push(event);
+    }
+
+    /// All events in arrival order.
+    pub fn events(&self) -> &[C4Event] {
+        &self.events
+    }
+
+    /// Events of a given kind.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &C4Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Events at or above a severity.
+    pub fn at_least(&self, severity: Severity) -> impl Iterator<Item = &C4Event> {
+        self.events.iter().filter(move |e| e.severity >= severity)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the log as an `events.csv` document.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,severity,kind,node,gpu,link,detail\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:.6},{},{},{},{},{},{}\n",
+                e.time.as_secs_f64(),
+                e.severity,
+                e.kind,
+                e.node.map(|n| n.index().to_string()).unwrap_or_default(),
+                e.gpu.map(|g| g.index().to_string()).unwrap_or_default(),
+                e.link.map(|l| l.index().to_string()).unwrap_or_default(),
+                e.detail.replace(',', ";"),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: EventKind, severity: Severity) -> C4Event {
+        C4Event {
+            time: SimTime::from_secs(1),
+            severity,
+            kind,
+            node: Some(NodeId::from_index(3)),
+            gpu: None,
+            link: None,
+            detail: "ecc error, repeated".into(),
+        }
+    }
+
+    #[test]
+    fn log_filters_by_kind_and_severity() {
+        let mut log = EventLog::new();
+        log.push(sample(EventKind::CommHang, Severity::Critical));
+        log.push(sample(EventKind::CommSlow, Severity::Warning));
+        log.push(sample(EventKind::JobRestart, Severity::Info));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.of_kind(EventKind::CommSlow).count(), 1);
+        assert_eq!(log.at_least(Severity::Warning).count(), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_detail() {
+        let mut log = EventLog::new();
+        log.push(sample(EventKind::NodeIsolated, Severity::Critical));
+        let csv = log.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].split(',').count(), 7, "row: {}", lines[1]);
+        assert!(lines[1].contains("ecc error; repeated"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = sample(EventKind::CommHang, Severity::Critical);
+        let s = e.to_string();
+        assert!(s.contains("CRIT"));
+        assert!(s.contains("comm_hang"));
+        assert!(s.contains("node3"));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Critical > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

@@ -1,0 +1,167 @@
+//! The master-side `summary.txt` artifact of the paper's Fig 5: a
+//! cluster-level digest of the per-worker statistics the C4a agents shipped.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::worker::TelemetrySnapshot;
+
+/// A cluster-level digest of worker snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSummary {
+    /// Workers that reported.
+    pub workers: usize,
+    /// Distinct communicators observed.
+    pub communicators: usize,
+    /// Collective operations recorded (all ranks).
+    pub collectives: usize,
+    /// Collectives still in flight at snapshot time.
+    pub in_flight: usize,
+    /// Transport connections observed.
+    pub connections: usize,
+    /// Total bytes moved on the wire.
+    pub bytes: u64,
+    /// Slowest connection's effective throughput, Gbps (0 when none).
+    pub slowest_conn_gbps: f64,
+    /// Fastest connection's effective throughput, Gbps (0 when none).
+    pub fastest_conn_gbps: f64,
+}
+
+impl ClusterSummary {
+    /// Digests a set of worker snapshots.
+    pub fn from_snapshots(snapshots: &[TelemetrySnapshot]) -> ClusterSummary {
+        let mut comms: HashSet<u64> = HashSet::new();
+        let mut collectives = 0;
+        let mut in_flight = 0;
+        let mut connections = 0;
+        let mut bytes = 0u64;
+        let mut slowest = f64::INFINITY;
+        let mut fastest = 0.0_f64;
+        for snap in snapshots {
+            for c in &snap.comms {
+                comms.insert(c.comm);
+            }
+            collectives += snap.colls.len();
+            in_flight += snap.in_flight().count();
+            for conn in &snap.conns {
+                connections += 1;
+                bytes += conn.bytes;
+                let g = conn.effective_gbps();
+                if g > 0.0 {
+                    slowest = slowest.min(g);
+                    fastest = fastest.max(g);
+                }
+            }
+        }
+        ClusterSummary {
+            workers: snapshots.len(),
+            communicators: comms.len(),
+            collectives,
+            in_flight,
+            connections,
+            bytes,
+            slowest_conn_gbps: if slowest.is_finite() { slowest } else { 0.0 },
+            fastest_conn_gbps: fastest,
+        }
+    }
+
+    /// Renders the `summary.txt` document.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "C4 cluster telemetry summary");
+        let _ = writeln!(out, "workers reporting:     {}", self.workers);
+        let _ = writeln!(out, "communicators:         {}", self.communicators);
+        let _ = writeln!(out, "collective records:    {}", self.collectives);
+        let _ = writeln!(out, "in flight:             {}", self.in_flight);
+        let _ = writeln!(out, "transport connections: {}", self.connections);
+        let _ = writeln!(out, "bytes on the wire:     {}", self.bytes);
+        let _ = writeln!(
+            out,
+            "connection throughput: {:.2} – {:.2} Gbps",
+            self.slowest_conn_gbps, self.fastest_conn_gbps
+        );
+        if self.in_flight > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {} collective(s) outstanding — check hang detectors",
+                self.in_flight
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AlgoKind, CollKind, CollRecord, CommRecord, ConnKey, DataType};
+    use crate::worker::WorkerTelemetry;
+    use c4_simcore::{SimDuration, SimTime};
+    use c4_topology::{GpuId, PortId};
+
+    fn snapshot(gpu: usize, hang: bool) -> TelemetrySnapshot {
+        let g = GpuId::from_index(gpu);
+        let mut w = WorkerTelemetry::new(g);
+        w.record_comm(CommRecord {
+            comm: 7,
+            devices: vec![g],
+            created: SimTime::ZERO,
+        });
+        w.record_coll(CollRecord {
+            comm: 7,
+            seq: 0,
+            rank: gpu as u32,
+            kind: CollKind::AllReduce,
+            algo: AlgoKind::Ring,
+            dtype: DataType::Bf16,
+            count: 10,
+            start: SimTime::from_secs(1),
+            end: (!hang).then(|| SimTime::from_secs(2)),
+        });
+        w.record_message(
+            ConnKey {
+                comm: 7,
+                channel: 0,
+                qp: 0,
+                src_gpu: g,
+                dst_gpu: GpuId::from_index(gpu + 1),
+            },
+            PortId::from_index(0),
+            1_000_000_000,
+            SimDuration::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        w.snapshot(SimTime::from_secs(3))
+    }
+
+    #[test]
+    fn digest_counts_everything() {
+        let snaps = vec![snapshot(0, false), snapshot(1, true)];
+        let s = ClusterSummary::from_snapshots(&snaps);
+        assert_eq!(s.workers, 2);
+        assert_eq!(s.communicators, 1);
+        assert_eq!(s.collectives, 2);
+        assert_eq!(s.in_flight, 1);
+        assert_eq!(s.connections, 2);
+        assert_eq!(s.bytes, 2_000_000_000);
+        // 1 GB over 1 s = 8 Gbps on both connections.
+        assert!((s.slowest_conn_gbps - 8.0).abs() < 1e-9);
+        assert!((s.fastest_conn_gbps - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_flags_outstanding_collectives() {
+        let snaps = vec![snapshot(0, true)];
+        let text = ClusterSummary::from_snapshots(&snaps).to_text();
+        assert!(text.contains("WARNING"));
+        assert!(text.contains("workers reporting:     1"));
+    }
+
+    #[test]
+    fn empty_cluster_is_all_zero() {
+        let s = ClusterSummary::from_snapshots(&[]);
+        assert_eq!(s.workers, 0);
+        assert_eq!(s.slowest_conn_gbps, 0.0);
+        assert!(!s.to_text().contains("WARNING"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # c4-topology
+//!
+//! Cluster and network topology model for the C4 reproduction: servers with
+//! GPUs and dual-port RDMA NICs, leaf/spine switches wired as a Clos
+//! fat-tree, and the directed capacity-bearing links between them.
+//!
+//! The model mirrors the testbed of the paper (§IV-A): nodes with 8 NVIDIA
+//! H800 GPUs and 8 BlueField-3 NICs, each NIC exposing two physical 200 Gbps
+//! ports bonded into one logical 400 Gbps port, leaves and spines in a
+//! fat-tree with configurable oversubscription, and an intra-node NVLink
+//! fabric that caps collective bus bandwidth at 362 Gbps.
+//!
+//! Everything the higher layers need reduces to two queries:
+//!
+//! * *device structure* — which GPU lives on which node, which NIC (rail) it
+//!   uses, which leaf each NIC port attaches to ([`Topology`] accessors);
+//! * *path structure* — the candidate routes between two endpoints, as lists
+//!   of directed [`LinkId`]s ([`Topology::fabric_paths`],
+//!   [`Topology::intra_node_route`], …).
+//!
+//! # Example
+//!
+//! ```
+//! use c4_topology::{ClosConfig, Topology};
+//!
+//! let topo = Topology::build(&ClosConfig::testbed_128());
+//! assert_eq!(topo.num_gpus(), 128);
+//! assert_eq!(topo.num_nodes(), 16);
+//! assert_eq!(topo.num_leaves(), 8);
+//! ```
+
+pub mod clos;
+pub mod ids;
+pub mod link;
+pub mod paths;
+pub mod topology;
+
+pub use clos::{ClosConfig, WiringMode};
+pub use ids::{GpuId, LinkId, NicId, NodeId, PortId, PortSide, SwitchId};
+pub use link::{Link, LinkKind};
+pub use paths::FabricPath;
+pub use topology::{Gpu, Nic, NicPort, Node, Switch, SwitchTier, Topology};

@@ -1,0 +1,370 @@
+//! Month-scale operation simulation: the downtime ledger behind Table III
+//! and the crash census behind Table I.
+//!
+//! Wall time = productive time + downtime. Faults arrive as a Poisson
+//! process over *productive* time (a parked job doesn't throw CUDA errors);
+//! every crash costs post-checkpoint loss + detection + diagnosis &
+//! isolation + re-initialization (Fig 2's runtime-failure pipeline).
+
+use c4_faults::{FaultKind, FaultRates, UserView};
+use c4_simcore::{DetRng, SimDuration, SimTime};
+
+use crate::recovery::RecoveryConfig;
+
+/// Shape and models of one long-running job under operation.
+#[derive(Debug, Clone)]
+pub struct OperationConfig {
+    /// GPUs in the job (Table III job: 2,400).
+    pub gpus: usize,
+    /// Nodes in the job.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Wall-clock horizon (one month).
+    pub horizon: SimDuration,
+    /// Fleet fault rates.
+    pub rates: FaultRates,
+    /// Recovery pipeline timings.
+    pub recovery: RecoveryConfig,
+}
+
+impl OperationConfig {
+    /// The Table III job in June 2023: 2,400 GPUs, manual operations.
+    pub fn june_2023_175b() -> Self {
+        OperationConfig {
+            gpus: 2400,
+            nodes: 300,
+            gpus_per_node: 8,
+            horizon: SimDuration::from_hours(720),
+            rates: FaultRates::june_2023(),
+            recovery: RecoveryConfig::june_2023(),
+        }
+    }
+
+    /// The same job in December 2023: hardened fleet + C4D.
+    pub fn december_2023_175b() -> Self {
+        OperationConfig {
+            rates: FaultRates::december_2023(),
+            recovery: RecoveryConfig::december_2023(),
+            ..Self::june_2023_175b()
+        }
+    }
+
+    /// The Table I job: 4,096 GPUs under June-2023 conditions.
+    pub fn june_2023_4096() -> Self {
+        OperationConfig {
+            gpus: 4096,
+            nodes: 512,
+            ..Self::june_2023_175b()
+        }
+    }
+}
+
+/// One crash and its full cost breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashRecord {
+    /// Root cause.
+    pub kind: FaultKind,
+    /// Whether the instance was confined to one node/device.
+    pub local: bool,
+    /// How it surfaced to the user pre-diagnosis.
+    pub user_view: UserView,
+    /// Wall-clock time of the crash.
+    pub at: SimTime,
+    /// Productive time lost since the last checkpoint.
+    pub post_checkpoint: SimDuration,
+    /// Fault-to-awareness delay.
+    pub detection: SimDuration,
+    /// Diagnosis + isolation delay.
+    pub diagnosis: SimDuration,
+    /// Re-initialization cost.
+    pub reinit: SimDuration,
+}
+
+impl CrashRecord {
+    /// Total downtime this crash caused.
+    pub fn downtime(&self) -> SimDuration {
+        self.post_checkpoint + self.detection + self.diagnosis + self.reinit
+    }
+}
+
+/// A full operation run.
+#[derive(Debug, Clone)]
+pub struct OperationReport {
+    /// Wall-clock horizon simulated.
+    pub horizon: SimDuration,
+    /// Every crash, in time order.
+    pub crashes: Vec<CrashRecord>,
+}
+
+/// One row of the Table I census.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CauseRow {
+    /// The user-facing error string.
+    pub user_view: UserView,
+    /// Root-cause label (Table I wording).
+    pub cause: &'static str,
+    /// Crash count.
+    pub count: usize,
+    /// Fraction of all crashes.
+    pub proportion: f64,
+    /// Fraction of this cause's crashes that were node-local.
+    pub local_pct: f64,
+}
+
+impl OperationReport {
+    /// Total downtime.
+    pub fn downtime(&self) -> SimDuration {
+        self.crashes.iter().map(|c| c.downtime()).sum()
+    }
+
+    /// Downtime as a fraction of the horizon.
+    pub fn downtime_fraction(&self) -> f64 {
+        self.downtime() / self.horizon
+    }
+
+    fn fraction_of(&self, f: impl Fn(&CrashRecord) -> SimDuration) -> f64 {
+        self.crashes.iter().map(f).sum::<SimDuration>() / self.horizon
+    }
+
+    /// Post-checkpoint loss fraction (Table III row 1).
+    pub fn post_checkpoint_fraction(&self) -> f64 {
+        self.fraction_of(|c| c.post_checkpoint)
+    }
+
+    /// Detection fraction (Table III row 2).
+    pub fn detection_fraction(&self) -> f64 {
+        self.fraction_of(|c| c.detection)
+    }
+
+    /// Diagnosis & isolation fraction (Table III row 3).
+    pub fn diagnosis_fraction(&self) -> f64 {
+        self.fraction_of(|c| c.diagnosis)
+    }
+
+    /// Re-initialization fraction (Table III row 4).
+    pub fn reinit_fraction(&self) -> f64 {
+        self.fraction_of(|c| c.reinit)
+    }
+
+    /// Diagnosis & isolation broken down by cause, in Table III's sub-row
+    /// order: ECC/NVLink, CUDA, CCL timeout, ACK timeout, unknown.
+    pub fn diagnosis_by_cause(&self) -> [(&'static str, f64); 5] {
+        let frac = |pred: &dyn Fn(FaultKind) -> bool| -> f64 {
+            self.crashes
+                .iter()
+                .filter(|c| pred(c.kind))
+                .map(|c| c.diagnosis)
+                .sum::<SimDuration>()
+                / self.horizon
+        };
+        [
+            (
+                "ECC/NVLink Error",
+                frac(&|k| matches!(k, FaultKind::EccError | FaultKind::NvlinkError)),
+            ),
+            ("CUDA Error", frac(&|k| k == FaultKind::CudaError)),
+            ("CCL Timeout", frac(&|k| k == FaultKind::NcclTimeout)),
+            ("ACK Timeout", frac(&|k| k == FaultKind::AckTimeout)),
+            ("Unknown", frac(&|k| k == FaultKind::NetworkError)),
+        ]
+    }
+
+    /// The Table I census: crash causes, user view, proportion, locality.
+    pub fn cause_census(&self) -> Vec<CauseRow> {
+        let total = self.crashes.len().max(1) as f64;
+        let row = |cause: &'static str, pred: &dyn Fn(FaultKind) -> bool| -> CauseRow {
+            let matching: Vec<&CrashRecord> =
+                self.crashes.iter().filter(|c| pred(c.kind)).collect();
+            let count = matching.len();
+            let local = matching.iter().filter(|c| c.local).count();
+            let user_view = matching
+                .first()
+                .map(|c| c.user_view)
+                .unwrap_or(UserView::NcclError);
+            CauseRow {
+                user_view,
+                cause,
+                count,
+                proportion: count as f64 / total,
+                local_pct: if count > 0 {
+                    local as f64 / count as f64
+                } else {
+                    0.0
+                },
+            }
+        };
+        vec![
+            row("CUDA Error", &|k| k == FaultKind::CudaError),
+            row("ECC/NVLink Error", &|k| {
+                matches!(k, FaultKind::EccError | FaultKind::NvlinkError)
+            }),
+            row("NCCL timeout", &|k| k == FaultKind::NcclTimeout),
+            row("ACK timeout", &|k| k == FaultKind::AckTimeout),
+            row("Others", &|k| k == FaultKind::NetworkError),
+        ]
+    }
+}
+
+/// Runs one operation horizon.
+pub fn simulate_operation(cfg: &OperationConfig, seed: u64) -> OperationReport {
+    let mut rng = DetRng::seed_from(seed);
+    let rate_per_hour = cfg.rates.total_crash_rate(cfg.gpus, cfg.nodes);
+    let weights = cfg.rates.crash_weights(cfg.gpus, cfg.nodes);
+
+    let mut crashes = Vec::new();
+    let mut wall = SimDuration::ZERO;
+    let mut prod_since_ckpt = SimDuration::ZERO;
+
+    if rate_per_hour <= 0.0 {
+        return OperationReport {
+            horizon: cfg.horizon,
+            crashes,
+        };
+    }
+
+    loop {
+        // Next fault after this much *productive* time.
+        let gap = SimDuration::from_secs_f64(rng.exponential(1.0 / rate_per_hour) * 3600.0);
+        // Checkpoints land every interval of productive time.
+        let after_gap = prod_since_ckpt + gap;
+        let interval = cfg.recovery.checkpoint_interval;
+        let post_ckpt = if interval.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(after_gap.as_nanos() % interval.as_nanos().max(1))
+        };
+        wall += gap;
+        if wall >= cfg.horizon {
+            break;
+        }
+
+        let kind = FaultKind::CRASH_KINDS[rng
+            .pick_weighted(&weights)
+            .expect("positive crash weights")];
+        let local = rng.chance(kind.locality_probability());
+        let detection = cfg.recovery.detection.sample(&mut rng);
+        let diagnosis = cfg.recovery.diagnosis.sample(kind, local, &mut rng);
+        let reinit = cfg.recovery.reinit;
+        let record = CrashRecord {
+            kind,
+            local,
+            user_view: kind.user_view(),
+            at: SimTime::ZERO + wall,
+            post_checkpoint: post_ckpt,
+            detection,
+            diagnosis,
+            reinit,
+        };
+        wall += record.downtime();
+        prod_since_ckpt = SimDuration::ZERO; // restart resumes from checkpoint
+        crashes.push(record);
+        if wall >= cfg.horizon {
+            break;
+        }
+    }
+
+    OperationReport {
+        horizon: cfg.horizon,
+        crashes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn june_downtime_is_around_thirty_percent() {
+        let report = simulate_operation(&OperationConfig::june_2023_175b(), 42);
+        let f = report.downtime_fraction();
+        assert!(
+            (0.20..=0.45).contains(&f),
+            "June downtime fraction {f} (expected ≈0.31)"
+        );
+        // Diagnosis dominates, as in Table III.
+        assert!(report.diagnosis_fraction() > report.post_checkpoint_fraction());
+        assert!(report.diagnosis_fraction() > report.detection_fraction());
+    }
+
+    #[test]
+    fn december_downtime_is_around_one_percent() {
+        let report = simulate_operation(&OperationConfig::december_2023_175b(), 42);
+        let f = report.downtime_fraction();
+        assert!(
+            (0.002..=0.035).contains(&f),
+            "December downtime fraction {f} (expected ≈0.012)"
+        );
+    }
+
+    #[test]
+    fn improvement_is_more_than_tenfold() {
+        let june = simulate_operation(&OperationConfig::june_2023_175b(), 7);
+        let dec = simulate_operation(&OperationConfig::december_2023_175b(), 7);
+        let ratio = june.downtime_fraction() / dec.downtime_fraction().max(1e-6);
+        assert!(ratio > 10.0, "improvement ratio {ratio} (paper: ≈30×)");
+    }
+
+    #[test]
+    fn census_matches_table_one_shape() {
+        let report = simulate_operation(&OperationConfig::june_2023_4096(), 11);
+        assert!(
+            (20..=60).contains(&report.crashes.len()),
+            "{} crashes",
+            report.crashes.len()
+        );
+        let census = report.cause_census();
+        assert_eq!(census.len(), 5);
+        let total: f64 = census.iter().map(|r| r.proportion).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // GPU-internal causes are 100% local by construction.
+        let cuda = &census[0];
+        if cuda.count > 0 {
+            assert_eq!(cuda.local_pct, 1.0);
+        }
+        // Majority of crashes local (paper: ~82.5%).
+        let local_total: usize = report.crashes.iter().filter(|c| c.local).count();
+        let frac = local_total as f64 / report.crashes.len() as f64;
+        assert!(frac > 0.6, "local fraction {frac}");
+    }
+
+    #[test]
+    fn downtime_components_sum() {
+        let report = simulate_operation(&OperationConfig::june_2023_175b(), 3);
+        let sum = report.post_checkpoint_fraction()
+            + report.detection_fraction()
+            + report.diagnosis_fraction()
+            + report.reinit_fraction();
+        assert!((sum - report.downtime_fraction()).abs() < 1e-9);
+        let by_cause: f64 = report.diagnosis_by_cause().iter().map(|(_, f)| f).sum();
+        assert!((by_cause - report.diagnosis_fraction()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = simulate_operation(&OperationConfig::june_2023_175b(), 9);
+        let b = simulate_operation(&OperationConfig::june_2023_175b(), 9);
+        assert_eq!(a.crashes, b.crashes);
+    }
+
+    #[test]
+    fn zero_rates_mean_zero_downtime() {
+        let mut cfg = OperationConfig::june_2023_175b();
+        cfg.rates = FaultRates {
+            cuda_per_gpu_hour: 0.0,
+            ecc_per_gpu_hour: 0.0,
+            nvlink_per_gpu_hour: 0.0,
+            nccl_timeout_per_node_hour: 0.0,
+            ack_timeout_per_node_hour: 0.0,
+            network_per_job_hour: 0.0,
+            slow_gpu_per_gpu_hour: 0.0,
+            pcie_downgrade_per_gpu_hour: 0.0,
+            nic_half_down_per_node_hour: 0.0,
+            gc_pause_per_node_hour: 0.0,
+            link_failure_per_link_hour: 0.0,
+        };
+        let report = simulate_operation(&cfg, 1);
+        assert!(report.crashes.is_empty());
+        assert_eq!(report.downtime_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # c4-trainsim
+//!
+//! Parallel-training job simulator: BSP iterations over the collective
+//! engine, parallelism layouts (TP/PP/DP with gradient accumulation and
+//! ZeRO), and the month-scale crash/recovery simulation behind the paper's
+//! Table I and Table III.
+//!
+//! Three layers:
+//!
+//! * [`job::JobSpec`] + [`job::ParallelLayout`] — the workload shape: model
+//!   size, TP/PP/DP split, gradient accumulation, per-micro-batch compute
+//!   time, overlap. Presets encode the paper's evaluation jobs (GPT-22B
+//!   TP8/DP16, Llama-7B pure-DP ZeRO, GPT-175B TP8/PP8/GA16, and the
+//!   Fig 3 scaling family).
+//! * [`iteration::TrainingJob`] — runs BSP iterations: per-rank compute with
+//!   perturbations (stragglers, GC pauses), concurrent DP gradient
+//!   synchronization through the network simulator, exposed-communication
+//!   accounting, hang propagation.
+//! * [`recovery`] / [`downtime`] — the error-recovery state machine of
+//!   Fig 2: post-checkpoint loss, detection, diagnosis & isolation,
+//!   re-initialization, with June-2023 (manual ops) and December-2023
+//!   (C4D + frequent checkpointing) parameter presets; month-long operation
+//!   runs produce the Table III downtime ledger and Table I crash census.
+
+pub mod downtime;
+pub mod iteration;
+pub mod job;
+pub mod recovery;
+
+pub use downtime::{simulate_operation, CrashRecord, OperationConfig, OperationReport};
+pub use iteration::{IterationReport, TrainingJob};
+pub use job::{JobSpec, ParallelLayout};
+pub use recovery::{DetectionModel, DiagnosisModel, RecoveryConfig};

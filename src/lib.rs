@@ -1,0 +1,5 @@
+//! Workspace umbrella crate: re-exports the `c4` facade so the repository's
+//! `tests/` and `examples/` exercise the full public API.
+
+pub use c4::prelude;
+pub use c4::scenarios;

@@ -1,0 +1,165 @@
+//! Integration: headline paper claims checked end-to-end, plus determinism
+//! guarantees the whole reproduction depends on.
+
+use c4::prelude::*;
+use c4::scenarios;
+
+#[test]
+fn abstract_claim_error_overhead_drops_about_thirty_fold() {
+    // "a significant improvement in system efficiency ... attributed to a
+    // 30% reduction in error-induced overhead".
+    let (june, dec) = scenarios::tables::table3(7);
+    assert!(june.downtime_fraction() > 0.20, "pre-C4 ≈ 31%");
+    assert!(dec.downtime_fraction() < 0.04, "post-C4 ≈ 1.2%");
+    let recovered = june.downtime_fraction() - dec.downtime_fraction();
+    assert!(
+        recovered > 0.18,
+        "C4 recovers ≈30% of GPU time, got {recovered:.3}"
+    );
+}
+
+#[test]
+fn abstract_claim_communication_gain_for_comm_heavy_jobs() {
+    // "improves the system throughput by approximately 15%" for jobs with
+    // moderate communication cost.
+    let rows = scenarios::fig14::run(11, 3);
+    assert!(
+        rows[0].improvement > 0.10 && rows[0].improvement < 0.25,
+        "Job1 gain {:.3} (paper 0.1595)",
+        rows[0].improvement
+    );
+    assert!(
+        rows[1].improvement > 0.09 && rows[1].improvement < 0.25,
+        "Job2 gain {:.3} (paper 0.141)",
+        rows[1].improvement
+    );
+    assert!(
+        rows[2].improvement.abs() < 0.06,
+        "Job3 gain {:.3} (paper ≈0)",
+        rows[2].improvement
+    );
+}
+
+#[test]
+fn majority_of_crashes_are_node_local() {
+    // Table I: ~82.5% of crashes confined to a node — the fact that makes
+    // isolate-and-restart worthwhile.
+    let report = scenarios::tables::table1(3);
+    let local = report.crashes.iter().filter(|c| c.local).count();
+    let frac = local as f64 / report.crashes.len() as f64;
+    assert!((0.65..=0.95).contains(&frac), "local fraction {frac:.2}");
+    // And they present as opaque NCCL errors pre-diagnosis.
+    let nccl = report
+        .crashes
+        .iter()
+        .filter(|c| c.user_view == UserView::NcclError)
+        .count();
+    assert!(nccl as f64 / report.crashes.len() as f64 > 0.8);
+}
+
+#[test]
+fn same_seed_reproduces_identical_experiments() {
+    let a = scenarios::fig9::run(99, 2);
+    let b = scenarios::fig9::run(99, 2);
+    assert_eq!(a, b, "figure scenarios are bit-deterministic per seed");
+
+    let (j1, d1) = scenarios::tables::table3(55);
+    let (j2, d2) = scenarios::tables::table3(55);
+    assert_eq!(j1.crashes, j2.crashes);
+    assert_eq!(d1.crashes, d2.crashes);
+}
+
+#[test]
+fn different_seeds_vary_but_keep_the_shape() {
+    for seed in [1u64, 2, 3] {
+        let rows = scenarios::fig9::run(seed, 2);
+        for r in rows {
+            assert!(r.baseline_gbps < 260.0, "seed {seed}: {}", r.baseline_gbps);
+            assert!(r.c4p_gbps > 340.0, "seed {seed}: {}", r.c4p_gbps);
+        }
+    }
+}
+
+#[test]
+fn nvlink_cap_binds_exactly_at_362() {
+    // Single-node collective: pure NVLink, busbw = 362 (the §IV-B2 cap).
+    let topo = Topology::build(&ClosConfig::testbed_128());
+    let comm = Communicator::new(
+        1,
+        topo.node(NodeId::from_index(0)).gpus.clone(),
+        &topo,
+    )
+    .unwrap();
+    let req = CollectiveRequest {
+        comm: &comm,
+        seq: 0,
+        kind: CollKind::AllReduce,
+        dtype: DataType::Bf16,
+        count: 256 * 1024 * 1024,
+        config: CommConfig::default(),
+        start: SimTime::ZERO,
+        rank_ready: None,
+        drain: DrainConfig::default(),
+    };
+    let mut sel = RailLocalSelector::new();
+    let mut rng = DetRng::seed_from(1);
+    let res = run_collective(&topo, &req, &mut sel, None, &mut rng, None);
+    assert!((res.busbw_gbps().unwrap() - 362.0).abs() < 1.0);
+}
+
+#[test]
+fn collective_kinds_scale_edge_traffic_correctly() {
+    // ZeRO's reduce-scatter + allgather moves the same bytes as allreduce.
+    let topo = Topology::build(&ClosConfig::testbed_128());
+    let comm = Communicator::new(
+        1,
+        (0..2)
+            .flat_map(|n| topo.node(NodeId::from_index(n)).gpus.clone())
+            .collect(),
+        &topo,
+    )
+    .unwrap();
+    let run = |kind: CollKind| {
+        let req = CollectiveRequest {
+            comm: &comm,
+            seq: 0,
+            kind,
+            dtype: DataType::Bf16,
+            count: 128 * 1024 * 1024,
+            config: CommConfig::default(),
+            start: SimTime::ZERO,
+            rank_ready: None,
+            drain: DrainConfig::default(),
+        };
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(1);
+        run_collective(&topo, &req, &mut sel, None, &mut rng, None)
+    };
+    let ar = run(CollKind::AllReduce);
+    let rs = run(CollKind::ReduceScatter);
+    let ag = run(CollKind::AllGather);
+    let combined = rs.duration().unwrap() + ag.duration().unwrap();
+    let allreduce = ar.duration().unwrap();
+    let diff = (combined.as_secs_f64() - allreduce.as_secs_f64()).abs();
+    assert!(
+        diff < allreduce.as_secs_f64() * 0.02,
+        "RS+AG ≈ AR on the wire: {combined} vs {allreduce}"
+    );
+}
+
+#[test]
+fn checkpoint_cadence_controls_post_checkpoint_loss() {
+    // Fig 2 economics: denser checkpoints shrink exactly one bucket.
+    let mut sparse = OperationConfig::june_2023_175b();
+    sparse.recovery.checkpoint_interval = SimDuration::from_hours(8);
+    let mut dense = OperationConfig::june_2023_175b();
+    dense.recovery.checkpoint_interval = SimDuration::from_mins(10);
+    let a = simulate_operation(&sparse, 13);
+    let b = simulate_operation(&dense, 13);
+    assert!(
+        a.post_checkpoint_fraction() > b.post_checkpoint_fraction() * 5.0,
+        "sparse {:.4} vs dense {:.4}",
+        a.post_checkpoint_fraction(),
+        b.post_checkpoint_fraction()
+    );
+}

@@ -1,0 +1,179 @@
+//! Integration: C4P invariants across the netsim/topology/collectives
+//! boundary — the properties §III-B promises.
+
+use c4::prelude::*;
+
+fn grouped_topo() -> Topology {
+    Topology::build(&ClosConfig::testbed_128_grouped(2).trunked())
+}
+
+fn cross_group_key(topo: &Topology, job: u64, rail: usize, qp: u16) -> FlowKey {
+    FlowKey {
+        src_gpu: topo.gpu_at(NodeId::from_index(job as usize % 8), rail),
+        dst_gpu: topo.gpu_at(NodeId::from_index(8 + job as usize % 8), rail),
+        comm: job,
+        channel: 0,
+        qp,
+        incarnation: 0,
+    }
+}
+
+#[test]
+fn c4p_never_crosses_bonded_port_sides() {
+    // The paper: "the master ensures traffic from the same NIC is balanced
+    // between left and right ports by forbidding the paths from left ports
+    // to right, and vice versa".
+    let topo = grouped_topo();
+    let mut master = C4pMaster::new(&topo, C4pConfig::default());
+    for job in 0..32u64 {
+        for rail in 0..8 {
+            for qp in 0..2u16 {
+                let choice = master.select(&topo, &cross_group_key(&topo, job, rail, qp));
+                assert_eq!(choice.src_side, choice.dst_side, "L↔L / R↔R only");
+            }
+        }
+    }
+}
+
+#[test]
+fn c4p_spreads_connections_across_all_spines() {
+    let topo = grouped_topo();
+    let mut master = C4pMaster::new(&topo, C4pConfig::default());
+    let mut per_spine: std::collections::HashMap<SwitchId, u32> = Default::default();
+    for job in 0..16u64 {
+        for rail in 0..8 {
+            for qp in 0..2u16 {
+                if let Some(p) = master
+                    .select(&topo, &cross_group_key(&topo, job, rail, qp))
+                    .fabric
+                {
+                    *per_spine.entry(p.spine).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(per_spine.len(), topo.num_spines(), "all spines used");
+    let max = per_spine.values().max().unwrap();
+    let min = per_spine.values().min().unwrap();
+    assert!(
+        max - min <= 1 + (max / 4),
+        "near-even spine loads: {per_spine:?}"
+    );
+}
+
+#[test]
+fn probe_eliminates_degraded_links_that_ecmp_still_uses() {
+    let mut topo = grouped_topo();
+    let flaky = topo.fabric_up_links(0, 3)[0];
+    topo.link_mut(flaky).set_degradation(0.5);
+
+    // ECMP (routing) considers the link alive and keeps hashing onto it.
+    let mut ecmp = EcmpSelector::new(5);
+    let ecmp_uses_flaky = (0..64u64).any(|j| {
+        (0..2u16).any(|qp| {
+            ecmp.select(&topo, &cross_group_key(&topo, j, 0, qp))
+                .fabric
+                .is_some_and(|p| p.up == flaky)
+        })
+    });
+    assert!(ecmp_uses_flaky, "baseline routing cannot see degradation");
+
+    // C4P's prober eliminates it.
+    let mut master = C4pMaster::new(&topo, C4pConfig::default());
+    assert!(master.catalog().eliminated_links().contains(&flaky));
+    for j in 0..64u64 {
+        for qp in 0..2u16 {
+            let c = master.select(&topo, &cross_group_key(&topo, j, 0, qp));
+            assert!(c.fabric.is_none_or(|p| p.up != flaky));
+        }
+    }
+}
+
+#[test]
+fn rebalance_moves_allocations_off_dead_spine_and_stays_even() {
+    let mut topo = grouped_topo();
+    let mut master = C4pMaster::new(&topo, C4pConfig::default());
+    let keys: Vec<FlowKey> = (0..16u64)
+        .flat_map(|j| (0..2u16).map(move |qp| (j, qp)))
+        .map(|(j, qp)| cross_group_key(&topo, j, 0, qp))
+        .collect();
+    for k in &keys {
+        master.select(&topo, k);
+    }
+    let dead = topo.spines()[2];
+    topo.set_spine_up(dead, false);
+    master.rebalance(&topo);
+    let mut per_spine: std::collections::HashMap<SwitchId, u32> = Default::default();
+    for k in &keys {
+        let p = master.select(&topo, k).fabric.expect("cross-group");
+        assert_ne!(p.spine, dead);
+        *per_spine.entry(p.spine).or_insert(0) += 1;
+    }
+    assert_eq!(per_spine.len(), topo.num_spines() - 1);
+    let max = per_spine.values().max().unwrap();
+    let min = per_spine.values().min().unwrap();
+    assert!(max - min <= 2, "even over survivors: {per_spine:?}");
+}
+
+#[test]
+fn dynamic_byte_split_equalizes_qp_finish_times() {
+    // One stream's two QPs on asymmetric paths: the EMA weights shift bytes
+    // toward the faster QP until the edge completes as fast as possible.
+    let mut topo = Topology::build(&ClosConfig::testbed_128().trunked());
+    let comm = Communicator::new(
+        1,
+        (0..2)
+            .flat_map(|n| topo.node(NodeId::from_index(n)).gpus.clone())
+            .collect(),
+        &topo,
+    )
+    .unwrap();
+    // Degrade rail 0's right port to half speed: QP1 runs at 100 Gbps.
+    let g = topo.gpu_at(NodeId::from_index(1), 0);
+    let p = topo.port_of_gpu(g, PortSide::Right);
+    topo.link_mut(topo.port(p).host_down).set_degradation(0.5);
+
+    let mut master = C4pMaster::new(&topo, C4pConfig::default());
+    let mut observer = master.clone();
+    let mut rng = DetRng::seed_from(10);
+    let mut durations = Vec::new();
+    for seq in 0..6u64 {
+        let table = observer.weight_table();
+        let weights = move |k: &FlowKey| table.get(k).copied().unwrap_or(1.0);
+        let req = CollectiveRequest {
+            comm: &comm,
+            seq,
+            kind: CollKind::AllReduce,
+            dtype: DataType::Bf16,
+            count: 256 * 1024 * 1024,
+            config: CommConfig::default(),
+            start: SimTime::ZERO,
+            rank_ready: None,
+            drain: DrainConfig::default(),
+        };
+        let res = run_collective(&topo, &req, &mut master, Some(&weights), &mut rng, None);
+        observer.observe(&res.qp_outcomes);
+        durations.push(res.duration().expect("completes").as_secs_f64());
+    }
+    assert!(
+        durations.last().unwrap() < &(durations[0] * 0.85),
+        "re-splitting should shorten the sync: {durations:?}"
+    );
+}
+
+#[test]
+fn incarnation_bump_rehashes_ecmp_placement() {
+    let topo = grouped_topo();
+    let mut ecmp = EcmpSelector::new(3);
+    let mut k = cross_group_key(&topo, 1, 0, 0);
+    let before = ecmp.select(&topo, &k);
+    let mut changed = false;
+    for inc in 1..12 {
+        k.incarnation = inc;
+        if ecmp.select(&topo, &k) != before {
+            changed = true;
+            break;
+        }
+    }
+    assert!(changed, "restart must be able to change ECMP placement");
+}
