@@ -16,18 +16,14 @@ fn bench_allreduce(c: &mut Criterion) {
             .flat_map(|n| topo.node(NodeId::from_index(n)).gpus.clone())
             .collect();
         let comm = Communicator::new(1, devices, &topo).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(nodes * 8),
-            &nodes,
-            |b, _| {
-                b.iter(|| {
-                    let mut sel = RailLocalSelector::new();
-                    let mut rng = DetRng::seed_from(1);
-                    let req = benchmark_request(&comm, 0, DrainConfig::default());
-                    run_collective(&topo, &req, &mut sel, None, &mut rng, None)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(nodes * 8), &nodes, |b, _| {
+            b.iter(|| {
+                let mut sel = RailLocalSelector::new();
+                let mut rng = DetRng::seed_from(1);
+                let req = benchmark_request(&comm, 0, DrainConfig::default());
+                run_collective(&topo, &req, &mut sel, None, &mut rng, None)
+            })
+        });
     }
     group.finish();
 }

@@ -80,11 +80,8 @@ fn run_ladder(
             .collect();
         let mut shim = Shim(&mut *select);
         let results = run_concurrent(&topo, &reqs, &mut shim, None, &mut rng, None);
-        let mean = results
-            .iter()
-            .filter_map(|r| r.busbw_gbps())
-            .sum::<f64>()
-            / results.len() as f64;
+        let mean =
+            results.iter().filter_map(|r| r.busbw_gbps()).sum::<f64>() / results.len() as f64;
         if it < fail_at {
             pre.push(mean);
         } else {

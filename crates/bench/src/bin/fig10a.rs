@@ -16,7 +16,10 @@ fn main() {
         "Task", "Baseline (Gbps)", "C4P (Gbps)"
     );
     for t in &r.tasks {
-        println!("{:>6} {:>16.1} {:>12.1}", t.task, t.baseline_gbps, t.c4p_gbps);
+        println!(
+            "{:>6} {:>16.1} {:>12.1}",
+            t.task, t.baseline_gbps, t.c4p_gbps
+        );
     }
     println!();
     println!(

@@ -17,9 +17,16 @@ fn main() {
         "Task", "Baseline (Gbps)", "C4P (Gbps)"
     );
     for t in &r.tasks {
-        println!("{:>6} {:>16.1} {:>12.1}", t.task, t.baseline_gbps, t.c4p_gbps);
+        println!(
+            "{:>6} {:>16.1} {:>12.1}",
+            t.task, t.baseline_gbps, t.c4p_gbps
+        );
     }
-    let min = r.tasks.iter().map(|t| t.c4p_gbps).fold(f64::INFINITY, f64::min);
+    let min = r
+        .tasks
+        .iter()
+        .map(|t| t.c4p_gbps)
+        .fold(f64::INFINITY, f64::min);
     let max = r.tasks.iter().map(|t| t.c4p_gbps).fold(0.0_f64, f64::max);
     println!();
     println!(
@@ -28,10 +35,7 @@ fn main() {
         r.c4p_mean,
         pct(r.improvement)
     );
-    println!(
-        "C4P task spread: {:.1} Gbps (paper: 11.27 Gbps)",
-        max - min
-    );
+    println!("C4P task spread: {:.1} Gbps (paper: 11.27 Gbps)", max - min);
     if cli.json {
         let rows: Vec<String> = r
             .tasks

@@ -11,7 +11,10 @@ fn main() {
         "≈15 kp/s per port, fluctuating between 12.5 and 17.5 kp/s",
     );
     let r = fig10::run(true, cli.seed, cli.iters);
-    println!("{:>10} {:>12} {:>12} {:>12}", "time (s)", "min (kp/s)", "mean (kp/s)", "max (kp/s)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "time (s)", "min (kp/s)", "mean (kp/s)", "max (kp/s)"
+    );
     let mut all = Vec::new();
     for (t, rates) in &r.cnp_series {
         let min = rates.iter().copied().fold(f64::INFINITY, f64::min) / 1e3;

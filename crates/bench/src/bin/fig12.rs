@@ -21,7 +21,11 @@ fn summarize(label: &str, r: &fig12::Fig12Report) {
         let min = row.iter().copied().fold(f64::INFINITY, f64::min);
         let max = row.iter().copied().fold(0.0_f64, f64::max);
         let mean = row.iter().sum::<f64>() / row.len() as f64;
-        let marker = if i == r.fail_at { "  ← link fails" } else { "" };
+        let marker = if i == r.fail_at {
+            "  ← link fails"
+        } else {
+            ""
+        };
         println!("  {i:>6} {min:>10.1} {mean:>10.1} {max:>10.1}{marker}");
     }
 }

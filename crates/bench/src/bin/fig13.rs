@@ -20,7 +20,11 @@ fn print_series(label: &str, r: &fig12::Fig12Report) {
         for p in ports {
             print!("{p:>9.1}");
         }
-        let marker = if i == r.fail_at { "  ← link fails" } else { "" };
+        let marker = if i == r.fail_at {
+            "  ← link fails"
+        } else {
+            ""
+        };
         println!("{marker}");
     }
 }

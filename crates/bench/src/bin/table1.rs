@@ -28,17 +28,10 @@ fn main() {
             pct(row.local_pct)
         );
     }
-    let local = report
-        .crashes
-        .iter()
-        .filter(|c| c.local)
-        .count() as f64
+    let local = report.crashes.iter().filter(|c| c.local).count() as f64
         / report.crashes.len().max(1) as f64;
     println!();
-    println!(
-        "node-local crashes overall: {} (paper: ~82.5%)",
-        pct(local)
-    );
+    println!("node-local crashes overall: {} (paper: ~82.5%)", pct(local));
     if cli.json {
         let rows: Vec<String> = report
             .cause_census()

@@ -17,7 +17,10 @@ fn main() {
     println!("  nodes                    {}", cfg.nodes);
     println!("  GPUs/node                {}", cfg.gpus_per_node);
     println!("  NICs/node (dual-port)    {}", cfg.nics_per_node);
-    println!("  port bandwidth           {} Gbps ×2 (bonded 400)", cfg.port_gbps);
+    println!(
+        "  port bandwidth           {} Gbps ×2 (bonded 400)",
+        cfg.port_gbps
+    );
     println!("  NVLink busbw cap         {} Gbps", cfg.nvlink_gbps);
     println!("  leaf switches            {}", cfg.num_leaves);
     println!("  spine switches           {}", cfg.num_spines);

@@ -1,16 +1,25 @@
 //! Regenerates **Table III**: error-induced downtime of the 2,400-GPU 175-B
 //! job before (June 2023) and after (December 2023) C4D deployment.
 
+use c4::prelude::OperationReport;
 use c4::scenarios::tables::table3;
 use c4_bench::{banner, parse_cli, pct};
-use c4::prelude::OperationReport;
 
 fn column(label: &str, r: &OperationReport) {
     println!("— {label} —");
     println!("  crashes:               {:>8}", r.crashes.len());
-    println!("  Post-Checkpoint        {:>8}", pct(r.post_checkpoint_fraction()));
-    println!("  Detection              {:>8}", pct(r.detection_fraction()));
-    println!("  Diagnosis & Isolation  {:>8}", pct(r.diagnosis_fraction()));
+    println!(
+        "  Post-Checkpoint        {:>8}",
+        pct(r.post_checkpoint_fraction())
+    );
+    println!(
+        "  Detection              {:>8}",
+        pct(r.detection_fraction())
+    );
+    println!(
+        "  Diagnosis & Isolation  {:>8}",
+        pct(r.diagnosis_fraction())
+    );
     for (cause, f) in r.diagnosis_by_cause() {
         println!("    {cause:<20} {:>8}", pct(f));
     }
@@ -30,13 +39,13 @@ fn main() {
     let (june, dec) = table3(cli.seed);
     column("June 2023 (manual ops, sparse checkpoints)", &june);
     println!();
-    column("December 2023 (C4D + 10-min checkpoints + hardened fleet)", &dec);
+    column(
+        "December 2023 (C4D + 10-min checkpoints + hardened fleet)",
+        &dec,
+    );
     println!();
     let ratio = june.downtime_fraction() / dec.downtime_fraction().max(1e-9);
-    println!(
-        "improvement: {:.1}× less downtime (paper: ≈30×)",
-        ratio
-    );
+    println!("improvement: {:.1}× less downtime (paper: ≈30×)", ratio);
     if cli.json {
         println!(
             "JSON: {{\"june_total\":{:.4},\"dec_total\":{:.4},\"ratio\":{:.1}}}",

@@ -261,18 +261,15 @@ mod tests {
     #[test]
     fn missing_rank_is_noncomm_hang() {
         let comm = comm_of(4);
-        let mut colls: Vec<Vec<CollRecord>> = (0..4u32)
-            .map(|r| vec![coll(5, r, 10, None)])
-            .collect();
+        let mut colls: Vec<Vec<CollRecord>> =
+            (0..4u32).map(|r| vec![coll(5, r, 10, None)]).collect();
         colls[2] = vec![coll(4, 2, 5, Some(9))]; // rank 2 never launched seq 5
         let snaps = snapshots_with(colls);
         let cfg = DetectorConfig::default();
         let syn = detect_hang(SimTime::from_secs(60), &comm, &snaps, &cfg).unwrap();
         match syn {
             Syndrome::NonCommHang {
-                seq,
-                missing_ranks,
-                ..
+                seq, missing_ranks, ..
             } => {
                 assert_eq!(seq, 5);
                 assert_eq!(missing_ranks, vec![2]);

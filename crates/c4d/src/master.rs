@@ -75,9 +75,7 @@ impl C4dMaster {
             // completing first). For a non-comm hang the missing rank is it.
             let suspect_rank = match &syndrome {
                 Syndrome::NonCommHang { missing_ranks, .. } => missing_ranks.first().copied(),
-                Syndrome::CommHang { .. } => {
-                    stalled_rank_from_transport(comm, snapshots).or(rank)
-                }
+                Syndrome::CommHang { .. } => stalled_rank_from_transport(comm, snapshots).or(rank),
                 _ => None,
             };
             let suspect = suspect_rank.map(|r| topo.gpu(comm.devices[r as usize]).node);
@@ -165,10 +163,7 @@ impl C4dMaster {
 /// sends targeting it stopped completing. A rank that merely sends into a
 /// dead peer keeps receiving normally, which disambiguates the two ends of
 /// a dead connection.
-fn stalled_rank_from_transport(
-    comm: &CommRecord,
-    snapshots: &[TelemetrySnapshot],
-) -> Option<u32> {
+fn stalled_rank_from_transport(comm: &CommRecord, snapshots: &[TelemetrySnapshot]) -> Option<u32> {
     let nranks = comm.nranks();
     let mut last_tx: Vec<Option<SimTime>> = vec![None; nranks];
     let mut last_rx: Vec<Option<SimTime>> = vec![None; nranks];

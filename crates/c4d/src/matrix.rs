@@ -163,8 +163,8 @@ impl DelayMatrix {
             }
             let bad = entries.iter().filter(|&&v| abnormal(v)).count();
             if bad as f64 / entries.len() as f64 >= row_col_fraction {
-                let mean_bad: f64 = entries.iter().filter(|&&v| abnormal(v)).sum::<f64>()
-                    / bad.max(1) as f64;
+                let mean_bad: f64 =
+                    entries.iter().filter(|&&v| abnormal(v)).sum::<f64>() / bad.max(1) as f64;
                 row_flagged[i] = true;
                 findings.push(MatrixFinding::TxSlow {
                     rank: i as u32,
@@ -183,8 +183,8 @@ impl DelayMatrix {
             }
             let bad = entries.iter().filter(|&&v| abnormal(v)).count();
             if bad as f64 / entries.len() as f64 >= row_col_fraction {
-                let mean_bad: f64 = entries.iter().filter(|&&v| abnormal(v)).sum::<f64>()
-                    / bad.max(1) as f64;
+                let mean_bad: f64 =
+                    entries.iter().filter(|&&v| abnormal(v)).sum::<f64>() / bad.max(1) as f64;
                 col_flagged[j] = true;
                 findings.push(MatrixFinding::RxSlow {
                     rank: j as u32,
@@ -298,10 +298,7 @@ mod tests {
         }
         let findings = m.analyze(2.0, 0.7);
         assert_eq!(findings.len(), 1);
-        assert!(matches!(
-            findings[0],
-            MatrixFinding::RxSlow { rank: 5, .. }
-        ));
+        assert!(matches!(findings[0], MatrixFinding::RxSlow { rank: 5, .. }));
     }
 
     #[test]

@@ -185,7 +185,9 @@ pub fn analyze(
                 evidence: "communication slow without localization".into(),
             }],
         },
-        Syndrome::NonCommSlow { straggler, ratio, .. } => vec![
+        Syndrome::NonCommSlow {
+            straggler, ratio, ..
+        } => vec![
             Hypothesis {
                 cause: FaultKind::SlowGpu,
                 confidence: 0.5,
@@ -196,8 +198,7 @@ pub fn analyze(
             Hypothesis {
                 cause: FaultKind::GcPause,
                 confidence: 0.3,
-                evidence: "recurring host stalls (GC, CPU contention) inflate compute time"
-                    .into(),
+                evidence: "recurring host stalls (GC, CPU contention) inflate compute time".into(),
             },
             Hypothesis {
                 cause: FaultKind::DataloaderStall,
@@ -353,9 +354,15 @@ mod tests {
         let comm = comm_of(4);
         let tx = Syndrome::CommSlow {
             comm: 1,
-            findings: vec![MatrixFinding::TxSlow { rank: 1, ratio: 4.0 }],
+            findings: vec![MatrixFinding::TxSlow {
+                rank: 1,
+                ratio: 4.0,
+            }],
         };
-        assert_eq!(analyze(&comm, &[], &tx).probable_cause(), FaultKind::NicHalfDown);
+        assert_eq!(
+            analyze(&comm, &[], &tx).probable_cause(),
+            FaultKind::NicHalfDown
+        );
         let cell = Syndrome::CommSlow {
             comm: 1,
             findings: vec![MatrixFinding::ConnectionSlow {
@@ -364,7 +371,10 @@ mod tests {
                 ratio: 5.0,
             }],
         };
-        assert_eq!(analyze(&comm, &[], &cell).probable_cause(), FaultKind::LinkFailure);
+        assert_eq!(
+            analyze(&comm, &[], &cell).probable_cause(),
+            FaultKind::LinkFailure
+        );
     }
 
     #[test]

@@ -168,9 +168,7 @@ mod tests {
     }
 
     fn steering(n_backups: usize) -> JobSteering {
-        let backups = (0..n_backups)
-            .map(|i| NodeId::from_index(15 - i))
-            .collect();
+        let backups = (0..n_backups).map(|i| NodeId::from_index(15 - i)).collect();
         JobSteering::new(SteeringConfig::default(), backups)
     }
 
@@ -197,7 +195,8 @@ mod tests {
         let mut t = topo();
         let mut s = steering(2);
         let victim = NodeId::from_index(3);
-        s.isolate_and_replace(&mut t, victim, SimTime::ZERO).unwrap();
+        s.isolate_and_replace(&mut t, victim, SimTime::ZERO)
+            .unwrap();
         assert_eq!(
             s.isolate_and_replace(&mut t, victim, SimTime::ZERO),
             Err(SteeringError::AlreadyIsolated(victim))
@@ -221,7 +220,8 @@ mod tests {
         let mut t = topo();
         let mut s = steering(1);
         let victim = NodeId::from_index(7);
-        s.isolate_and_replace(&mut t, victim, SimTime::ZERO).unwrap();
+        s.isolate_and_replace(&mut t, victim, SimTime::ZERO)
+            .unwrap();
         assert_eq!(s.backups_left(), 0);
         s.return_repaired(&mut t, victim);
         assert_eq!(s.backups_left(), 1);

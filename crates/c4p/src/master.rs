@@ -360,9 +360,7 @@ mod tests {
         let t0 = topo_grouped();
         let mut m = C4pMaster::new(&t0, C4pConfig::default());
         let keys: Vec<FlowKey> = (0..8)
-            .flat_map(|i| {
-                (0..2u16).map(move |qp| (i, qp))
-            })
+            .flat_map(|i| (0..2u16).map(move |qp| (i, qp)))
             .map(|(i, qp)| {
                 let mut k = key(&t0, i, 8 + i, 0, qp);
                 k.comm = i as u64;

@@ -70,11 +70,7 @@ impl Communicator {
     ///
     /// Returns [`CommunicatorError`] when the list is empty or contains
     /// duplicates.
-    pub fn new(
-        id: u64,
-        devices: Vec<GpuId>,
-        topo: &Topology,
-    ) -> Result<Self, CommunicatorError> {
+    pub fn new(id: u64, devices: Vec<GpuId>, topo: &Topology) -> Result<Self, CommunicatorError> {
         if devices.is_empty() {
             return Err(CommunicatorError::Empty);
         }
@@ -121,7 +117,10 @@ impl Communicator {
 
     /// Rank of a device, if a member.
     pub fn rank_of(&self, gpu: GpuId) -> Option<u32> {
-        self.devices.iter().position(|&d| d == gpu).map(|i| i as u32)
+        self.devices
+            .iter()
+            .position(|&d| d == gpu)
+            .map(|i| i as u32)
     }
 
     /// The device at a rank.

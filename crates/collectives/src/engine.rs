@@ -101,7 +101,11 @@ fn build_request(
             qp: 0,
             incarnation: comm.incarnation(),
         };
-        specs.push(FlowSpec::new(key, edge_bytes, topo.intra_node_route(src, dst)));
+        specs.push(FlowSpec::new(
+            key,
+            edge_bytes,
+            topo.intra_node_route(src, dst),
+        ));
     }
     let intra_count = specs.len();
 
@@ -232,7 +236,10 @@ pub fn run_concurrent(
     rng: &mut DetRng,
     mut telemetry: Option<&mut [WorkerTelemetry]>,
 ) -> Vec<CollectiveResult> {
-    assert!(!reqs.is_empty(), "run_concurrent needs at least one request");
+    assert!(
+        !reqs.is_empty(),
+        "run_concurrent needs at least one request"
+    );
     if let Some(tel) = telemetry.as_deref() {
         let max_gpu = reqs
             .iter()
@@ -328,32 +335,31 @@ pub fn run_tree_collective(
     let plan = crate::plan::TreePlan::build(comm);
     let started = req.start;
 
-    let mut build_phase = |edges: &[(c4_topology::GpuId, c4_topology::GpuId)],
-                           phase: u16|
-     -> Vec<FlowSpec> {
-        edges
-            .iter()
-            .map(|&(src, dst)| {
-                let key = FlowKey {
-                    src_gpu: src,
-                    dst_gpu: dst,
-                    comm: comm.id(),
-                    channel: phase,
-                    qp: 0,
-                    incarnation: comm.incarnation(),
-                };
-                let route = if topo.gpu(src).node == topo.gpu(dst).node {
-                    topo.intra_node_route(src, dst)
-                } else {
-                    let choice = selector.select(topo, &key);
-                    let sp = topo.port_of_gpu(src, choice.src_side);
-                    let dp = topo.port_of_gpu(dst, choice.dst_side);
-                    topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst)
-                };
-                FlowSpec::new(key, message_bytes, route)
-            })
-            .collect()
-    };
+    let mut build_phase =
+        |edges: &[(c4_topology::GpuId, c4_topology::GpuId)], phase: u16| -> Vec<FlowSpec> {
+            edges
+                .iter()
+                .map(|&(src, dst)| {
+                    let key = FlowKey {
+                        src_gpu: src,
+                        dst_gpu: dst,
+                        comm: comm.id(),
+                        channel: phase,
+                        qp: 0,
+                        incarnation: comm.incarnation(),
+                    };
+                    let route = if topo.gpu(src).node == topo.gpu(dst).node {
+                        topo.intra_node_route(src, dst)
+                    } else {
+                        let choice = selector.select(topo, &key);
+                        let sp = topo.port_of_gpu(src, choice.src_side);
+                        let dp = topo.port_of_gpu(dst, choice.dst_side);
+                        topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst)
+                    };
+                    FlowSpec::new(key, message_bytes, route)
+                })
+                .collect()
+        };
 
     // Phase 1: reduce up. Phase 2: broadcast down, starting when the reduce
     // finished everywhere (BSP within the operation).
@@ -455,9 +461,16 @@ pub fn run_collective(
     rng: &mut DetRng,
     telemetry: Option<&mut [WorkerTelemetry]>,
 ) -> CollectiveResult {
-    run_concurrent(topo, std::slice::from_ref(req), selector, qp_weights, rng, telemetry)
-        .pop()
-        .expect("one request yields one result")
+    run_concurrent(
+        topo,
+        std::slice::from_ref(req),
+        selector,
+        qp_weights,
+        rng,
+        telemetry,
+    )
+    .pop()
+    .expect("one request yields one result")
 }
 
 #[cfg(test)]
@@ -606,7 +619,8 @@ mod tests {
         let req = request(&comm);
         let mut sel = RailLocalSelector::new();
         let mut rng = DetRng::seed_from(7);
-        let weights: Box<QpWeightFn<'_>> = Box::new(|k: &FlowKey| if k.qp == 0 { 3.0 } else { 1.0 });
+        let weights: Box<QpWeightFn<'_>> =
+            Box::new(|k: &FlowKey| if k.qp == 0 { 3.0 } else { 1.0 });
         let res = run_collective(&t, &req, &mut sel, Some(&*weights), &mut rng, None);
         let qp0: u64 = res
             .qp_outcomes

@@ -34,7 +34,9 @@ pub mod plan;
 pub mod result;
 
 pub use comm::{CommConfig, Communicator};
-pub use engine::{run_collective, run_concurrent, run_tree_collective, CollectiveRequest, QpWeightFn};
+pub use engine::{
+    run_collective, run_concurrent, run_tree_collective, CollectiveRequest, QpWeightFn,
+};
 pub use plan::{bus_factor, BoundaryStream, RingPlan, TreePlan};
 pub use result::CollectiveResult;
 

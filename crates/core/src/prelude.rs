@@ -6,27 +6,25 @@ pub use c4_simcore::{
 };
 
 pub use c4_topology::{
-    ClosConfig, FabricPath, Gpu, GpuId, Link, LinkId, LinkKind, Nic, NicId, NicPort, Node,
-    NodeId, PortId, PortSide, Switch, SwitchId, SwitchTier, Topology, WiringMode,
+    ClosConfig, FabricPath, Gpu, GpuId, Link, LinkId, LinkKind, Nic, NicId, NicPort, Node, NodeId,
+    PortId, PortSide, Switch, SwitchId, SwitchTier, Topology, WiringMode,
 };
 
 pub use c4_netsim::maxmin;
 pub use c4_netsim::{
-    drain, mix64, CnpModel, DrainConfig, DrainReport, EcmpSelector, FlowKey, FlowOutcome,
-    FlowSpec, PathChoice, PathSelector, RailLocalSelector,
+    drain, mix64, CnpModel, DrainConfig, DrainReport, EcmpSelector, FlowKey, FlowOutcome, FlowSpec,
+    PathChoice, PathSelector, RailLocalSelector,
 };
 
 pub use c4_telemetry::csv::to_csv_document;
 pub use c4_telemetry::{
     AlgoKind, C4Event, ClusterSummary, CollKind, CollRecord, CommRecord, ConnKey, ConnRecord,
-    DataType, EventKind, EventLog, RankRecord, Severity, TelemetrySnapshot, ToCsv,
-    WorkerTelemetry,
+    DataType, EventKind, EventLog, RankRecord, Severity, TelemetrySnapshot, ToCsv, WorkerTelemetry,
 };
 
 pub use c4_collectives::{
     bus_factor, run_collective, run_concurrent, run_tree_collective, BoundaryStream,
-    CollectiveRequest, CollectiveResult, CommConfig, Communicator, QpWeightFn, RingPlan,
-    TreePlan,
+    CollectiveRequest, CollectiveResult, CommConfig, Communicator, QpWeightFn, RingPlan, TreePlan,
 };
 
 pub use c4_faults::{
@@ -35,9 +33,9 @@ pub use c4_faults::{
 };
 
 pub use c4_diagnosis::{
-    analyze_root_cause, detect_hang, detect_noncomm_slow, C4dMaster, DelayMatrix,
-    DetectorConfig, Diagnosis, Hypothesis, JobSteering, LoadSmoother, MatrixFinding,
-    RcaReport, ReplacementPlan, SteeringConfig, SteeringError, Syndrome,
+    analyze_root_cause, detect_hang, detect_noncomm_slow, C4dMaster, DelayMatrix, DetectorConfig,
+    Diagnosis, Hypothesis, JobSteering, LoadSmoother, MatrixFinding, RcaReport, ReplacementPlan,
+    SteeringConfig, SteeringError, Syndrome,
 };
 
 pub use c4_traffic::{C4pConfig, C4pMaster, PathCatalog, PathLoadLedger};

@@ -150,7 +150,9 @@ pub fn run(two_to_one: bool, seed: u64, iters: usize) -> Fig10Report {
     let (baseline, _) = run_mode(
         &topo,
         &jobs,
-        Mode::Baseline { salt: seed ^ 0xEC3F },
+        Mode::Baseline {
+            salt: seed ^ 0xEC3F,
+        },
         &drain,
         iters,
         &mut rng,
@@ -220,7 +222,11 @@ mod tests {
     #[test]
     fn two_to_one_keeps_small_spread_under_c4p() {
         let r = run(true, 42, 4);
-        let min = r.tasks.iter().map(|t| t.c4p_gbps).fold(f64::INFINITY, f64::min);
+        let min = r
+            .tasks
+            .iter()
+            .map(|t| t.c4p_gbps)
+            .fold(f64::INFINITY, f64::min);
         let max = r.tasks.iter().map(|t| t.c4p_gbps).fold(0.0_f64, f64::max);
         assert!(
             max - min < 40.0,
@@ -228,7 +234,11 @@ mod tests {
             max - min
         );
         // Congested regime: C4P lands near 180, not near the 362 cap.
-        assert!((140.0..230.0).contains(&r.c4p_mean), "c4p mean {}", r.c4p_mean);
+        assert!(
+            (140.0..230.0).contains(&r.c4p_mean),
+            "c4p mean {}",
+            r.c4p_mean
+        );
         assert!(r.improvement > 0.30, "improvement {:.2}", r.improvement);
         // Fig 11: CNP band 12.5–17.5 kp/s.
         assert!(!r.cnp_series.is_empty());

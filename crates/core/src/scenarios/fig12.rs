@@ -99,7 +99,14 @@ pub fn run(dynamic: bool, seed: u64, iters: usize, fail_at: usize) -> Fig12Repor
             .iter()
             .map(|c| benchmark_request(c, it as u64, drain.clone()))
             .collect();
-        let results = run_concurrent(&topo, &requests, &mut selector, Some(&weight_fn), &mut rng, None);
+        let results = run_concurrent(
+            &topo,
+            &requests,
+            &mut selector,
+            Some(&weight_fn),
+            &mut rng,
+            None,
+        );
         let mut iter_secs = 0.0_f64;
         let busbws: Vec<f64> = results
             .iter()

@@ -38,10 +38,7 @@ fn measure(
     let mut job = TrainingJob::new(topo, spec.clone(), layout, 1000);
     let mut sps = Vec::new();
     for it in 0..iters {
-        let weight_table = c4p
-            .as_deref()
-            .map(|m| m.weight_table())
-            .unwrap_or_default();
+        let weight_table = c4p.as_deref().map(|m| m.weight_table()).unwrap_or_default();
         let weight_fn = move |k: &FlowKey| weight_table.get(k).copied().unwrap_or(1.0);
         let report = job.run_iteration(topo, selector, Some(&weight_fn), rng, &[], None);
         if let Some(m) = c4p.as_deref_mut() {

@@ -127,10 +127,7 @@ pub fn run(case: Fig7Case, seed: u64) -> Fig7Report {
         .collect();
     full_mesh(&topo, &devices, &mut master, &mut rng, &mut tel);
 
-    let matrix = DelayMatrix::from_conn_records(
-        &devices,
-        tel.iter().flat_map(|w| w.conns()),
-    );
+    let matrix = DelayMatrix::from_conn_records(&devices, tel.iter().flat_map(|w| w.conns()));
     let findings = matrix.analyze(2.0, 0.7);
     Fig7Report {
         case,
@@ -153,10 +150,9 @@ mod tests {
     fn connection_slow_localizes_the_cell() {
         let r = run(Fig7Case::ConnectionSlow, 42);
         assert!(
-            r.findings.iter().any(|f| matches!(
-                f,
-                MatrixFinding::ConnectionSlow { src: 3, dst: 4, .. }
-            )),
+            r.findings
+                .iter()
+                .any(|f| matches!(f, MatrixFinding::ConnectionSlow { src: 3, dst: 4, .. })),
             "findings: {:?}",
             r.findings
         );

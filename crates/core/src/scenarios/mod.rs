@@ -21,7 +21,11 @@ use c4_telemetry::{CollKind, DataType};
 /// A standard large-message allreduce request used by the benchmark
 /// scenarios (1 GiB of BF16, ring algorithm, 2 QPs per stream — the
 /// `nccl-test` configuration of §IV-A).
-pub fn benchmark_request<'a>(comm: &'a Communicator, seq: u64, drain: DrainConfig) -> CollectiveRequest<'a> {
+pub fn benchmark_request<'a>(
+    comm: &'a Communicator,
+    seq: u64,
+    drain: DrainConfig,
+) -> CollectiveRequest<'a> {
     CollectiveRequest {
         comm,
         seq,

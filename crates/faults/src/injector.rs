@@ -204,22 +204,15 @@ mod tests {
         // Many months for statistics.
         let mut counts = std::collections::HashMap::new();
         for _ in 0..50 {
-            for e in inj.schedule_crashes(
-                4096,
-                512,
-                8,
-                SimTime::ZERO,
-                SimDuration::from_hours(720),
-            ) {
+            for e in inj.schedule_crashes(4096, 512, 8, SimTime::ZERO, SimDuration::from_hours(720))
+            {
                 *counts.entry(e.kind).or_insert(0usize) += 1;
             }
         }
         let total: usize = counts.values().sum();
         let frac = |k: FaultKind| *counts.get(&k).unwrap_or(&0) as f64 / total as f64;
         assert!((frac(FaultKind::CudaError) - 0.125).abs() < 0.03);
-        assert!(
-            (frac(FaultKind::EccError) + frac(FaultKind::NvlinkError) - 0.275).abs() < 0.03
-        );
+        assert!((frac(FaultKind::EccError) + frac(FaultKind::NvlinkError) - 0.275).abs() < 0.03);
         assert!((frac(FaultKind::NcclTimeout) - 0.20).abs() < 0.03);
         assert!((frac(FaultKind::AckTimeout) - 0.275).abs() < 0.03);
         assert!((frac(FaultKind::NetworkError) - 0.125).abs() < 0.03);
@@ -266,11 +259,8 @@ mod tests {
     fn link_failures_pick_from_candidates() {
         let mut inj = FaultInjector::new(FaultRates::june_2023(), 13);
         let links: Vec<LinkId> = (0..64).map(LinkId::from_index).collect();
-        let events = inj.schedule_link_failures(
-            &links,
-            SimTime::ZERO,
-            SimDuration::from_hours(720 * 1000),
-        );
+        let events =
+            inj.schedule_link_failures(&links, SimTime::ZERO, SimDuration::from_hours(720 * 1000));
         assert!(!events.is_empty());
         for e in &events {
             assert_eq!(e.kind, FaultKind::LinkFailure);

@@ -5,7 +5,6 @@
 //! December 2023 (3.2× for GPU-related kinds, 3.4× for the rest) after the
 //! most vulnerable components were hardened.
 
-
 /// Per-component fault rates (events per hour per component).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultRates {
@@ -140,8 +139,8 @@ mod tests {
     fn december_is_roughly_one_third() {
         let j = FaultRates::june_2023();
         let d = FaultRates::december_2023();
-        let ratio = j.expected_crashes(2400, 300, MONTH_HOURS)
-            / d.expected_crashes(2400, 300, MONTH_HOURS);
+        let ratio =
+            j.expected_crashes(2400, 300, MONTH_HOURS) / d.expected_crashes(2400, 300, MONTH_HOURS);
         assert!((3.2..=3.4).contains(&ratio), "ratio {ratio}");
     }
 
@@ -152,6 +151,10 @@ mod tests {
         let large = r.total_crash_rate(4096, 512);
         // Component terms scale 4×; the constant systemic network term
         // (5 events/month either way) pulls the ratio below 4.
-        assert!(large / small > 2.8 && large / small < 3.0, "{}", large / small);
+        assert!(
+            large / small > 2.8 && large / small < 3.0,
+            "{}",
+            large / small
+        );
     }
 }

@@ -337,7 +337,11 @@ mod tests {
         assert!(report.all_completed());
         let o = &report.outcomes[0];
         // Bottleneck is the 200 Gbps port.
-        assert!((o.mean_rate.as_gbps() - 200.0).abs() < 1.0, "{}", o.mean_rate);
+        assert!(
+            (o.mean_rate.as_gbps() - 200.0).abs() < 1.0,
+            "{}",
+            o.mean_rate
+        );
     }
 
     #[test]
@@ -358,7 +362,11 @@ mod tests {
         let report = drain(&t, &specs, &DrainConfig::default(), &mut rng);
         assert!(report.all_completed());
         for o in &report.outcomes {
-            assert!((o.mean_rate.as_gbps() - 100.0).abs() < 1.0, "{}", o.mean_rate);
+            assert!(
+                (o.mean_rate.as_gbps() - 100.0).abs() < 1.0,
+                "{}",
+                o.mean_rate
+            );
         }
     }
 

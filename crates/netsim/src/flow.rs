@@ -31,9 +31,7 @@ impl FlowKey {
     pub fn digest(&self, salt: u64) -> u64 {
         use crate::hash::mix2;
         let a = (self.src_gpu.index() as u64) << 32 | self.dst_gpu.index() as u64;
-        let b = (self.channel as u64) << 48
-            | (self.qp as u64) << 32
-            | self.incarnation as u64;
+        let b = (self.channel as u64) << 48 | (self.qp as u64) << 32 | self.incarnation as u64;
         mix2(mix2(a, self.comm), mix2(b, salt))
     }
 }

@@ -309,7 +309,10 @@ mod tests {
         assert_eq!(s.scaled(0.5).as_bytes(), 50);
         assert_eq!(s.scaled(-1.0), ByteSize::ZERO);
         assert_eq!(s.scaled(f64::NAN), ByteSize::ZERO);
-        assert_eq!(ByteSize::from_bytes(u64::MAX).scaled(2.0).as_bytes(), u64::MAX);
+        assert_eq!(
+            ByteSize::from_bytes(u64::MAX).scaled(2.0).as_bytes(),
+            u64::MAX
+        );
     }
 
     #[test]

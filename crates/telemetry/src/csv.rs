@@ -146,7 +146,10 @@ mod tests {
             end: None,
         };
         let row = rec.to_csv_row();
-        assert!(row.ends_with(",,"), "in-flight op has empty end columns: {row}");
+        assert!(
+            row.ends_with(",,"),
+            "in-flight op has empty end columns: {row}"
+        );
         let done = CollRecord {
             end: Some(SimTime::from_secs(3)),
             ..rec

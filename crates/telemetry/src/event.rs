@@ -85,11 +85,7 @@ pub struct C4Event {
 
 impl fmt::Display for C4Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{} {} {}]",
-            self.time, self.severity, self.kind
-        )?;
+        write!(f, "[{} {} {}]", self.time, self.severity, self.kind)?;
         if let Some(n) = self.node {
             write!(f, " {n}")?;
         }

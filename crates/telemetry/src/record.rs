@@ -286,8 +286,16 @@ mod tests {
             dst_gpu: GpuId::from_index(1),
         };
         let mut rec = ConnRecord::new(key, PortId::from_index(0));
-        rec.record_message(1_000_000, SimDuration::from_millis(4), SimTime::from_secs(1));
-        rec.record_message(1_000_000, SimDuration::from_millis(6), SimTime::from_secs(2));
+        rec.record_message(
+            1_000_000,
+            SimDuration::from_millis(4),
+            SimTime::from_secs(1),
+        );
+        rec.record_message(
+            1_000_000,
+            SimDuration::from_millis(6),
+            SimTime::from_secs(2),
+        );
         assert_eq!(rec.messages, 2);
         assert_eq!(rec.bytes, 2_000_000);
         assert_eq!(rec.mean_message_duration(), SimDuration::from_millis(5));

@@ -192,7 +192,10 @@ mod tests {
         w.record_coll(coll(1, 0, Some(SimTime::from_secs(1))));
         w.record_coll(coll(1, 1, None));
         assert!(w.complete_coll(1, 1, SimTime::from_secs(2)));
-        assert!(!w.complete_coll(1, 1, SimTime::from_secs(3)), "already done");
+        assert!(
+            !w.complete_coll(1, 1, SimTime::from_secs(3)),
+            "already done"
+        );
         assert!(!w.complete_coll(1, 9, SimTime::from_secs(3)), "no such seq");
         assert_eq!(w.in_flight().count(), 0);
     }

@@ -57,7 +57,10 @@ pub enum LinkKind {
 impl LinkKind {
     /// True for leaf↔spine fabric links (the ones C4P path-probes).
     pub fn is_fabric(&self) -> bool {
-        matches!(self, LinkKind::FabricUp { .. } | LinkKind::FabricDown { .. })
+        matches!(
+            self,
+            LinkKind::FabricUp { .. } | LinkKind::FabricDown { .. }
+        )
     }
 
     /// True for NIC↔leaf host links.
@@ -69,7 +72,10 @@ impl LinkKind {
     pub fn is_intra_node(&self) -> bool {
         matches!(
             self,
-            LinkKind::NvlinkTx(_) | LinkKind::NvlinkRx(_) | LinkKind::PcieTx(_) | LinkKind::PcieRx(_)
+            LinkKind::NvlinkTx(_)
+                | LinkKind::NvlinkRx(_)
+                | LinkKind::PcieTx(_)
+                | LinkKind::PcieRx(_)
         )
     }
 }

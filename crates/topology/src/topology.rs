@@ -202,9 +202,10 @@ impl Topology {
                 let leaf_left = leaves[group * leaves_per_group + pair * 2];
                 let leaf_right = leaves[group * leaves_per_group + pair * 2 + 1];
                 let mut port_ids = [PortId::default(); 2];
-                for (pi, (side, leaf)) in [(PortSide::Left, leaf_left), (PortSide::Right, leaf_right)]
-                    .into_iter()
-                    .enumerate()
+                for (pi, (side, leaf)) in
+                    [(PortSide::Left, leaf_left), (PortSide::Right, leaf_right)]
+                        .into_iter()
+                        .enumerate()
                 {
                     let port_id = PortId::from_index(ports.len());
                     let host_up = new_link(LinkKind::HostUp(port_id), cfg.port_gbps);

@@ -239,9 +239,8 @@ pub fn simulate_operation(cfg: &OperationConfig, seed: u64) -> OperationReport {
             break;
         }
 
-        let kind = FaultKind::CRASH_KINDS[rng
-            .pick_weighted(&weights)
-            .expect("positive crash weights")];
+        let kind =
+            FaultKind::CRASH_KINDS[rng.pick_weighted(&weights).expect("positive crash weights")];
         let local = rng.chance(kind.locality_probability());
         let detection = cfg.recovery.detection.sample(&mut rng);
         let diagnosis = cfg.recovery.diagnosis.sample(kind, local, &mut rng);

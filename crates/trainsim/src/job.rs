@@ -47,7 +47,9 @@ impl JobSpec {
     /// Gradient bytes each DP rank contributes per sync
     /// (`params × dtype / (tp × pp)`).
     pub fn grad_bytes_per_rank(&self) -> ByteSize {
-        ByteSize::from_bytes(self.params * self.grad_dtype.size_bytes() / (self.tp * self.pp) as u64)
+        ByteSize::from_bytes(
+            self.params * self.grad_dtype.size_bytes() / (self.tp * self.pp) as u64,
+        )
     }
 
     /// Gradient element count per DP rank.
@@ -295,7 +297,7 @@ mod tests {
         assert_eq!(layout.dp_groups.len(), 8 * 8); // pp × tp
         for group in &layout.dp_groups {
             assert_eq!(group.len(), 2); // dp = 2
-            // Both members on adjacent nodes of one stage.
+                                        // Both members on adjacent nodes of one stage.
             let n0 = t.gpu(group[0]).node.index();
             let n1 = t.gpu(group[1]).node.index();
             assert_eq!(n0 / 2, n1 / 2, "stage block");
@@ -312,7 +314,7 @@ mod tests {
         let mut bad = spec.clone();
         bad.tp = 3;
         bad.dp = 16; // 3 doesn't divide 8
-        // gpus = 3×16 = 48 → 6 nodes
+                     // gpus = 3×16 = 48 → 6 nodes
         assert!(ParallelLayout::place(&t, &bad, first_nodes(6)).is_err());
 
         // Pure-DP size that doesn't fill its nodes: 100 ranks on 13 nodes

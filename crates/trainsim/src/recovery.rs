@@ -251,10 +251,16 @@ mod tests {
         let mut rng = DetRng::seed_from(5);
         let m = RecoveryConfig::december_2023().diagnosis;
         let local: f64 = (0..400)
-            .map(|_| m.sample(FaultKind::AckTimeout, true, &mut rng).as_secs_f64())
+            .map(|_| {
+                m.sample(FaultKind::AckTimeout, true, &mut rng)
+                    .as_secs_f64()
+            })
             .sum::<f64>();
         let nonlocal: f64 = (0..400)
-            .map(|_| m.sample(FaultKind::AckTimeout, false, &mut rng).as_secs_f64())
+            .map(|_| {
+                m.sample(FaultKind::AckTimeout, false, &mut rng)
+                    .as_secs_f64()
+            })
             .sum::<f64>();
         assert!(nonlocal > local);
     }

@@ -3,6 +3,12 @@
 //! node, and the steering service swaps in a backup so the job restarts.
 //!
 //! Run with: `cargo run --release --example fault_detection`
+//!
+//! Expected output: the two injection announcements, a "non-communication
+//! slow" diagnosis naming node5, a critical "communication hang" diagnosis
+//! that isolates node5 and swaps in node15, and finally the merged
+//! timestamped event log (WARN/CRIT lines from the C4D master plus the
+//! isolation/restart entries from job steering).
 
 use c4::prelude::*;
 
@@ -33,7 +39,14 @@ fn main() {
     let perturb = [ComputePerturbation::slow_gpu(victim_gpu, 2.0)];
     println!("injecting: slow GPU at {victim_gpu} (2× compute time)");
     for _ in 0..3 {
-        job.run_iteration(&topo, &mut selector, None, &mut rng, &perturb, Some(&mut telemetry));
+        job.run_iteration(
+            &topo,
+            &mut selector,
+            None,
+            &mut rng,
+            &perturb,
+            Some(&mut telemetry),
+        );
     }
     let snapshots: Vec<TelemetrySnapshot> = diag_snapshots(&job, &telemetry);
     let comm_rec = comm_record(&job, 3); // victim's DP group (tp rank 3)
@@ -49,7 +62,14 @@ fn main() {
     let port_r = topo.port_of_gpu(topo.gpu_at(NodeId::from_index(5), 3), PortSide::Right);
     Degradation::nic_half_down(port_r).apply(&mut topo);
     println!("\ninjecting: NIC fully down on node5 rail3");
-    let report = job.run_iteration(&topo, &mut selector, None, &mut rng, &[], Some(&mut telemetry));
+    let report = job.run_iteration(
+        &topo,
+        &mut selector,
+        None,
+        &mut rng,
+        &[],
+        Some(&mut telemetry),
+    );
     println!("iteration hung: {}", report.hung);
 
     let snapshots = diag_snapshots(&job, &telemetry);
@@ -60,7 +80,10 @@ fn main() {
         .find(|d| d.critical)
         .expect("C4D must flag the hang");
     let suspect = hang.suspect.expect("localized to a node");
-    println!("C4D: critical {:?} → isolating {suspect}", kind_of(&hang.syndrome));
+    println!(
+        "C4D: critical {:?} → isolating {suspect}",
+        kind_of(&hang.syndrome)
+    );
 
     // Steering: isolate the node, pull a backup, restart the job.
     let mut steering = JobSteering::new(

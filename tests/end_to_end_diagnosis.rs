@@ -34,7 +34,11 @@ impl Harness {
         }
     }
 
-    fn run_iterations(&mut self, n: usize, perturb: &[ComputePerturbation]) -> Vec<IterationReport> {
+    fn run_iterations(
+        &mut self,
+        n: usize,
+        perturb: &[ComputePerturbation],
+    ) -> Vec<IterationReport> {
         let mut sel = RailLocalSelector::new();
         (0..n)
             .map(|_| {
@@ -164,7 +168,11 @@ fn dead_nic_hangs_and_steering_replaces_node() {
         .collect();
     let diags = master.scan(at, &topo, &rec, &snapshots);
     let hang = diags.iter().find(|d| d.critical).expect("critical hang");
-    assert_eq!(hang.suspect, Some(victim_node), "localizes the dead NIC's node");
+    assert_eq!(
+        hang.suspect,
+        Some(victim_node),
+        "localizes the dead NIC's node"
+    );
 
     // Steering isolates and swaps in a backup; placement then succeeds on
     // the replacement set.
@@ -184,7 +192,10 @@ fn dead_nic_hangs_and_steering_replaces_node() {
     nodes.push(plan.replacement);
     nodes.sort();
     let layout = ParallelLayout::place(&topo, &spec, nodes);
-    assert!(layout.is_ok(), "job re-places on the healthy set: {layout:?}");
+    assert!(
+        layout.is_ok(),
+        "job re-places on the healthy set: {layout:?}"
+    );
 }
 
 #[test]
@@ -237,7 +248,14 @@ fn pp_stage_stall_propagates_to_dp_syndrome() {
     )];
     let mut sel = RailLocalSelector::new();
     let mut rng = DetRng::seed_from(6);
-    job.run_iteration(&topo, &mut sel, None, &mut rng, &perturb, Some(&mut telemetry));
+    job.run_iteration(
+        &topo,
+        &mut sel,
+        None,
+        &mut rng,
+        &perturb,
+        Some(&mut telemetry),
+    );
 
     // The DP group containing the stalled worker shows a huge straggler gap.
     let comm = job

@@ -84,12 +84,7 @@ fn different_seeds_vary_but_keep_the_shape() {
 fn nvlink_cap_binds_exactly_at_362() {
     // Single-node collective: pure NVLink, busbw = 362 (the §IV-B2 cap).
     let topo = Topology::build(&ClosConfig::testbed_128());
-    let comm = Communicator::new(
-        1,
-        topo.node(NodeId::from_index(0)).gpus.clone(),
-        &topo,
-    )
-    .unwrap();
+    let comm = Communicator::new(1, topo.node(NodeId::from_index(0)).gpus.clone(), &topo).unwrap();
     let req = CollectiveRequest {
         comm: &comm,
         seq: 0,

@@ -68,10 +68,16 @@ fn cluster_summary_flags_the_outstanding_collective() {
     let (_topo, _rec, snaps, _at) = hang_incident();
     let summary = ClusterSummary::from_snapshots(&snaps);
     assert_eq!(summary.workers, 16);
-    assert!(summary.in_flight >= 16, "the hung sync is outstanding everywhere");
+    assert!(
+        summary.in_flight >= 16,
+        "the hung sync is outstanding everywhere"
+    );
     assert!(summary.bytes > 0);
     let text = summary.to_text();
-    assert!(text.contains("WARNING"), "summary.txt warns operators:\n{text}");
+    assert!(
+        text.contains("WARNING"),
+        "summary.txt warns operators:\n{text}"
+    );
 }
 
 #[test]

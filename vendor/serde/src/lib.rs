@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` in both the trait namespace (marker
+//! traits with blanket impls, so generic bounds compile) and the macro
+//! namespace (no-op derives from the stub `serde_derive`). No data format is
+//! provided; the workspace uses the derives purely as schema annotations.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types. The lifetime parameter mirrors the real trait's signature.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
