@@ -1,5 +1,10 @@
-//! Criterion bench: the max-min fair (progressive-filling) solver at
-//! realistic flow/link scales.
+//! Criterion bench: the max-min fair solvers at realistic flow/link scales —
+//! the from-scratch reference ([`maxmin::solve`]), the incremental
+//! [`MaxMinState`] on the drain loop's operations (flow completion, DCQCN
+//! cap perturbation), and the two drain implementations end to end.
+//!
+//! `BENCH_maxmin.json` at the repository root records the trajectory of
+//! these numbers (and the month-scale test-suite wall times) across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -29,5 +34,138 @@ fn bench_maxmin(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_maxmin);
+/// One flow completes: re-solve from scratch vs incremental removal.
+/// (The incremental side clones the solved state per iteration so every
+/// removal starts from the same baseline; the clone is pure memcpy and is
+/// charged against it.)
+fn bench_completion_resolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_completion_resolve");
+    group.sample_size(20);
+    for &(links, flows) in &[(600usize, 100usize), (3600, 400), (6000, 1500)] {
+        let (capacity, routes) = synth(links, flows, 7);
+        let removed = flows / 2;
+
+        let remaining: Vec<Vec<u32>> = routes
+            .iter()
+            .enumerate()
+            .filter(|(f, _)| *f != removed)
+            .map(|(_, r)| r.clone())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch", format!("{links}l_{flows}f")),
+            &(),
+            |b, _| b.iter(|| c4_netsim::maxmin::solve(&capacity, &remaining, None)),
+        );
+
+        let mut state = MaxMinState::with_flows(&capacity, &routes, None);
+        let _ = state.rates();
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("{links}l_{flows}f")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut s = state.clone();
+                    s.remove_flow(removed);
+                    s.rates().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A DCQCN noise epoch: every congested flow's cap moves. From-scratch
+/// capped solve vs incremental perturbation (the fallback-heavy worst case).
+fn bench_noise_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_noise_epoch");
+    group.sample_size(20);
+    for &(links, flows) in &[(600usize, 100usize), (3600, 400)] {
+        let (capacity, routes) = synth(links, flows, 7);
+        let base = c4_netsim::maxmin::solve(&capacity, &routes, None);
+        let caps: Vec<f64> = base.iter().map(|r| r * 0.93).collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch", format!("{links}l_{flows}f")),
+            &(),
+            |b, _| b.iter(|| c4_netsim::maxmin::solve(&capacity, &routes, Some(&caps))),
+        );
+
+        let mut state = MaxMinState::with_flows(&capacity, &routes, None);
+        let _ = state.rates();
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("{links}l_{flows}f")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut s = state.clone();
+                    for (f, &cap) in caps.iter().enumerate() {
+                        s.rate_perturb(f, cap);
+                    }
+                    s.rates().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The drain loop end to end: many same-sized QPs contending on shared
+/// receive ports under DCQCN noise + CNP accounting — the scenario-suite
+/// hot path. Compares the incremental drain against the retained reference.
+fn bench_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drain_noisy_shared");
+    group.sample_size(10);
+    let topo = Topology::build(&ClosConfig::testbed_128());
+    let mut sel = EcmpSelector::new(11);
+    let mut rng = DetRng::seed_from(3);
+    let ngpus = topo.num_gpus();
+    let specs: Vec<FlowSpec> = (0..256)
+        .map(|i| {
+            let src = GpuId::from_index(rng.index(ngpus));
+            let mut dst = GpuId::from_index(rng.index(ngpus / 4) * 4);
+            if topo.gpu(src).node == topo.gpu(dst).node {
+                dst = GpuId::from_index((dst.index() + 8) % ngpus);
+            }
+            let key = FlowKey {
+                src_gpu: src,
+                dst_gpu: dst,
+                comm: 1 + (i % 8) as u64,
+                channel: (i % 16) as u16,
+                qp: (i % 2) as u16,
+                incarnation: 0,
+            };
+            let choice = sel.select(&topo, &key);
+            let sp = topo.port_of_gpu(src, choice.src_side);
+            let dp = topo.port_of_gpu(dst, choice.dst_side);
+            let route = topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst);
+            FlowSpec::new(key, ByteSize::from_mib(96), route)
+        })
+        .collect();
+    let cfg = DrainConfig {
+        rate_noise: 0.1,
+        cnp: Some(CnpModel::paper_default()),
+        ..DrainConfig::default()
+    };
+    group.bench_with_input(BenchmarkId::new("incremental", "256qp"), &(), |b, _| {
+        b.iter(|| {
+            let mut rng = DetRng::seed_from(42);
+            drain(&topo, &specs, &cfg, &mut rng).end
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("reference", "256qp"), &(), |b, _| {
+        b.iter(|| {
+            let mut rng = DetRng::seed_from(42);
+            drain_reference(&topo, &specs, &cfg, &mut rng).end
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maxmin,
+    bench_completion_resolve,
+    bench_noise_epoch,
+    bench_drain
+);
 criterion_main!(benches);

@@ -44,6 +44,9 @@ pub struct C4pMaster {
     sticky: HashMap<FlowKey, PathChoice>,
     rate_ema: HashMap<FlowKey, f64>,
     reroute_salt: u64,
+    /// Bumped whenever allocations are dropped (rebalance/reset), so plan
+    /// caches keyed on [`PathSelector::cache_token`] invalidate.
+    generation: u64,
 }
 
 impl C4pMaster {
@@ -56,6 +59,7 @@ impl C4pMaster {
             sticky: HashMap::new(),
             rate_ema: HashMap::new(),
             reroute_salt: 0xC4B0_5EED,
+            generation: 0,
         }
     }
 
@@ -75,6 +79,7 @@ impl C4pMaster {
     /// workloads in response to network changes").
     pub fn rebalance(&mut self, topo: &Topology) {
         self.catalog = PathCatalog::probe(topo);
+        self.generation += 1;
         if self.cfg.dynamic {
             self.sticky.clear();
             self.ledger.clear();
@@ -258,9 +263,17 @@ impl PathSelector for C4pMaster {
     }
 
     fn reset(&mut self) {
+        self.generation += 1;
         self.sticky.clear();
         self.ledger.clear();
         self.rate_ema.clear();
+    }
+
+    /// Sticky allocations make C4P cacheable between generation bumps: the
+    /// same key re-selects the same path until rebalance/reset (topology
+    /// changes are covered by the cache's topology-version key).
+    fn cache_token(&self) -> Option<u64> {
+        Some(mix64(self.generation ^ 0xC4B0_70CE))
     }
 }
 

@@ -11,12 +11,14 @@
 //!   paper's design where one C4P master is the control center for multiple
 //!   jobs/tenants (§III-B).
 
+use std::collections::HashMap;
+
 use c4_netsim::{drain, DrainConfig, FlowKey, FlowSpec, PathSelector};
 use c4_simcore::{ByteSize, DetRng, SimTime};
 use c4_telemetry::{
     AlgoKind, CollKind, CollRecord, ConnKey, DataType, RankRecord, WorkerTelemetry,
 };
-use c4_topology::Topology;
+use c4_topology::{LinkId, Topology};
 
 use crate::comm::{CommConfig, Communicator};
 use crate::plan::{bus_factor, RingPlan};
@@ -61,11 +63,202 @@ struct BuiltRequest {
     min_ready: SimTime,
 }
 
+/// The byte-independent route structure of one collective: flow keys and
+/// routes before message sizes and QP byte-split weights are applied. This
+/// is the expensive part of request construction (ring planning, path
+/// selection, route assembly) and the part [`PlanCache`] keeps.
+#[derive(Debug, Clone)]
+struct PlanSpec {
+    /// Intra-node NVLink edges.
+    intra: Vec<(FlowKey, Vec<LinkId>)>,
+    /// Boundary streams, one inner vec of Q QP flows per stream.
+    streams: Vec<Vec<(FlowKey, Vec<LinkId>)>>,
+}
+
+/// Identity of a cached plan. Message size/kind/dtype are deliberately
+/// absent: they scale bytes, not routes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    comm: u64,
+    incarnation: u32,
+    qps: u16,
+}
+
+#[derive(Debug, Clone)]
+struct PlanEntry {
+    topo_version: u64,
+    selector_token: u64,
+    plan: PlanSpec,
+}
+
+/// Caches per-(communicator, selector state, topology version) flow-plan
+/// construction across BSP iterations.
+///
+/// Real collectives establish their QP connections once per communicator
+/// incarnation and reuse them every iteration; rebuilding identical
+/// [`FlowSpec`] vectors per iteration was pure overhead. An entry is reused
+/// only while **all three** of its validity coordinates hold:
+///
+/// * the communicator id + incarnation (restarts re-plan),
+/// * the selector's [`PathSelector::cache_token`] (C4P rebalance/reset and
+///   fresh ECMP salts re-plan; selectors returning `None` are never cached),
+/// * [`Topology::version`] (any fault injection, degradation, node
+///   isolation or spine toggle re-plans — the "explicit invalidation on
+///   fault/steering events" rule).
+///
+/// [`PlanCache::clear`] force-invalidates everything, e.g. when a steering
+/// decision replaced hardware outside the topology's mutation tracking.
+/// A cache is only meaningful against a single `Topology` instance.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    entries: HashMap<PlanKey, PlanEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plans served from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Plans (re)built so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Cached plan count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached plan (explicit fault/steering invalidation).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drops the cached plans of one communicator id (all incarnations).
+    pub fn invalidate_comm(&mut self, comm: u64) {
+        self.entries.retain(|k, _| k.comm != comm);
+    }
+
+    /// Returns a valid cached plan or rebuilds (and stores) it. `token`
+    /// is the selector's current [`PathSelector::cache_token`] — callers
+    /// with an uncacheable selector (token `None`) must bypass the cache
+    /// entirely rather than fill it with unservable entries.
+    fn get_or_build(
+        &mut self,
+        topo: &Topology,
+        comm: &Communicator,
+        qps: u16,
+        token: u64,
+        selector: &mut dyn PathSelector,
+    ) -> &PlanSpec {
+        let key = PlanKey {
+            comm: comm.id(),
+            incarnation: comm.incarnation(),
+            qps,
+        };
+        let valid = self
+            .entries
+            .get(&key)
+            .is_some_and(|e| e.topo_version == topo.version() && e.selector_token == token);
+        if valid {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let plan = build_plan(topo, comm, qps, selector);
+            self.entries.insert(
+                key.clone(),
+                PlanEntry {
+                    topo_version: topo.version(),
+                    selector_token: token,
+                    plan,
+                },
+            );
+        }
+        &self.entries[&key].plan
+    }
+}
+
+/// Builds the route structure of one collective: ring plan, per-QP path
+/// selection, route assembly. Selector calls happen in deterministic
+/// (stream, qp) order, matching the historical construction order exactly.
+fn build_plan(
+    topo: &Topology,
+    comm: &Communicator,
+    qps: u16,
+    selector: &mut dyn PathSelector,
+) -> PlanSpec {
+    let plan = RingPlan::build(topo, comm);
+
+    // Intra-node NVLink edges, each carrying the full stream B.
+    let intra: Vec<(FlowKey, Vec<LinkId>)> = plan
+        .intra_edges
+        .iter()
+        .map(|&(src, dst)| {
+            let key = FlowKey {
+                src_gpu: src,
+                dst_gpu: dst,
+                comm: comm.id(),
+                channel: u16::MAX,
+                qp: 0,
+                incarnation: comm.incarnation(),
+            };
+            (key, topo.intra_node_route(src, dst))
+        })
+        .collect();
+
+    // Boundary streams: Q QPs per stream, each with a selected path.
+    let streams: Vec<Vec<(FlowKey, Vec<LinkId>)>> = plan
+        .boundaries
+        .iter()
+        .map(|stream| {
+            (0..qps)
+                .map(|q| {
+                    let k = FlowKey {
+                        src_gpu: stream.src_gpu,
+                        dst_gpu: stream.dst_gpu,
+                        comm: comm.id(),
+                        channel: stream.boundary as u16,
+                        qp: q,
+                        incarnation: comm.incarnation(),
+                    };
+                    let choice = selector.select(topo, &k);
+                    let src_port = topo.port_of_gpu(k.src_gpu, choice.src_side);
+                    let dst_port = topo.port_of_gpu(k.dst_gpu, choice.dst_side);
+                    let route = topo.inter_node_route(
+                        k.src_gpu,
+                        src_port,
+                        choice.fabric.as_ref(),
+                        dst_port,
+                        k.dst_gpu,
+                    );
+                    (k, route)
+                })
+                .collect()
+        })
+        .collect();
+
+    PlanSpec { intra, streams }
+}
+
 fn build_request(
     topo: &Topology,
     req: &CollectiveRequest<'_>,
     selector: &mut dyn PathSelector,
     qp_weights: Option<&QpWeightFn<'_>>,
+    cache: Option<&mut PlanCache>,
 ) -> BuiltRequest {
     let comm = req.comm;
     let nranks = comm.nranks();
@@ -88,43 +281,31 @@ fn build_request(
         .unwrap_or(req.start)
         .max(req.start);
 
-    let plan = RingPlan::build(topo, comm);
-    let mut specs: Vec<FlowSpec> = Vec::with_capacity(plan.flow_count(req.config.qps_per_stream));
+    let qps = req.config.qps_per_stream.max(1);
+    let fresh_plan;
+    // Uncacheable selectors (cache_token `None`) bypass the cache: their
+    // plans can never be served back, so storing them would only leak
+    // dead entries.
+    let plan: &PlanSpec = match (cache, selector.cache_token()) {
+        (Some(c), Some(token)) => c.get_or_build(topo, comm, qps, token, selector),
+        _ => {
+            fresh_plan = build_plan(topo, comm, qps, selector);
+            &fresh_plan
+        }
+    };
 
-    // Intra-node NVLink edges, each carrying the full stream B.
-    for &(src, dst) in &plan.intra_edges {
-        let key = FlowKey {
-            src_gpu: src,
-            dst_gpu: dst,
-            comm: comm.id(),
-            channel: u16::MAX,
-            qp: 0,
-            incarnation: comm.incarnation(),
-        };
-        specs.push(FlowSpec::new(
-            key,
-            edge_bytes,
-            topo.intra_node_route(src, dst),
-        ));
+    let flow_count = plan.intra.len() + plan.streams.iter().map(Vec::len).sum::<usize>();
+    let mut specs: Vec<FlowSpec> = Vec::with_capacity(flow_count);
+    for (key, route) in &plan.intra {
+        specs.push(FlowSpec::new(*key, edge_bytes, route.clone()));
     }
     let intra_count = specs.len();
 
     // Boundary streams: B bytes per rail, split across Q QPs by weight.
-    let qps = req.config.qps_per_stream.max(1);
-    for stream in &plan.boundaries {
-        let keys: Vec<FlowKey> = (0..qps)
-            .map(|q| FlowKey {
-                src_gpu: stream.src_gpu,
-                dst_gpu: stream.dst_gpu,
-                comm: comm.id(),
-                channel: stream.boundary as u16,
-                qp: q,
-                incarnation: comm.incarnation(),
-            })
-            .collect();
-        let raw: Vec<f64> = keys
+    for stream in &plan.streams {
+        let raw: Vec<f64> = stream
             .iter()
-            .map(|k| {
+            .map(|(k, _)| {
                 let w = qp_weights.map_or(1.0, |f| f(k));
                 if w.is_finite() && w > 0.0 {
                     w
@@ -134,18 +315,12 @@ fn build_request(
             })
             .collect();
         let total: f64 = raw.iter().sum();
-        for (k, w) in keys.iter().zip(&raw) {
-            let choice = selector.select(topo, k);
-            let src_port = topo.port_of_gpu(k.src_gpu, choice.src_side);
-            let dst_port = topo.port_of_gpu(k.dst_gpu, choice.dst_side);
-            let route = topo.inter_node_route(
-                k.src_gpu,
-                src_port,
-                choice.fabric.as_ref(),
-                dst_port,
-                k.dst_gpu,
-            );
-            specs.push(FlowSpec::new(*k, edge_bytes.scaled(w / total), route));
+        for ((k, route), w) in stream.iter().zip(&raw) {
+            specs.push(FlowSpec::new(
+                *k,
+                edge_bytes.scaled(w / total),
+                route.clone(),
+            ));
         }
     }
 
@@ -220,9 +395,8 @@ fn emit_telemetry(
 
 /// Executes several collectives concurrently in one shared network drain.
 ///
-/// All requests share the drain configuration of the **first** request
-/// (except `start`, which is the earliest request start). Results come back
-/// in request order.
+/// Equivalent to [`run_concurrent_cached`] without a plan cache; see there
+/// for the drain-config merge rule.
 ///
 /// # Panics
 ///
@@ -234,7 +408,33 @@ pub fn run_concurrent(
     selector: &mut dyn PathSelector,
     qp_weights: Option<&QpWeightFn<'_>>,
     rng: &mut DetRng,
+    telemetry: Option<&mut [WorkerTelemetry]>,
+) -> Vec<CollectiveResult> {
+    run_concurrent_cached(topo, reqs, selector, qp_weights, rng, telemetry, None)
+}
+
+/// Executes several collectives concurrently in one shared network drain,
+/// optionally reusing cached flow plans across calls (BSP iterations).
+///
+/// Drain-config merge rule for the shared drain: `start` is the earliest
+/// request start; `deadline` is the **earliest** deadline of any request
+/// (requests without a deadline don't constrain it) — the shared drain
+/// cannot outlive any one participant's give-up horizon, so the tightest
+/// caller wins; all remaining knobs (epoch, rate noise, CNP model) come
+/// from the first request. Results come back in request order.
+///
+/// # Panics
+///
+/// Panics if `reqs` is empty, a `rank_ready` length mismatches, or
+/// `telemetry` is too short to index a member GPU.
+pub fn run_concurrent_cached(
+    topo: &Topology,
+    reqs: &[CollectiveRequest<'_>],
+    selector: &mut dyn PathSelector,
+    qp_weights: Option<&QpWeightFn<'_>>,
+    rng: &mut DetRng,
     mut telemetry: Option<&mut [WorkerTelemetry]>,
+    mut cache: Option<&mut PlanCache>,
 ) -> Vec<CollectiveResult> {
     assert!(
         !reqs.is_empty(),
@@ -252,7 +452,7 @@ pub fn run_concurrent(
 
     let built: Vec<BuiltRequest> = reqs
         .iter()
-        .map(|r| build_request(topo, r, selector, qp_weights))
+        .map(|r| build_request(topo, r, selector, qp_weights, cache.as_deref_mut()))
         .collect();
 
     // One shared drain over all flows. Note: flows of late-starting requests
@@ -263,9 +463,11 @@ pub fn run_concurrent(
         .map(|b| b.started)
         .min()
         .expect("non-empty requests");
+    let deadline = reqs.iter().filter_map(|r| r.drain.deadline).min();
     let all_specs: Vec<FlowSpec> = built.iter().flat_map(|b| b.specs.clone()).collect();
     let drain_cfg = DrainConfig {
         start: common_start,
+        deadline,
         ..reqs[0].drain.clone()
     };
     let report = drain(topo, &all_specs, &drain_cfg, rng);
@@ -734,6 +936,133 @@ mod tests {
             let busbw = res.busbw_gbps().unwrap();
             assert!((busbw - 362.0).abs() < 2.0, "busbw {busbw}");
         }
+    }
+
+    #[test]
+    fn concurrent_heterogeneous_deadlines_take_the_earliest() {
+        // Regression: the shared drain used to take reqs[0]'s deadline,
+        // silently ignoring tighter ones on later requests. A 1 GiB
+        // allreduce needs ~50 ms; request 1 allows 100 s but request 2 only
+        // 10 ms, so the merged drain must cut off at 10 ms and hang both.
+        let t = topo();
+        let c1 = full_comm_at(&t, 0, 2, 1);
+        let c2 = full_comm_at(&t, 2, 2, 2);
+        let mut r1 = request(&c1);
+        r1.drain.deadline = Some(SimTime::from_secs(100));
+        let mut r2 = request(&c2);
+        r2.drain.deadline = Some(SimTime::from_nanos(10_000_000));
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(20);
+        let results = run_concurrent(&t, &[r1, r2], &mut sel, None, &mut rng, None);
+        for res in &results {
+            assert!(res.hung(), "10 ms deadline must cut the shared drain");
+            assert_eq!(res.report.end, SimTime::from_nanos(10_000_000));
+        }
+        // Requests without a deadline leave the tight one in force.
+        let mut r1 = request(&c1);
+        r1.drain.deadline = None;
+        let mut r2 = request(&c2);
+        r2.drain.deadline = Some(SimTime::from_nanos(10_000_000));
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(21);
+        let results = run_concurrent(&t, &[r1, r2], &mut sel, None, &mut rng, None);
+        assert!(results.iter().all(|r| r.hung()));
+    }
+
+    #[test]
+    fn plan_cache_hits_across_iterations_and_matches_uncached() {
+        let t = topo();
+        let comm = full_comm(&t, 2);
+        let req = request(&comm);
+        let mut cache = PlanCache::new();
+        let mut cached_results = Vec::new();
+        for seq in 0..3u64 {
+            let mut r = request(&comm);
+            r.seq = seq;
+            let mut sel = EcmpSelector::new(9);
+            let mut rng = DetRng::seed_from(100 + seq);
+            cached_results.push(run_concurrent_cached(
+                &t,
+                std::slice::from_ref(&r),
+                &mut sel,
+                None,
+                &mut rng,
+                None,
+                Some(&mut cache),
+            ));
+        }
+        assert_eq!(cache.misses(), 1, "one build");
+        assert_eq!(cache.hits(), 2, "two reuses");
+
+        // The cached run must be indistinguishable from the uncached one.
+        let mut sel = EcmpSelector::new(9);
+        let mut rng = DetRng::seed_from(100);
+        let uncached = run_collective(&t, &req, &mut sel, None, &mut rng, None);
+        let cached = &cached_results[0][0];
+        assert_eq!(cached.finished, uncached.finished);
+        assert_eq!(cached.qp_outcomes.len(), uncached.qp_outcomes.len());
+        for (a, b) in cached.qp_outcomes.iter().zip(&uncached.qp_outcomes) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.bytes, b.bytes);
+        }
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_topology_and_selector_change() {
+        let mut t = topo();
+        let comm = full_comm(&t, 2);
+        let mut cache = PlanCache::new();
+        let run_once = |t: &Topology, salt: u64, cache: &mut PlanCache| {
+            let req = request(&comm);
+            let mut sel = EcmpSelector::new(salt);
+            let mut rng = DetRng::seed_from(7);
+            run_concurrent_cached(
+                t,
+                std::slice::from_ref(&req),
+                &mut sel,
+                None,
+                &mut rng,
+                None,
+                Some(cache),
+            );
+        };
+        run_once(&t, 1, &mut cache);
+        run_once(&t, 1, &mut cache);
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        // Fault injection bumps the topology version → rebuild.
+        let g = t.gpu_at(NodeId::from_index(0), 0);
+        let up = t
+            .port(t.port_of_gpu(g, c4_topology::PortSide::Left))
+            .host_up;
+        t.link_mut(up).set_up(false);
+        run_once(&t, 1, &mut cache);
+        assert_eq!((cache.misses(), cache.hits()), (2, 1));
+        // A different ECMP salt is a different selector state → rebuild.
+        run_once(&t, 2, &mut cache);
+        assert_eq!((cache.misses(), cache.hits()), (3, 1));
+        // RailLocal declines caching entirely (round-robin state drifts).
+        let req = request(&comm);
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(7);
+        run_concurrent_cached(
+            &t,
+            std::slice::from_ref(&req),
+            &mut sel,
+            None,
+            &mut rng,
+            None,
+            Some(&mut cache),
+        );
+        run_concurrent_cached(
+            &t,
+            std::slice::from_ref(&req),
+            &mut sel,
+            None,
+            &mut rng,
+            None,
+            Some(&mut cache),
+        );
+        assert_eq!(cache.hits(), 1, "uncacheable selector never hits");
     }
 
     #[test]

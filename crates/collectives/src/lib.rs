@@ -35,7 +35,8 @@ pub mod result;
 
 pub use comm::{CommConfig, Communicator};
 pub use engine::{
-    run_collective, run_concurrent, run_tree_collective, CollectiveRequest, QpWeightFn,
+    run_collective, run_concurrent, run_concurrent_cached, run_tree_collective, CollectiveRequest,
+    PlanCache, QpWeightFn,
 };
 pub use plan::{bus_factor, BoundaryStream, RingPlan, TreePlan};
 pub use result::CollectiveResult;

@@ -12,8 +12,8 @@ pub use c4_topology::{
 
 pub use c4_netsim::maxmin;
 pub use c4_netsim::{
-    drain, mix64, CnpModel, DrainConfig, DrainReport, EcmpSelector, FlowKey, FlowOutcome, FlowSpec,
-    PathChoice, PathSelector, RailLocalSelector,
+    drain, drain_reference, mix64, CnpModel, DrainConfig, DrainReport, EcmpSelector, FlowKey,
+    FlowOutcome, FlowSpec, MaxMinState, PathChoice, PathSelector, RailLocalSelector,
 };
 
 pub use c4_telemetry::csv::to_csv_document;
@@ -23,8 +23,9 @@ pub use c4_telemetry::{
 };
 
 pub use c4_collectives::{
-    bus_factor, run_collective, run_concurrent, run_tree_collective, BoundaryStream,
-    CollectiveRequest, CollectiveResult, CommConfig, Communicator, QpWeightFn, RingPlan, TreePlan,
+    bus_factor, run_collective, run_concurrent, run_concurrent_cached, run_tree_collective,
+    BoundaryStream, CollectiveRequest, CollectiveResult, CommConfig, Communicator, PlanCache,
+    QpWeightFn, RingPlan, TreePlan,
 };
 
 pub use c4_faults::{

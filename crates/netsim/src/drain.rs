@@ -5,13 +5,30 @@
 //! is enabled) and the optional deadline. Flows whose route crosses a dead
 //! link receive rate 0 and are reported as *stalled* — exactly the syndrome
 //! C4D's hang detector consumes.
+//!
+//! Two implementations share the [`DrainConfig`]/[`DrainReport`] surface:
+//!
+//! * [`drain`] — the production path. It keeps two persistent
+//!   [`MaxMinState`]s (the base allocation, and — when DCQCN rate noise is
+//!   on — a capped overlay) and feeds them events one by one:
+//!   a completion becomes [`MaxMinState::remove_flow`], an epoch's noise
+//!   caps become [`MaxMinState::rate_perturb`]. Only the connected
+//!   components touched by an event re-waterfill, and all per-event route
+//!   tables are precomputed once, so month-scale simulations stop paying
+//!   O(flows·links) per event.
+//! * [`drain_reference`] — the retained from-scratch implementation
+//!   (re-solves the whole allocation at every event). It consumes the RNG
+//!   in exactly the same order as [`drain`], so for any topology, flow set,
+//!   noise level and deadline the two produce the same report up to
+//!   floating-point association; `tests/maxmin_differential.rs` holds them
+//!   to 1e-9.
 
 use c4_simcore::{Bandwidth, DetRng, SimDuration, SimTime};
 use c4_topology::{LinkKind, Topology};
 
 use crate::congestion::CnpModel;
 use crate::flow::{FlowOutcome, FlowSpec};
-use crate::maxmin;
+use crate::maxmin::{self, MaxMinState};
 
 /// Configuration of one drain run.
 #[derive(Debug, Clone)]
@@ -60,7 +77,7 @@ pub struct DrainReport {
 }
 
 impl DrainReport {
-    /// True when every flow completed.
+    /// True when every flow completed (vacuously true for zero flows).
     pub fn all_completed(&self) -> bool {
         self.outcomes.iter().all(|o| o.completed())
     }
@@ -84,11 +101,277 @@ impl DrainReport {
 /// Rates below this (bytes/s) count as stalled.
 const STALL_RATE: f64 = 1.0;
 
+/// Static per-flow tables shared by both drain implementations.
+struct Problem {
+    /// Dense capacity table over links referenced by at least one flow.
+    dense_capacity: Vec<f64>,
+    /// Per-flow sorted, deduplicated dense link ids.
+    dense_routes: Vec<Vec<u32>>,
+    /// Per-flow sorted, deduplicated **original** link ids (byte accounting).
+    orig_routes: Vec<Vec<u32>>,
+    /// Sender port of each flow (first HostUp link on the route).
+    src_port_of: Vec<Option<usize>>,
+}
+
+impl Problem {
+    fn build(topo: &Topology, specs: &[FlowSpec]) -> Self {
+        let nl = topo.num_links();
+        let mut dense_of = vec![u32::MAX; nl];
+        let mut dense_capacity: Vec<f64> = Vec::new();
+        let mut dense_routes: Vec<Vec<u32>> = Vec::with_capacity(specs.len());
+        let mut orig_routes: Vec<Vec<u32>> = Vec::with_capacity(specs.len());
+        for s in specs {
+            let mut orig: Vec<u32> = s.route.iter().map(|l| l.index() as u32).collect();
+            orig.sort_unstable();
+            orig.dedup();
+            let mut dense: Vec<u32> = Vec::with_capacity(orig.len());
+            for &l in &orig {
+                if dense_of[l as usize] == u32::MAX {
+                    dense_of[l as usize] = dense_capacity.len() as u32;
+                    dense_capacity.push(
+                        topo.link(c4_topology::LinkId::from_index(l as usize))
+                            .capacity()
+                            .as_bytes_per_sec(),
+                    );
+                }
+                dense.push(dense_of[l as usize]);
+            }
+            dense.sort_unstable();
+            dense_routes.push(dense);
+            orig_routes.push(orig);
+        }
+        let src_port_of: Vec<Option<usize>> = specs
+            .iter()
+            .map(|s| {
+                s.route.iter().find_map(|&l| match topo.link(l).kind() {
+                    LinkKind::HostUp(p) => Some(p.index()),
+                    _ => None,
+                })
+            })
+            .collect();
+        Problem {
+            dense_capacity,
+            dense_routes,
+            orig_routes,
+            src_port_of,
+        }
+    }
+}
+
 /// Drains `specs` over the topology's current link state.
 ///
 /// Returns per-flow outcomes in spec order plus per-link byte counters and
-/// CNP accounting. Deterministic for a given `rng` state.
+/// CNP accounting. Deterministic for a given `rng` state, and equal (within
+/// floating-point association) to [`drain_reference`] on the same inputs.
 pub fn drain(
+    topo: &Topology,
+    specs: &[FlowSpec],
+    cfg: &DrainConfig,
+    rng: &mut DetRng,
+) -> DrainReport {
+    let nf = specs.len();
+    let nl = topo.num_links();
+    let p = Problem::build(topo, specs);
+    let ndl = p.dense_capacity.len();
+
+    let initial: Vec<f64> = specs.iter().map(|s| s.bytes.as_bytes() as f64).collect();
+    let mut remaining = initial.clone();
+    let mut finish: Vec<Option<SimTime>> = vec![None; nf];
+    let mut min_rate = vec![f64::INFINITY; nf];
+    let mut max_rate = vec![0.0_f64; nf];
+    let mut cnp_accum = vec![0.0_f64; topo.ports().len()];
+    let mut congested_flags = vec![false; nf];
+
+    // Flows with zero bytes complete instantly.
+    for f in 0..nf {
+        if remaining[f] <= 0.0 {
+            finish[f] = Some(cfg.start);
+            min_rate[f] = 0.0;
+        }
+    }
+
+    let noisy = cfg.rate_noise > 0.0 || cfg.cnp.is_some();
+    let mut now = cfg.start;
+    let mut active: Vec<usize> = (0..nf).filter(|&f| finish[f].is_none()).collect();
+
+    // The persistent allocation states: `base` carries the uncapped max-min
+    // allocation (perturbed only by completions); `capped` additionally
+    // carries the per-epoch DCQCN noise caps. Components untouched by an
+    // event keep their rates without re-solving.
+    let mut base = MaxMinState::with_flows(&p.dense_capacity, &p.dense_routes, None);
+    let mut capped = (cfg.rate_noise > 0.0)
+        .then(|| MaxMinState::with_flows(&p.dense_capacity, &p.dense_routes, None));
+    for f in 0..nf {
+        if finish[f].is_some() {
+            base.remove_flow(f);
+            if let Some(c) = capped.as_mut() {
+                c.remove_flow(f);
+            }
+        }
+    }
+
+    // Reused per-event scratch (sized to the dense link table).
+    let mut link_load = vec![0.0_f64; ndl];
+    let mut link_flows = vec![0u32; ndl];
+    let mut scores: Vec<f64> = Vec::new();
+    let mut rates_buf: Vec<f64> = Vec::new();
+    let cnp_model = cfg.cnp.unwrap_or_default();
+
+    while !active.is_empty() {
+        if let Some(deadline) = cfg.deadline {
+            if now >= deadline {
+                break;
+            }
+        }
+
+        // Base max-min allocation over the active flows (incremental).
+        let base_rates: &[f64] = base.rates();
+
+        // Identify sharing pressure for noise/CNP.
+        for l in 0..ndl {
+            link_load[l] = 0.0;
+            link_flows[l] = 0;
+        }
+        for &f in &active {
+            for &l in &p.dense_routes[f] {
+                link_load[l as usize] += base_rates[f];
+                link_flows[l as usize] += 1;
+            }
+        }
+        scores.clear();
+        scores.extend(active.iter().map(|&f| {
+            cnp_model.flow_score(
+                &p.dense_routes[f],
+                &link_load,
+                &p.dense_capacity,
+                &link_flows,
+            )
+        }));
+
+        // DCQCN noise: re-cap congested flows for this epoch and re-solve
+        // only the components whose caps actually changed.
+        rates_buf.clear();
+        if cfg.rate_noise > 0.0 {
+            let c = capped.as_mut().expect("capped state exists when noisy");
+            for (i, &f) in active.iter().enumerate() {
+                let cap = if scores[i] > 0.0 {
+                    base_rates[f] * (1.0 - cfg.rate_noise * rng.uniform())
+                } else {
+                    f64::INFINITY
+                };
+                c.rate_perturb(f, cap);
+            }
+            let capped_rates = c.rates();
+            rates_buf.extend(active.iter().map(|&f| capped_rates[f]));
+        } else {
+            rates_buf.extend(active.iter().map(|&f| base_rates[f]));
+        }
+        let rates: &[f64] = &rates_buf;
+
+        for (i, &f) in active.iter().enumerate() {
+            if scores[i] > 0.0 {
+                congested_flags[f] = true;
+            }
+        }
+
+        // Time to next event: earliest completion, epoch boundary, deadline.
+        let mut dt = f64::INFINITY;
+        for (i, &f) in active.iter().enumerate() {
+            if rates[i] > STALL_RATE {
+                dt = dt.min(remaining[f] / rates[i]);
+            }
+        }
+        let any_moving = dt.is_finite();
+        if noisy {
+            dt = dt.min(cfg.epoch.as_secs_f64());
+        }
+        if let Some(deadline) = cfg.deadline {
+            dt = dt.min((deadline - now).as_secs_f64());
+        }
+        if !any_moving && (!noisy || cfg.deadline.is_none()) {
+            // Nothing can make progress and no deadline to wait out: the
+            // remaining flows are permanently stalled.
+            break;
+        }
+        if !dt.is_finite() || dt <= 0.0 {
+            break;
+        }
+
+        // Advance.
+        let step = SimDuration::from_secs_f64(dt);
+        if let Some(cnp) = cfg.cnp {
+            for (i, &f) in active.iter().enumerate() {
+                if let Some(port) = p.src_port_of[f] {
+                    cnp_accum[port] += cnp.cnp_rate(scores[i], rng.uniform()) * dt;
+                }
+            }
+        }
+        for (i, &f) in active.iter().enumerate() {
+            let moved = rates[i] * dt;
+            remaining[f] = (remaining[f] - moved).max(0.0);
+            if rates[i] > STALL_RATE {
+                min_rate[f] = min_rate[f].min(rates[i]);
+                max_rate[f] = max_rate[f].max(rates[i]);
+            }
+        }
+        now += step;
+        // Completion tolerance: one byte.
+        for &f in &active {
+            if remaining[f] <= 1.0 && finish[f].is_none() {
+                finish[f] = Some(now);
+                base.remove_flow(f);
+                if let Some(c) = capped.as_mut() {
+                    c.remove_flow(f);
+                }
+            }
+        }
+        active.retain(|&f| finish[f].is_none());
+    }
+
+    // Per-link byte accounting: every link on a flow's route carried
+    // exactly the bytes the flow moved, so one pass at the end replaces the
+    // reference's per-event accumulation (summing the same series).
+    let mut link_bytes = vec![0.0_f64; nl];
+    for f in 0..nf {
+        let moved = initial[f] - remaining[f];
+        if moved > 0.0 {
+            for &l in &p.orig_routes[f] {
+                link_bytes[l as usize] += moved;
+            }
+        }
+    }
+
+    if std::env::var_os("C4_DRAIN_STATS").is_some() {
+        eprintln!(
+            "drain stats: flows={nf} dense_links={ndl} base_full={} base_comp={} capped_full={} capped_comp={} comps={}",
+            base.full_solves(),
+            base.component_solves(),
+            capped.as_ref().map_or(0, |c| c.full_solves()),
+            capped.as_ref().map_or(0, |c| c.component_solves()),
+            base.component_count(),
+        );
+    }
+
+    finalize_report(
+        specs,
+        cfg,
+        now,
+        finish,
+        min_rate,
+        max_rate,
+        link_bytes,
+        cnp_accum,
+        congested_flags,
+    )
+}
+
+/// Drains `specs` with the retained from-scratch solver (the differential
+/// reference): the full max-min allocation is recomputed at every event.
+///
+/// Semantics and RNG consumption match [`drain`]; only the solver strategy
+/// differs. Kept for the differential harness and solver benchmarks — new
+/// callers should use [`drain`].
+pub fn drain_reference(
     topo: &Topology,
     specs: &[FlowSpec],
     cfg: &DrainConfig,
@@ -108,8 +391,6 @@ pub fn drain(
         .map(|s| s.route.iter().map(|l| l.index() as u32).collect())
         .collect();
 
-    // Sender port of each flow (first HostUp link on the route), for CNP
-    // attribution.
     let src_port_of: Vec<Option<usize>> = specs
         .iter()
         .map(|s| {
@@ -128,7 +409,6 @@ pub fn drain(
     let mut cnp_accum = vec![0.0_f64; topo.ports().len()];
     let mut congested_flags = vec![false; nf];
 
-    // Flows with zero bytes complete instantly.
     for f in 0..nf {
         if remaining[f] <= 0.0 {
             finish[f] = Some(cfg.start);
@@ -205,8 +485,6 @@ pub fn drain(
             dt = dt.min((deadline - now).as_secs_f64());
         }
         if !any_moving && (!noisy || cfg.deadline.is_none()) {
-            // Nothing can make progress and no deadline to wait out: the
-            // remaining flows are permanently stalled.
             break;
         }
         if !dt.is_finite() || dt <= 0.0 {
@@ -237,7 +515,6 @@ pub fn drain(
             }
         }
         now += step;
-        // Completion tolerance: one byte.
         for &f in &active {
             if remaining[f] <= 1.0 && finish[f].is_none() {
                 finish[f] = Some(now);
@@ -246,6 +523,33 @@ pub fn drain(
         active.retain(|&f| finish[f].is_none());
     }
 
+    finalize_report(
+        specs,
+        cfg,
+        now,
+        finish,
+        min_rate,
+        max_rate,
+        link_bytes,
+        cnp_accum,
+        congested_flags,
+    )
+}
+
+/// Assembles the [`DrainReport`] from the loop's accumulators (shared by
+/// both implementations).
+#[allow(clippy::too_many_arguments)]
+fn finalize_report(
+    specs: &[FlowSpec],
+    cfg: &DrainConfig,
+    now: SimTime,
+    finish: Vec<Option<SimTime>>,
+    min_rate: Vec<f64>,
+    max_rate: Vec<f64>,
+    link_bytes: Vec<f64>,
+    cnp_accum: Vec<f64>,
+    congested_flags: Vec<bool>,
+) -> DrainReport {
     let end = finish
         .iter()
         .flatten()
@@ -513,5 +817,98 @@ mod tests {
         let b = drain(&t, &specs, &cfg, &mut r2);
         assert_eq!(a.outcomes[0].finish, b.outcomes[0].finish);
         assert_eq!(a.cnp_per_port, b.cnp_per_port);
+    }
+
+    #[test]
+    fn incremental_matches_reference_on_a_noisy_shared_drain() {
+        let t = topo();
+        let a = t.gpu_at(NodeId::from_index(0), 0);
+        let b = t.gpu_at(NodeId::from_index(2), 0);
+        let dst = t.gpu_at(NodeId::from_index(1), 0);
+        let pd = t.port_of_gpu(dst, PortSide::Left);
+        let ra = t.inter_node_route(a, t.port_of_gpu(a, PortSide::Left), None, pd, dst);
+        let rb = t.inter_node_route(b, t.port_of_gpu(b, PortSide::Left), None, pd, dst);
+        let specs = vec![
+            FlowSpec::new(key(0, 8, 0), ByteSize::from_gib(1), ra),
+            FlowSpec::new(key(16, 8, 1), ByteSize::from_mib(700), rb),
+        ];
+        let cfg = DrainConfig {
+            rate_noise: 0.15,
+            cnp: Some(CnpModel::paper_default()),
+            ..DrainConfig::default()
+        };
+        let mut r1 = DetRng::seed_from(99);
+        let mut r2 = DetRng::seed_from(99);
+        let inc = drain(&t, &specs, &cfg, &mut r1);
+        let reference = drain_reference(&t, &specs, &cfg, &mut r2);
+        for (x, y) in inc.outcomes.iter().zip(&reference.outcomes) {
+            let (fx, fy) = (x.finish.unwrap(), y.finish.unwrap());
+            let d = (fx - fy.min(fx)).as_secs_f64() + (fy - fx.min(fy)).as_secs_f64();
+            assert!(d < 1e-9, "finish {fx} vs {fy}");
+        }
+        assert_eq!(inc.congested_flows, reference.congested_flows);
+    }
+
+    #[test]
+    fn stalled_report_edge_cases() {
+        // Zero flows: vacuously complete, no stalls, end == start.
+        let t = topo();
+        let mut rng = DetRng::seed_from(10);
+        let cfg = DrainConfig {
+            start: SimTime::from_secs(3),
+            ..DrainConfig::default()
+        };
+        let report = drain(&t, &[], &cfg, &mut rng);
+        assert!(report.all_completed());
+        assert!(report.stalled().is_empty());
+        assert_eq!(report.end, SimTime::from_secs(3));
+
+        // All flows stalled: every index reported, none completed. Without
+        // noise nothing can unstick them, so the drain gives up immediately
+        // (end == start) rather than waiting out the deadline.
+        let mut t2 = topo();
+        let route = simple_route(&t2);
+        t2.link_mut(route[1]).set_up(false);
+        let specs = vec![
+            FlowSpec::new(key(0, 8, 0), ByteSize::from_mib(1), route.clone()),
+            FlowSpec::new(key(0, 8, 1), ByteSize::from_mib(2), route),
+        ];
+        let cfg = DrainConfig {
+            deadline: Some(SimTime::from_secs(2)),
+            ..DrainConfig::default()
+        };
+        let report = drain(&t2, &specs, &cfg, &mut rng);
+        assert!(!report.all_completed());
+        assert_eq!(report.stalled(), vec![0, 1]);
+        assert_eq!(report.end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn deadline_exactly_at_completion_counts_as_completed() {
+        // A 200 Gbps port moves 25 GB/s; 50 GB takes exactly 2 s. A deadline
+        // at exactly t=2 s must not turn the completion into a stall.
+        let t = topo();
+        let route = simple_route(&t);
+        let bytes = ByteSize::from_bytes(50_000_000_000);
+        let spec = FlowSpec::new(key(0, 8, 0), bytes, route);
+        let mut rng = DetRng::seed_from(11);
+        let no_deadline = drain(
+            &t,
+            &[spec.clone()],
+            &DrainConfig::default(),
+            &mut DetRng::seed_from(11),
+        );
+        let completion = no_deadline.outcomes[0].finish.expect("completes");
+        let cfg = DrainConfig {
+            deadline: Some(completion),
+            ..DrainConfig::default()
+        };
+        let report = drain(&t, &[spec], &cfg, &mut rng);
+        assert!(
+            report.all_completed(),
+            "deadline tied to the completion instant must still complete"
+        );
+        assert!(report.stalled().is_empty());
+        assert_eq!(report.end, completion);
     }
 }

@@ -20,6 +20,42 @@
 //! Path selection is abstracted behind [`PathSelector`] so the ECMP baseline
 //! ([`EcmpSelector`]) and C4P's engineered selector (crate `c4-traffic`) plug
 //! into the same collective layer.
+//!
+//! ## The incremental max-min solver
+//!
+//! LLM-training traffic is repetitive: within one drain, successive
+//! re-solve points differ by a handful of flow completions or per-epoch cap
+//! perturbations, never by a wholesale rewrite of the problem. The drain
+//! loop therefore keeps a persistent [`MaxMinState`] per run instead of
+//! calling the from-scratch solver at every event. Its invariants:
+//!
+//! * **Component separability.** Max-min fairness decomposes exactly over
+//!   connected components of the flow–link sharing graph (two flows are
+//!   connected when they share a link, transitively): a flow's final rate
+//!   depends only on its component. The state partitions flows once per
+//!   full solve and re-waterfills only components containing a change —
+//!   [`MaxMinState::remove_flow`] (completion), [`MaxMinState::rate_perturb`]
+//!   (DCQCN noise cap), [`MaxMinState::link_change`] (failure/degradation).
+//! * **Conservative partitions.** Removing a flow may split its component;
+//!   the split is only discovered at the next full solve's re-partition.
+//!   Until then the state re-solves the (superset) stale component — more
+//!   work than strictly needed, never a wrong answer. Adding a flow marks
+//!   the partition stale outright.
+//! * **Full-solve fallback.** When the dirty components cover more than
+//!   half the live flows, or flows were added since the last partition,
+//!   the state runs one full solve and re-partitions. The incremental path
+//!   is therefore never asymptotically worse than the reference solver.
+//! * **Reference agreement.** The state's event-driven kernel (water level
+//!   jumping between cap/saturation events on a lazy min-heap) produces the
+//!   same allocation as the textbook progressive-filling loop retained in
+//!   [`maxmin::solve`], within 1e-9 relative — enforced continuously by
+//!   `tests/maxmin_differential.rs`, which also holds the incremental
+//!   [`drain()`](drain::drain) to the retained
+//!   [`drain_reference()`](drain::drain_reference) across randomized
+//!   topologies, faults, noise epochs and deadlines.
+//!
+//! Set `C4_DRAIN_STATS=1` to print per-drain solver statistics (events,
+//! full vs component solves, component count) to stderr.
 
 pub mod congestion;
 pub mod drain;
@@ -29,7 +65,8 @@ pub mod maxmin;
 pub mod selector;
 
 pub use congestion::CnpModel;
-pub use drain::{drain, DrainConfig, DrainReport};
+pub use drain::{drain, drain_reference, DrainConfig, DrainReport};
 pub use flow::{FlowKey, FlowOutcome, FlowSpec};
 pub use hash::mix64;
+pub use maxmin::MaxMinState;
 pub use selector::{EcmpSelector, PathChoice, PathSelector, RailLocalSelector};

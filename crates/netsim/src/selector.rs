@@ -35,6 +35,19 @@ pub trait PathSelector {
     /// Notifies the selector that previously allocated paths should be
     /// forgotten (job restart). Default: no-op.
     fn reset(&mut self) {}
+
+    /// A token identifying the selector's current decision state: as long
+    /// as the token and the topology are unchanged, repeated [`select`]
+    /// calls for the same key must return the same choice — which is what
+    /// lets the collective engine cache built flow plans across BSP
+    /// iterations (QPs in real deployments are established once and
+    /// reused). Return `None` (the default) when decisions may drift
+    /// between calls and plans must not be cached.
+    ///
+    /// [`select`]: PathSelector::select
+    fn cache_token(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Resolves the (src_leaf, dst_leaf) pair for a key under chosen sides.
@@ -102,6 +115,11 @@ impl PathSelector for EcmpSelector {
 
     fn name(&self) -> &'static str {
         "ecmp-baseline"
+    }
+
+    /// ECMP is a pure hash of (key, salt, live paths): cacheable per salt.
+    fn cache_token(&self) -> Option<u64> {
+        Some(crate::hash::mix64(self.salt ^ 0xEC3F_5EED))
     }
 }
 

@@ -115,6 +115,9 @@ pub struct Topology {
     leaves: Vec<SwitchId>,
     spines: Vec<SwitchId>,
     node_healthy: Vec<bool>,
+    /// Bumped on every mutation (link state, node health, spine toggles) so
+    /// caches keyed on the topology know when their entries went stale.
+    version: u64,
 }
 
 impl Topology {
@@ -272,7 +275,17 @@ impl Topology {
             leaves,
             spines,
             node_healthy,
+            version: 0,
         }
+    }
+
+    /// Mutation counter: changes whenever link state, node health or spine
+    /// state is touched. Derived caches (e.g. the collective engine's
+    /// flow-plan cache) compare versions to detect staleness. Versions are
+    /// only meaningful within one `Topology` instance (clones included, as
+    /// long as they share a mutation history).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The configuration this topology was built from.
@@ -336,8 +349,10 @@ impl Topology {
     }
 
     /// Mutable link record (fault injection, C4P-driven administrative
-    /// changes).
+    /// changes). Conservatively bumps [`Topology::version`] — callers take
+    /// this to mutate.
     pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        self.version += 1;
         &mut self.links[id.index()]
     }
 
@@ -494,6 +509,7 @@ impl Topology {
 
     /// Marks a node healthy/unhealthy (C4D isolation).
     pub fn set_node_healthy(&mut self, node: NodeId, healthy: bool) {
+        self.version += 1;
         self.node_healthy[node.index()] = healthy;
     }
 
@@ -514,6 +530,7 @@ impl Topology {
     /// Brings every fabric link touching `spine` up or down (used to halve
     /// the spine layer for the 2:1 oversubscription experiments).
     pub fn set_spine_up(&mut self, spine: SwitchId, up: bool) {
+        self.version += 1;
         let si = self.switch(spine).tier_index;
         let affected: Vec<LinkId> = self
             .fabric_up

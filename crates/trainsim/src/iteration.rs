@@ -2,7 +2,8 @@
 //! concurrent DP gradient synchronization through the network simulator.
 
 use c4_collectives::{
-    run_concurrent, CollKind, CollectiveRequest, CommConfig, Communicator, QpWeightFn,
+    run_concurrent_cached, CollKind, CollectiveRequest, CommConfig, Communicator, PlanCache,
+    QpWeightFn,
 };
 use c4_faults::ComputePerturbation;
 use c4_netsim::{DrainConfig, PathSelector};
@@ -53,6 +54,11 @@ pub struct TrainingJob {
     seq: u64,
     now: SimTime,
     comm_config: CommConfig,
+    /// Flow-plan cache reused across the iteration × collective loop: BSP
+    /// iterations re-issue identical gradient syncs, so the per-DP-group
+    /// ring plans and QP paths are built once per (incarnation, selector
+    /// state, topology version) instead of per iteration.
+    plan_cache: PlanCache,
     /// Give-up horizon for a single gradient sync (hang modelling).
     pub comm_deadline: SimDuration,
 }
@@ -84,6 +90,7 @@ impl TrainingJob {
             seq: 0,
             now: SimTime::ZERO,
             comm_config: CommConfig::default(),
+            plan_cache: PlanCache::new(),
             comm_deadline: SimDuration::from_secs(120),
         }
     }
@@ -127,11 +134,25 @@ impl TrainingJob {
         let _ = topo;
     }
 
+    /// The job's flow-plan cache (hit/miss statistics, explicit
+    /// invalidation after steering events the topology cannot see).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Mutable access to the plan cache (e.g. `clear()` after an external
+    /// steering decision).
+    pub fn plan_cache_mut(&mut self) -> &mut PlanCache {
+        &mut self.plan_cache
+    }
+
     /// Bumps communicator incarnations (restart after a crash) so ECMP
-    /// re-hashes and C4P re-allocates.
+    /// re-hashes and C4P re-allocates; cached plans of the old incarnation
+    /// are dropped.
     pub fn restart(&mut self) {
         for c in &mut self.comms {
             c.bump_incarnation();
+            self.plan_cache.invalidate_comm(c.id());
         }
     }
 
@@ -192,13 +213,14 @@ impl TrainingJob {
             })
             .collect();
 
-        let results = run_concurrent(
+        let results = run_concurrent_cached(
             topo,
             &requests,
             selector,
             qp_weights,
             rng,
             telemetry.as_deref_mut(),
+            Some(&mut self.plan_cache),
         );
 
         let hung = results.iter().any(|r| r.hung());
@@ -347,5 +369,27 @@ mod tests {
         assert!(j.comms().iter().all(|c| c.incarnation() == 0));
         j.restart();
         assert!(j.comms().iter().all(|c| c.incarnation() == 1));
+    }
+
+    #[test]
+    fn plan_cache_reused_across_iterations_and_dropped_on_restart() {
+        let t = topo();
+        let mut j = job(&t);
+        let groups = j.comms().len() as u64;
+        let mut sel = EcmpSelector::new(5);
+        let mut rng = DetRng::seed_from(6);
+        j.run_iteration(&t, &mut sel, None, &mut rng, &[], None);
+        assert_eq!(j.plan_cache().misses(), groups, "first iteration builds");
+        assert_eq!(j.plan_cache().hits(), 0);
+        j.run_iteration(&t, &mut sel, None, &mut rng, &[], None);
+        j.run_iteration(&t, &mut sel, None, &mut rng, &[], None);
+        assert_eq!(j.plan_cache().misses(), groups, "plans reused");
+        assert_eq!(j.plan_cache().hits(), 2 * groups);
+        // A restart bumps incarnations: old plans are gone and the next
+        // iteration re-plans.
+        j.restart();
+        assert!(j.plan_cache().is_empty());
+        j.run_iteration(&t, &mut sel, None, &mut rng, &[], None);
+        assert_eq!(j.plan_cache().misses(), 2 * groups);
     }
 }

@@ -1,0 +1,460 @@
+//! Differential harness: the incremental max-min machinery must be
+//! indistinguishable from the retained from-scratch reference.
+//!
+//! Two layers are held to agreement within 1e-9 (relative):
+//!
+//! * **Solver** — [`MaxMinState`] (persistent, component-partitioned,
+//!   event-driven kernel) vs [`maxmin::solve`] (textbook progressive
+//!   filling), across randomized link tables, route sets, cap tables and
+//!   long mutation scripts of flow removals, cap perturbations and link
+//!   capacity changes — the exact operations the drain loop feeds it.
+//! * **Drain** — [`drain`] (incremental, event-by-event) vs
+//!   [`drain_reference`] (full re-solve per event), across randomized tiny
+//!   Clos topologies, flow populations, fault injections (killed host and
+//!   fabric links), DCQCN noise epochs, CNP accounting and deadlines. Both
+//!   consume the RNG in the same order, so reports must match event for
+//!   event.
+//!
+//! The proptest stub samples deterministically per test name, so failures
+//! reproduce exactly in CI.
+
+use c4::prelude::*;
+use proptest::prelude::*;
+
+/// Relative 1e-9 agreement (with a 1e-9 absolute floor for values near 0).
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Reference solve over only the live flows of a mutated problem, expanded
+/// back to dense flow indexing (removed flows → 0).
+fn reference_rates(
+    capacity: &[f64],
+    routes: &[Vec<u32>],
+    caps: &[f64],
+    alive: &[bool],
+) -> Vec<f64> {
+    let live_routes: Vec<Vec<u32>> = routes
+        .iter()
+        .zip(alive)
+        .filter(|(_, &a)| a)
+        .map(|(r, _)| r.clone())
+        .collect();
+    let live_caps: Vec<f64> = caps
+        .iter()
+        .zip(alive)
+        .filter(|(_, &a)| a)
+        .map(|(c, _)| *c)
+        .collect();
+    let live = maxmin::solve(capacity, &live_routes, Some(&live_caps));
+    let mut out = vec![0.0; routes.len()];
+    let mut k = 0;
+    for (f, &a) in alive.iter().enumerate() {
+        if a {
+            out[f] = live[k];
+            k += 1;
+        }
+    }
+    out
+}
+
+fn assert_rates_agree(incremental: &[f64], reference: &[f64], what: &str) {
+    for (f, (&a, &b)) in incremental.iter().zip(reference).enumerate() {
+        assert!(
+            close(a, b),
+            "{what}: flow {f} incremental {a} vs reference {b} (diff {})",
+            (a - b).abs()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental solver agrees with the reference after construction
+    /// and after every step of a random mutation script.
+    #[test]
+    fn solver_agrees_across_mutation_scripts(
+        n_links in 2usize..24,
+        n_flows in 1usize..40,
+        seed in 0u64..1_000_000,
+        script_len in 1usize..60,
+    ) {
+        let mut rng = DetRng::seed_from(seed);
+        let capacity: Vec<f64> =
+            (0..n_links).map(|_| 1.0 + rng.uniform() * 400.0).collect();
+        let routes: Vec<Vec<u32>> = (0..n_flows)
+            .map(|_| {
+                // 0..4 links; empty routes exercise the unbounded path.
+                let len = rng.index(5);
+                (0..len).map(|_| rng.index(n_links) as u32).collect()
+            })
+            .collect();
+        let mut caps: Vec<f64> = (0..n_flows)
+            .map(|_| {
+                if rng.chance(0.3) {
+                    rng.uniform() * 300.0
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+        let mut alive = vec![true; n_flows];
+        let mut capacity_now = capacity.clone();
+
+        let mut state = MaxMinState::with_flows(&capacity, &routes, Some(&caps));
+        assert_rates_agree(
+            state.rates(),
+            &reference_rates(&capacity_now, &routes, &caps, &alive),
+            "initial solve",
+        );
+
+        for step in 0..script_len {
+            match rng.index(4) {
+                0 => {
+                    // Remove a (possibly already removed) flow.
+                    let f = rng.index(n_flows);
+                    state.remove_flow(f);
+                    alive[f] = false;
+                }
+                1 => {
+                    // Perturb a flow's cap (noise epoch).
+                    let f = rng.index(n_flows);
+                    let cap = if rng.chance(0.2) {
+                        f64::INFINITY
+                    } else {
+                        rng.uniform() * 300.0
+                    };
+                    state.rate_perturb(f, cap);
+                    if alive[f] {
+                        caps[f] = cap;
+                    }
+                }
+                2 => {
+                    // Change a link capacity (degradation / failure / heal).
+                    let l = rng.index(n_links);
+                    let c = if rng.chance(0.2) {
+                        0.0
+                    } else {
+                        1.0 + rng.uniform() * 400.0
+                    };
+                    state.link_change(l, c);
+                    capacity_now[l] = c;
+                }
+                _ => {
+                    // Burst: perturb many caps at once, forcing the
+                    // full-solve fallback path.
+                    for f in 0..n_flows {
+                        if rng.chance(0.7) {
+                            let cap = rng.uniform() * 300.0;
+                            state.rate_perturb(f, cap);
+                            if alive[f] {
+                                caps[f] = cap;
+                            }
+                        }
+                    }
+                }
+            }
+            assert_rates_agree(
+                state.rates(),
+                &reference_rates(&capacity_now, &routes, &caps, &alive),
+                &format!("after mutation step {step}"),
+            );
+        }
+    }
+
+    /// Adding flows mid-flight (a new collective joining the network) keeps
+    /// the state in agreement.
+    #[test]
+    fn solver_agrees_after_flow_additions(
+        n_links in 2usize..16,
+        seed in 0u64..1_000_000,
+        batches in 1usize..6,
+    ) {
+        let mut rng = DetRng::seed_from(seed);
+        let capacity: Vec<f64> =
+            (0..n_links).map(|_| 1.0 + rng.uniform() * 400.0).collect();
+        let mut state = MaxMinState::new(&capacity);
+        let mut routes: Vec<Vec<u32>> = Vec::new();
+        let mut caps: Vec<f64> = Vec::new();
+        for _ in 0..batches {
+            for _ in 0..1 + rng.index(8) {
+                let len = 1 + rng.index(4);
+                let route: Vec<u32> =
+                    (0..len).map(|_| rng.index(n_links) as u32).collect();
+                let cap = if rng.chance(0.25) {
+                    rng.uniform() * 200.0
+                } else {
+                    f64::INFINITY
+                };
+                state.add_flow(&route, cap);
+                routes.push(route);
+                caps.push(cap);
+            }
+            let alive = vec![true; routes.len()];
+            assert_rates_agree(
+                state.rates(),
+                &reference_rates(&capacity, &routes, &caps, &alive),
+                "after addition batch",
+            );
+            // Interleave a removal so additions mix with removals across
+            // partition rebuilds. The mirror models the removed slot as an
+            // empty-route, zero-cap flow, which the reference also pins to
+            // rate 0 — matching the state's removed-flow convention.
+            if !routes.is_empty() && rng.chance(0.5) {
+                let f = rng.index(routes.len());
+                state.remove_flow(f);
+                routes[f] = Vec::new();
+                caps[f] = 0.0;
+                let alive = vec![true; routes.len()];
+                assert_rates_agree(
+                    state.rates(),
+                    &reference_rates(&capacity, &routes, &caps, &alive),
+                    "after interleaved removal",
+                );
+            }
+        }
+    }
+}
+
+/// Builds a random flow population over a tiny Clos topology: a mix of
+/// intra-node NVLink transfers and ECMP-routed inter-node QPs.
+fn random_specs(topo: &Topology, rng: &mut DetRng, n_flows: usize, salt: u64) -> Vec<FlowSpec> {
+    let ngpus = topo.num_gpus();
+    let mut sel = EcmpSelector::new(salt);
+    (0..n_flows)
+        .map(|i| {
+            let src = GpuId::from_index(rng.index(ngpus));
+            let mut dst = GpuId::from_index(rng.index(ngpus));
+            if dst == src {
+                dst = GpuId::from_index((src.index() + 1) % ngpus);
+            }
+            let key = FlowKey {
+                src_gpu: src,
+                dst_gpu: dst,
+                comm: 1 + (i as u64 % 4),
+                channel: (i % 7) as u16,
+                qp: (i % 2) as u16,
+                incarnation: 0,
+            };
+            let route = if topo.gpu(src).node == topo.gpu(dst).node {
+                topo.intra_node_route(src, dst)
+            } else {
+                let choice = sel.select(topo, &key);
+                let sp = topo.port_of_gpu(src, choice.src_side);
+                let dp = topo.port_of_gpu(dst, choice.dst_side);
+                topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst)
+            };
+            // Sizes span zero-byte edge cases through multi-MiB transfers.
+            let bytes = match rng.index(8) {
+                0 => ByteSize::ZERO,
+                n => ByteSize::from_bytes((1u64 << (14 + 2 * n)) + rng.index(10_000) as u64),
+            };
+            FlowSpec::new(key, bytes, route)
+        })
+        .collect()
+}
+
+/// Asserts two drain reports agree within the 1e-9 differential tolerance.
+fn assert_reports_agree(inc: &DrainReport, reference: &DrainReport, what: &str) {
+    assert_eq!(inc.outcomes.len(), reference.outcomes.len());
+    let secs = |t: SimTime| (t - SimTime::ZERO).as_secs_f64();
+    for (f, (a, b)) in inc.outcomes.iter().zip(&reference.outcomes).enumerate() {
+        assert_eq!(
+            a.completed(),
+            b.completed(),
+            "{what}: flow {f} completion mismatch"
+        );
+        if let (Some(x), Some(y)) = (a.finish, b.finish) {
+            assert!(
+                close(secs(x), secs(y)),
+                "{what}: flow {f} finish {x} vs {y}"
+            );
+        }
+        assert!(
+            close(a.mean_rate.as_gbps(), b.mean_rate.as_gbps()),
+            "{what}: flow {f} mean rate {} vs {}",
+            a.mean_rate,
+            b.mean_rate
+        );
+    }
+    assert!(
+        close(secs(inc.end), secs(reference.end)),
+        "{what}: end {} vs {}",
+        inc.end,
+        reference.end
+    );
+    assert_eq!(
+        inc.congested_flows, reference.congested_flows,
+        "{what}: congested flow count"
+    );
+    for (l, (&a, &b)) in inc.link_bytes.iter().zip(&reference.link_bytes).enumerate() {
+        assert!(close(a, b), "{what}: link {l} bytes {a} vs {b}");
+    }
+    for (p, (&a, &b)) in inc
+        .cnp_per_port
+        .iter()
+        .zip(&reference.cnp_per_port)
+        .enumerate()
+    {
+        assert!(close(a, b), "{what}: port {p} cnp {a} vs {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental and reference drains agree over random topologies, flow
+    /// populations, fault injections, noise epochs and deadlines.
+    #[test]
+    fn drain_agrees_with_reference(
+        nodes in 2usize..5,
+        n_flows in 1usize..28,
+        seed in 0u64..1_000_000,
+        noise_kind in 0usize..4,
+        kill_links in 0usize..3,
+        deadline_ms in 0u64..4,
+    ) {
+        let mut topo = Topology::build(&ClosConfig::tiny(nodes));
+        let mut rng = DetRng::seed_from(seed);
+        let specs = random_specs(&topo, &mut rng, n_flows, seed ^ 0xD1FF);
+
+        // Fault injection: kill random links that flows actually cross, so
+        // stalls and partial-capacity paths are exercised.
+        for k in 0..kill_links {
+            let victim = &specs[rng.index(specs.len())];
+            if victim.route.is_empty() {
+                continue;
+            }
+            let l = victim.route[rng.index(victim.route.len())];
+            // Alternate between fully dead and degraded links.
+            if k % 2 == 0 {
+                topo.link_mut(l).set_up(false);
+            } else {
+                topo.link_mut(l).set_degradation(0.25);
+            }
+        }
+
+        let cfg = DrainConfig {
+            start: SimTime::ZERO,
+            // Deadlines from "immediately" to "after every completion";
+            // 0 means no deadline.
+            deadline: (deadline_ms > 0)
+                .then(|| SimTime::ZERO + SimDuration::from_millis(10u64.pow(deadline_ms as u32))),
+            epoch: SimDuration::from_micros(500),
+            rate_noise: [0.0, 0.1, 0.0, 0.25][noise_kind],
+            cnp: (noise_kind >= 2).then(CnpModel::paper_default),
+        };
+
+        let mut rng_a = DetRng::seed_from(seed ^ 0xAAAA);
+        let mut rng_b = DetRng::seed_from(seed ^ 0xAAAA);
+        let inc = drain(&topo, &specs, &cfg, &mut rng_a);
+        let reference = drain_reference(&topo, &specs, &cfg, &mut rng_b);
+        assert_reports_agree(&inc, &reference, "random drain");
+    }
+
+    /// The exact shared-fabric shape the collective engine produces: many
+    /// same-sized flows completing in clustered groups under noise, the
+    /// worst case for event-ordering divergence.
+    #[test]
+    fn drain_agrees_on_collective_shaped_populations(
+        nodes in 2usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let topo = Topology::build(&ClosConfig::tiny(nodes));
+        let mut rng = DetRng::seed_from(seed);
+        // One "ring": every node boundary gets 2 QPs of identical size.
+        let mut sel = EcmpSelector::new(seed);
+        let mut specs = Vec::new();
+        for n in 0..nodes {
+            let src = topo.gpu_at(NodeId::from_index(n), 0);
+            let dst = topo.gpu_at(NodeId::from_index((n + 1) % nodes), 0);
+            if topo.gpu(src).node == topo.gpu(dst).node {
+                continue;
+            }
+            for qp in 0..2u16 {
+                let key = FlowKey {
+                    src_gpu: src,
+                    dst_gpu: dst,
+                    comm: 9,
+                    channel: n as u16,
+                    qp,
+                    incarnation: 0,
+                };
+                let choice = sel.select(&topo, &key);
+                let sp = topo.port_of_gpu(src, choice.src_side);
+                let dp = topo.port_of_gpu(dst, choice.dst_side);
+                let route = topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst);
+                specs.push(FlowSpec::new(key, ByteSize::from_mib(64), route));
+            }
+        }
+        prop_assume!(!specs.is_empty());
+        let cfg = DrainConfig {
+            rate_noise: 0.15,
+            cnp: Some(CnpModel::paper_default()),
+            epoch: SimDuration::from_micros(200 + rng.index(2000) as u64),
+            ..DrainConfig::default()
+        };
+        let mut rng_a = DetRng::seed_from(seed ^ 0xBBBB);
+        let mut rng_b = DetRng::seed_from(seed ^ 0xBBBB);
+        let inc = drain(&topo, &specs, &cfg, &mut rng_a);
+        let reference = drain_reference(&topo, &specs, &cfg, &mut rng_b);
+        assert_reports_agree(&inc, &reference, "collective-shaped drain");
+    }
+}
+
+/// A deterministic end-to-end spot check through the collective engine: the
+/// engine's own drains (which now run incrementally) reproduce the
+/// reference solver's allocation for a full allreduce flow set.
+#[test]
+fn engine_flows_agree_with_reference_end_to_end() {
+    let topo = Topology::build(&ClosConfig::tiny(3));
+    let devices: Vec<GpuId> = topo.gpus().iter().map(|g| g.id).collect();
+    let comm = Communicator::new(1, devices, &topo).expect("valid communicator");
+    let req = CollectiveRequest {
+        comm: &comm,
+        seq: 0,
+        kind: CollKind::AllReduce,
+        dtype: DataType::Bf16,
+        count: 4 * 1024 * 1024,
+        config: CommConfig::default(),
+        start: SimTime::ZERO,
+        rank_ready: None,
+        drain: DrainConfig {
+            rate_noise: 0.1,
+            cnp: Some(CnpModel::paper_default()),
+            ..DrainConfig::default()
+        },
+    };
+    let mut sel = EcmpSelector::new(3);
+    let mut rng = DetRng::seed_from(11);
+    let result = run_collective(&topo, &req, &mut sel, None, &mut rng, None);
+    assert!(!result.hung());
+
+    // Rebuild the same flow set and compare both drain implementations.
+    let specs: Vec<FlowSpec> = result
+        .intra_outcomes
+        .iter()
+        .chain(&result.qp_outcomes)
+        .map(|o| {
+            let src = o.key.src_gpu;
+            let dst = o.key.dst_gpu;
+            let route = if topo.gpu(src).node == topo.gpu(dst).node {
+                topo.intra_node_route(src, dst)
+            } else {
+                let mut sel = EcmpSelector::new(3);
+                let choice = sel.select(&topo, &o.key);
+                let sp = topo.port_of_gpu(src, choice.src_side);
+                let dp = topo.port_of_gpu(dst, choice.dst_side);
+                topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst)
+            };
+            FlowSpec::new(o.key, o.bytes, route)
+        })
+        .collect();
+    let cfg = req.drain.clone();
+    let mut rng_a = DetRng::seed_from(42);
+    let mut rng_b = DetRng::seed_from(42);
+    let inc = drain(&topo, &specs, &cfg, &mut rng_a);
+    let reference = drain_reference(&topo, &specs, &cfg, &mut rng_b);
+    assert_reports_agree(&inc, &reference, "engine allreduce flow set");
+}

@@ -99,10 +99,11 @@ fn tiny_end_to_end_is_deterministic() {
     );
 
     // Inject one fault: node 0's sender side drops to a quarter of its
-    // capacity. (A fully dead port would *hang* the ECMP baseline — it
-    // cannot steer around the blackhole, which is the paper's point — so a
-    // degradation keeps the collective completing while strictly costing
-    // bandwidth.)
+    // capacity. (A fully dead port *hangs* the ECMP baseline — it cannot
+    // steer around the blackhole, which is the paper's point; the
+    // `dead_port_hangs_ecmp_and_c4d_diagnoses_it` scenario below covers
+    // that end to end — so here a degradation keeps the collective
+    // completing while strictly costing bandwidth.)
     let mut faulty = Topology::build(&ClosConfig::tiny(2));
     Degradation::node_tx_slow(NodeId::from_index(0), 0.25).apply(&mut faulty);
     let degraded = run_once(&faulty);
@@ -122,4 +123,121 @@ fn tiny_end_to_end_is_deterministic() {
         assert_eq!(a.time, b.time);
         assert_eq!(a.kind, b.kind);
     }
+}
+
+/// The blackhole scenario end to end: a dead NIC rail hangs the ECMP
+/// baseline against its `DrainConfig::deadline` (ECMP cannot steer around
+/// it — the paper's point), C4D's hang detector fires a critical
+/// `CommHang`, localizes the victim node, and background RCA reaches the
+/// transport-level verdict (`AckTimeout`: the victim is silent in both
+/// directions at the RDMA layer).
+#[test]
+fn dead_port_hangs_ecmp_and_c4d_diagnoses_it() {
+    let mut topo = Topology::build(&ClosConfig::tiny(2));
+    let devices: Vec<GpuId> = topo.gpus().iter().map(|g| g.id).collect();
+    let comm = Communicator::new(1, devices, &topo).expect("valid communicator");
+    let mut telemetry: Vec<WorkerTelemetry> = topo
+        .gpus()
+        .iter()
+        .map(|g| WorkerTelemetry::new(g.id))
+        .collect();
+    let mut selector = EcmpSelector::new(42);
+    let mut rng = DetRng::seed_from(7);
+
+    // One healthy iteration establishes transport history (the completions
+    // whose later silence localizes the victim).
+    let mut req = small_allreduce(&comm);
+    let healthy = run_collective(
+        &topo,
+        &req,
+        &mut selector,
+        None,
+        &mut rng,
+        Some(&mut telemetry),
+    );
+    assert!(!healthy.hung(), "clean fabric must not hang");
+    let healthy_end = healthy.finished.expect("completed");
+
+    // Kill both ports of node 0's rail-0 GPU: its boundary streams have
+    // nowhere to go, and ECMP keeps hashing onto the blackhole.
+    let victim_gpu = topo.gpu_at(NodeId::from_index(0), 0);
+    let victim_node = topo.gpu(victim_gpu).node;
+    for side in PortSide::BOTH {
+        Degradation::nic_half_down(topo.port_of_gpu(victim_gpu, side)).apply(&mut topo);
+    }
+
+    // The deadline bounds simulated time: the drain gives up on the
+    // blackholed flows no later than the configured horizon (and, with no
+    // rate noise that could unstick anything, reports the stall as soon as
+    // every movable flow has finished). A 128 MiB message makes the healthy
+    // rail's drain run for milliseconds, so the victim's transport silence
+    // stands clear of ordinary inter-completion jitter for RCA.
+    req.seq = 1;
+    req.count = 64 * 1024 * 1024;
+    req.start = healthy_end;
+    let deadline = healthy_end + SimDuration::from_secs(30);
+    req.drain.deadline = Some(deadline);
+    let hung = run_collective(
+        &topo,
+        &req,
+        &mut selector,
+        None,
+        &mut rng,
+        Some(&mut telemetry),
+    );
+    assert!(hung.hung(), "dead rail must hang the ECMP baseline");
+    assert!(
+        hung.report.end <= deadline,
+        "hang is bounded by the deadline"
+    );
+    let stalled = hung.report.stalled();
+    assert!(
+        !stalled.is_empty(),
+        "the blackholed flows are reported stalled"
+    );
+    // Exactly the victim's rail stalls: every stalled flow has the victim
+    // GPU as one endpoint; the healthy rail and NVLink edges completed.
+    for f in &stalled {
+        let o = &hung.report.outcomes[*f];
+        assert!(
+            o.key.src_gpu == victim_gpu || o.key.dst_gpu == victim_gpu,
+            "stalled flow {f} does not touch the victim"
+        );
+    }
+    assert!(stalled.len() < hung.report.outcomes.len());
+
+    // C4D: scan the communicator's telemetry after the hang timeout.
+    let at = deadline + SimDuration::from_secs(30);
+    let rec = CommRecord {
+        comm: comm.id(),
+        devices: comm.devices().to_vec(),
+        created: SimTime::ZERO,
+    };
+    let snapshots: Vec<TelemetrySnapshot> = comm
+        .devices()
+        .iter()
+        .map(|g| telemetry[g.index()].snapshot(at))
+        .collect();
+    let mut master = C4dMaster::new(DetectorConfig::default());
+    let diags = master.scan(at, &topo, &rec, &snapshots);
+    let hang = diags
+        .iter()
+        .find(|d| matches!(d.syndrome, Syndrome::CommHang { .. }))
+        .expect("hang detector fires");
+    assert!(hang.critical, "a communication hang is always critical");
+    assert_eq!(
+        hang.suspect,
+        Some(victim_node),
+        "localizes the dead rail's node"
+    );
+    assert_eq!(
+        master.log().of_kind(EventKind::CommHang).count(),
+        1,
+        "one CommHang event in the log"
+    );
+
+    // Background RCA: silent in both directions at the transport layer →
+    // the ACK-timeout (NIC/transport) verdict, not a host-side cause.
+    let rca = analyze_root_cause(&rec, &snapshots, &hang.syndrome);
+    assert_eq!(rca.probable_cause(), FaultKind::AckTimeout, "{rca:?}");
 }
