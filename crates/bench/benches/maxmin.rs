@@ -9,16 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use c4::prelude::*;
-
-/// Synthesizes `flows` random 4-link routes over `links` links.
-fn synth(links: usize, flows: usize, seed: u64) -> (Vec<f64>, Vec<Vec<u32>>) {
-    let mut rng = DetRng::seed_from(seed);
-    let capacity: Vec<f64> = (0..links).map(|_| 100.0 + rng.uniform() * 300.0).collect();
-    let routes: Vec<Vec<u32>> = (0..flows)
-        .map(|_| (0..4).map(|_| rng.index(links) as u32).collect())
-        .collect();
-    (capacity, routes)
-}
+use c4_bench::{synth_drain_specs, synth_maxmin_problem as synth};
 
 fn bench_maxmin(c: &mut Criterion) {
     let mut group = c.benchmark_group("maxmin_solve");
@@ -116,31 +107,7 @@ fn bench_drain(c: &mut Criterion) {
     let mut group = c.benchmark_group("drain_noisy_shared");
     group.sample_size(10);
     let topo = Topology::build(&ClosConfig::testbed_128());
-    let mut sel = EcmpSelector::new(11);
-    let mut rng = DetRng::seed_from(3);
-    let ngpus = topo.num_gpus();
-    let specs: Vec<FlowSpec> = (0..256)
-        .map(|i| {
-            let src = GpuId::from_index(rng.index(ngpus));
-            let mut dst = GpuId::from_index(rng.index(ngpus / 4) * 4);
-            if topo.gpu(src).node == topo.gpu(dst).node {
-                dst = GpuId::from_index((dst.index() + 8) % ngpus);
-            }
-            let key = FlowKey {
-                src_gpu: src,
-                dst_gpu: dst,
-                comm: 1 + (i % 8) as u64,
-                channel: (i % 16) as u16,
-                qp: (i % 2) as u16,
-                incarnation: 0,
-            };
-            let choice = sel.select(&topo, &key);
-            let sp = topo.port_of_gpu(src, choice.src_side);
-            let dp = topo.port_of_gpu(dst, choice.dst_side);
-            let route = topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst);
-            FlowSpec::new(key, ByteSize::from_mib(96), route)
-        })
-        .collect();
+    let specs = synth_drain_specs(&topo, 256, 3);
     let cfg = DrainConfig {
         rate_noise: 0.1,
         cnp: Some(CnpModel::paper_default()),

@@ -8,9 +8,9 @@
 //!
 //! 1. `ecmp`         — uncoordinated hashing (no C4P at all);
 //! 2. `balance-only` — dual-port balance + per-leaf round-robin spreading,
-//!                     but no probing and no failure reaction;
+//!    but no probing and no failure reaction;
 //! 3. `c4p-static`   — full allocation incl. faulty-link elimination, but
-//!                     static after start-up;
+//!    static after start-up;
 //! 4. `c4p-dynamic`  — everything, incl. rebalance + byte re-splitting.
 
 use c4::prelude::*;

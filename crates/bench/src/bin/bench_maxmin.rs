@@ -1,0 +1,191 @@
+//! Regenerates **`BENCH_maxmin.json`**: median wall-clock timings of the
+//! max-min solver stack (from-scratch reference, incremental `MaxMinState`
+//! on the drain loop's operations, serial vs multi-thread component
+//! re-solves, and the two drain implementations end to end).
+//!
+//! Same workload constructors as the criterion bench (`cargo bench
+//! --bench maxmin`; both call the shared builders in `c4_bench`, here
+//! seeded from `--seed`) — but emits the machine-readable `c4-bench-v1`
+//! document instead of console medians, so `BENCH_maxmin.json` and
+//! `BENCH_scale.json` share one schema and neither is hand-written:
+//!
+//! ```text
+//! cargo run --release -p c4_bench --bin bench_maxmin -- --json-out BENCH_maxmin.json
+//! ```
+
+use std::time::Duration;
+
+use c4::prelude::*;
+use c4_bench::{
+    banner, median_wall_us, parse_cli, synth_drain_specs, synth_maxmin_problem, write_json,
+};
+
+/// Per-case measurement budget.
+const BUDGET: Duration = Duration::from_millis(300);
+
+/// One measured case, printed and accumulated into the JSON document.
+struct Recorder {
+    rows: Vec<JsonValue>,
+}
+
+impl Recorder {
+    fn measure<F: FnMut()>(&mut self, name: &str, routine: F) -> f64 {
+        let (median_us, samples) = median_wall_us(BUDGET, routine);
+        println!("{name:<56} median {median_us:>12.1} us  ({samples} samples)");
+        let mut row = JsonValue::object();
+        row.push("name", name)
+            .push("median_us", median_us)
+            .push("samples", samples);
+        self.rows.push(row);
+        median_us
+    }
+}
+
+fn main() {
+    let cli = parse_cli(1);
+    banner(
+        "BENCH_maxmin — max-min solver stack medians",
+        "incremental MaxMinState vs from-scratch reference; serial vs threaded",
+    );
+    let start = std::time::Instant::now();
+    let mut rec = Recorder { rows: Vec::new() };
+
+    // From-scratch reference solve at realistic flow/link scales.
+    let shapes = [(600usize, 100usize), (3600, 400), (6000, 1500)];
+    for &(links, flows) in &shapes {
+        let (capacity, routes) = synth_maxmin_problem(links, flows, cli.seed);
+        rec.measure(&format!("maxmin_solve/{links}l_{flows}f"), || {
+            std::hint::black_box(maxmin::solve(&capacity, &routes, None));
+        });
+    }
+
+    // One flow completes: re-solve from scratch vs incremental removal.
+    for &(links, flows) in &shapes {
+        let (capacity, routes) = synth_maxmin_problem(links, flows, cli.seed);
+        let removed = flows / 2;
+        let remaining: Vec<Vec<u32>> = routes
+            .iter()
+            .enumerate()
+            .filter(|(f, _)| *f != removed)
+            .map(|(_, r)| r.clone())
+            .collect();
+        let scratch = rec.measure(
+            &format!("maxmin_completion_resolve/{links}l_{flows}f/from_scratch"),
+            || {
+                std::hint::black_box(maxmin::solve(&capacity, &remaining, None));
+            },
+        );
+        let mut state =
+            MaxMinState::with_flows(&capacity, &routes, None).with_parallel(ParallelPolicy::SERIAL);
+        let _ = state.rates();
+        let incremental = rec.measure(
+            &format!("maxmin_completion_resolve/{links}l_{flows}f/incremental"),
+            || {
+                let mut s = state.clone();
+                s.remove_flow(removed);
+                std::hint::black_box(s.rates().len());
+            },
+        );
+        println!(
+            "{:>56} speedup {:>11.1}x",
+            "",
+            scratch / incremental.max(1e-9)
+        );
+    }
+
+    // A DCQCN noise epoch: every congested flow's cap moves.
+    for &(links, flows) in &shapes[..2] {
+        let (capacity, routes) = synth_maxmin_problem(links, flows, cli.seed);
+        let base = maxmin::solve(&capacity, &routes, None);
+        let caps: Vec<f64> = base.iter().map(|r| r * 0.93).collect();
+        rec.measure(
+            &format!("maxmin_noise_epoch/{links}l_{flows}f/from_scratch"),
+            || {
+                std::hint::black_box(maxmin::solve(&capacity, &routes, Some(&caps)));
+            },
+        );
+        let mut state =
+            MaxMinState::with_flows(&capacity, &routes, None).with_parallel(ParallelPolicy::SERIAL);
+        let _ = state.rates();
+        rec.measure(
+            &format!("maxmin_noise_epoch/{links}l_{flows}f/incremental"),
+            || {
+                let mut s = state.clone();
+                for (f, &cap) in caps.iter().enumerate() {
+                    s.rate_perturb(f, cap);
+                }
+                std::hint::black_box(s.rates().len());
+            },
+        );
+    }
+
+    // The tentpole dimension: a full component-partitioned re-solve of the
+    // largest shape under 1/2/4 worker threads (identical allocations;
+    // only wall time may move, and only on multi-core hosts).
+    {
+        let (capacity, routes) = synth_maxmin_problem(6000, 1500, cli.seed);
+        for threads in [1usize, 2, 4] {
+            let mut state = MaxMinState::with_flows(&capacity, &routes, None)
+                .with_parallel(ParallelPolicy::with_threads(threads));
+            let _ = state.rates();
+            rec.measure(
+                &format!("maxmin_parallel_full_resolve/6000l_1500f/{threads}t"),
+                || {
+                    let mut s = state.clone();
+                    // Dirty everything: forces the full-solve fallback,
+                    // which fans out per component.
+                    for f in 0..1500 {
+                        s.rate_perturb(f, 120.0 + (f % 9) as f64);
+                    }
+                    std::hint::black_box(s.rates().len());
+                },
+            );
+        }
+    }
+
+    // The drain loop end to end (incremental vs retained reference).
+    {
+        let topo = Topology::build(&ClosConfig::testbed_128());
+        let specs = synth_drain_specs(&topo, 256, cli.seed ^ 0x5EED);
+        let cfg = DrainConfig {
+            rate_noise: 0.1,
+            cnp: Some(CnpModel::paper_default()),
+            parallel: ParallelPolicy::SERIAL,
+            ..DrainConfig::default()
+        };
+        rec.measure("drain_noisy_shared/256qp/incremental", || {
+            let mut rng = DetRng::seed_from(cli.seed ^ 0xD12A);
+            std::hint::black_box(drain(&topo, &specs, &cfg, &mut rng).end);
+        });
+        rec.measure("drain_noisy_shared/256qp/reference", || {
+            let mut rng = DetRng::seed_from(cli.seed ^ 0xD12A);
+            std::hint::black_box(drain_reference(&topo, &specs, &cfg, &mut rng).end);
+        });
+    }
+
+    let mut config = JsonValue::object();
+    config
+        .push("seed", cli.seed)
+        .push("budget_ms_per_case", BUDGET.as_millis() as u64)
+        .push(
+            "host_threads",
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        );
+    let mut doc = JsonValue::object();
+    doc.push("schema", "c4-bench-v1")
+        .push("bench", "maxmin_solvers")
+        .push(
+            "generated_by",
+            "cargo run --release -p c4_bench --bin bench_maxmin -- --json-out BENCH_maxmin.json",
+        )
+        .push("config", config)
+        .push("rows", JsonValue::Array(rec.rows))
+        .push("total_wall_ms", start.elapsed().as_secs_f64() * 1e3);
+
+    if let Some(path) = cli.json_out.as_deref() {
+        write_json(path, &doc);
+        println!("wrote {path}");
+    } else {
+        println!("JSON: {doc}");
+    }
+}

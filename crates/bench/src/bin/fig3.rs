@@ -1,21 +1,61 @@
-//! Regenerates **Fig 3**: actual vs ideal throughput of GPT-22B training at
-//! GPU = 16…512 under baseline (ECMP) networking in a shared pod.
+//! Regenerates **Fig 3**: actual vs ideal throughput of GPT-22B training
+//! under baseline (ECMP) networking in a shared pod.
+//!
+//! Sweeps:
+//!
+//! * `--sweep paper` (default) — the paper's 16…512 GPUs in the 64-node
+//!   shared pod;
+//! * `--sweep scale` — the extended 16…4096 GPU sweep on the 512-node
+//!   grouped fabric (2:1 oversubscription), the CI perf-gate workload.
+//!
+//! `--json-out BENCH_scale.json` writes the machine-readable sweep document
+//! (schema `c4-bench-v1`); `--check-against <baseline.json>` additionally
+//! compares `total_wall_ms` against a previously checked-in baseline and
+//! exits non-zero past 2× — the CI guard against simulator-performance
+//! regressions. `--threads N|max` overrides the `C4_THREADS` selection.
 
 use c4::scenarios::fig3;
-use c4_bench::{banner, parse_cli, pct};
+use c4_bench::{banner, check_wall_regression, parse_cli, pct, read_json, write_json};
+
+/// Allowed wall-clock growth over the checked-in baseline before the gate
+/// trips.
+const REGRESSION_FACTOR: f64 = 2.0;
 
 fn main() {
     let cli = parse_cli(4);
+    let mut cfg = match cli.sweep.as_deref() {
+        None | Some("paper") => fig3::Fig3Config::paper(cli.seed, cli.iters),
+        Some("scale") => fig3::Fig3Config::scale_4096(cli.seed, cli.iters),
+        Some(other) => panic!("unknown --sweep {other} (expected paper|scale)"),
+    };
+    cfg.parallel = cli.parallel();
     banner(
         "Fig 3 — performance loss grows with system scale",
         "actual drops to ~30% below ideal at 512 GPUs",
     );
-    let rows = fig3::run(cli.seed, cli.iters);
+    println!(
+        "sweep: {} · {} GPUs max",
+        cli.sweep.as_deref().unwrap_or("paper"),
+        cfg.scales.iter().max().unwrap_or(&0) * cfg.clos.gpus_per_node,
+    );
+    eprintln!("threads: {}", cfg.parallel.threads());
+
+    // Read the baseline before any write: CI points --check-against and
+    // --json-out at the same path.
+    let baseline = cli
+        .check_against
+        .as_deref()
+        .map(|path| read_json(path).unwrap_or_else(|e| panic!("baseline: {e}")));
+
+    let sweep = fig3::run_config(&cfg);
+    // Stdout carries only seed-deterministic simulation results (same seed
+    // ⇒ byte-identical output, the workspace invariant); wall-clock
+    // measurements go to stderr and the --json-out bench document.
     println!(
         "{:>6} {:>14} {:>14} {:>10}",
         "GPUs", "Actual (sps)", "Ideal (sps)", "Loss"
     );
-    for r in &rows {
+    for r in &sweep.rows {
         println!(
             "{:>6} {:>14.1} {:>14.1} {:>10}",
             r.gpus,
@@ -25,7 +65,8 @@ fn main() {
         );
     }
     if cli.json {
-        let rows: Vec<String> = rows
+        let rows: Vec<String> = sweep
+            .rows
             .iter()
             .map(|r| {
                 format!(
@@ -35,5 +76,24 @@ fn main() {
             })
             .collect();
         println!("JSON: [{}]", rows.join(","));
+    }
+    for r in &sweep.rows {
+        eprintln!("wall {:>6} GPUs: {:>9.1} ms", r.gpus, r.wall_ms);
+    }
+    eprintln!("total wall: {:.1} ms", sweep.total_wall_ms);
+
+    let doc = sweep.to_json();
+    if let Some(path) = cli.json_out.as_deref() {
+        write_json(path, &doc);
+        eprintln!("wrote {path}");
+    }
+    if let Some(baseline) = baseline {
+        match check_wall_regression(&doc, &baseline, REGRESSION_FACTOR) {
+            Ok(msg) => eprintln!("perf gate: {msg}"),
+            Err(msg) => {
+                eprintln!("perf gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
 }

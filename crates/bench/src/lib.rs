@@ -5,8 +5,15 @@
 //! `--iters <usize>`; outputs are printed as aligned text tables plus an
 //! optional JSON dump via `--json`.
 
+use std::time::{Duration, Instant};
+
+use c4::prelude::{
+    ByteSize, DetRng, EcmpSelector, FlowKey, FlowSpec, GpuId, JsonValue, ParallelPolicy,
+    PathSelector, Topology,
+};
+
 /// Parsed common CLI options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Cli {
     /// Root random seed.
     pub seed: u64,
@@ -14,52 +21,201 @@ pub struct Cli {
     pub iters: usize,
     /// Emit a JSON block after the human-readable table.
     pub json: bool,
+    /// Named sweep variant (`--sweep`, e.g. `paper` / `scale` for fig3).
+    pub sweep: Option<String>,
+    /// Write the machine-readable result document here (`--json-out`).
+    pub json_out: Option<String>,
+    /// Compare wall clock against this baseline document and exit non-zero
+    /// on regression (`--check-against`).
+    pub check_against: Option<String>,
+    /// Thread-budget override (`--threads N`, `--threads max`); `None`
+    /// defers to the `C4_THREADS` environment selection.
+    pub threads: Option<ParallelPolicy>,
 }
 
-impl Default for Cli {
-    fn default() -> Self {
+impl Cli {
+    fn with_defaults(default_iters: usize) -> Self {
         Cli {
             seed: 42,
-            iters: 8,
-            json: false,
+            iters: default_iters,
+            ..Cli::default()
         }
+    }
+
+    /// The effective thread policy: the `--threads` override, else the
+    /// `C4_THREADS` environment selection.
+    pub fn parallel(&self) -> ParallelPolicy {
+        self.threads.unwrap_or_default()
     }
 }
 
-/// Parses `--seed`, `--iters`, `--json` from `std::env::args`.
+/// Parses `--seed`, `--iters`, `--json`, `--sweep`, `--json-out`,
+/// `--check-against` and `--threads` from `std::env::args`.
 ///
 /// # Panics
 ///
 /// Panics with a usage message on malformed values.
 pub fn parse_cli(default_iters: usize) -> Cli {
-    let mut cli = Cli {
-        iters: default_iters,
-        ..Cli::default()
-    };
+    let mut cli = Cli::with_defaults(default_iters);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
-                i += 1;
-                cli.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| panic!("--seed needs a u64"));
+                cli.seed = value(&args, &mut i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--seed needs a u64"));
             }
             "--iters" => {
-                i += 1;
-                cli.iters = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| panic!("--iters needs a usize"));
+                cli.iters = value(&args, &mut i, "--iters")
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--iters needs a usize"));
             }
             "--json" => cli.json = true,
-            other => panic!("unknown argument: {other} (expected --seed/--iters/--json)"),
+            "--sweep" => cli.sweep = Some(value(&args, &mut i, "--sweep")),
+            "--json-out" => cli.json_out = Some(value(&args, &mut i, "--json-out")),
+            "--check-against" => {
+                cli.check_against = Some(value(&args, &mut i, "--check-against"));
+            }
+            "--threads" => {
+                let v = value(&args, &mut i, "--threads");
+                // Same semantics as the C4_THREADS env var: `max` or `0`
+                // means one worker per hardware thread.
+                cli.threads = Some(if v.eq_ignore_ascii_case("max") {
+                    ParallelPolicy::max()
+                } else {
+                    match v
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("--threads needs a usize or 'max'"))
+                    {
+                        0 => ParallelPolicy::max(),
+                        n => ParallelPolicy::with_threads(n),
+                    }
+                });
+            }
+            other => panic!(
+                "unknown argument: {other} (expected --seed/--iters/--json/--sweep/--json-out/--check-against/--threads)"
+            ),
         }
         i += 1;
     }
     cli
+}
+
+/// Writes a `BENCH_*.json` document (pretty-printed, trailing newline).
+///
+/// # Panics
+///
+/// Panics when the path is unwritable — bench binaries fail loudly.
+pub fn write_json(path: &str, doc: &JsonValue) {
+    std::fs::write(path, doc.pretty()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+/// Reads and parses a `BENCH_*.json` document.
+///
+/// # Errors
+///
+/// Returns a message naming the path for unreadable or malformed files.
+pub fn read_json(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Compares a fresh run's `total_wall_ms` against a baseline document of
+/// the same schema.
+///
+/// # Errors
+///
+/// `Err(message)` when the new wall clock exceeds `factor ×` the baseline
+/// (the CI perf gate), or when either document lacks the field. `Ok` holds
+/// a one-line comparison summary for the log.
+pub fn check_wall_regression(
+    fresh: &JsonValue,
+    baseline: &JsonValue,
+    factor: f64,
+) -> Result<String, String> {
+    let wall = |doc: &JsonValue, which: &str| {
+        doc.get("total_wall_ms")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{which} document lacks total_wall_ms"))
+    };
+    let new_ms = wall(fresh, "fresh")?;
+    let base_ms = wall(baseline, "baseline")?;
+    let ratio = new_ms / base_ms.max(1e-9);
+    if ratio > factor {
+        return Err(format!(
+            "wall-clock regression: {new_ms:.0} ms vs baseline {base_ms:.0} ms ({ratio:.2}× > allowed {factor:.2}×)"
+        ));
+    }
+    Ok(format!(
+        "wall clock {new_ms:.0} ms vs baseline {base_ms:.0} ms ({ratio:.2}× ≤ {factor:.2}×)"
+    ))
+}
+
+/// Synthesizes `flows` random 4-link routes over `links` links — the
+/// max-min solver workload shared by the criterion bench
+/// (`benches/maxmin.rs`) and the `bench_maxmin` binary that regenerates
+/// `BENCH_maxmin.json`.
+pub fn synth_maxmin_problem(links: usize, flows: usize, seed: u64) -> (Vec<f64>, Vec<Vec<u32>>) {
+    let mut rng = DetRng::seed_from(seed);
+    let capacity: Vec<f64> = (0..links).map(|_| 100.0 + rng.uniform() * 300.0).collect();
+    let routes: Vec<Vec<u32>> = (0..flows)
+        .map(|_| (0..4).map(|_| rng.index(links) as u32).collect())
+        .collect();
+    (capacity, routes)
+}
+
+/// Builds the `drain_noisy_shared` workload: `n` same-sized ECMP-routed
+/// QPs contending on shared receive ports (the scenario-suite hot path),
+/// shared by the criterion bench and the `bench_maxmin` binary.
+pub fn synth_drain_specs(topo: &Topology, n: usize, seed: u64) -> Vec<FlowSpec> {
+    let mut sel = EcmpSelector::new(seed.wrapping_mul(3).wrapping_add(2));
+    let mut rng = DetRng::seed_from(seed);
+    let ngpus = topo.num_gpus();
+    (0..n)
+        .map(|i| {
+            let src = GpuId::from_index(rng.index(ngpus));
+            let mut dst = GpuId::from_index(rng.index(ngpus / 4) * 4);
+            if topo.gpu(src).node == topo.gpu(dst).node {
+                dst = GpuId::from_index((dst.index() + 8) % ngpus);
+            }
+            let key = FlowKey {
+                src_gpu: src,
+                dst_gpu: dst,
+                comm: 1 + (i % 8) as u64,
+                channel: (i % 16) as u16,
+                qp: (i % 2) as u16,
+                incarnation: 0,
+            };
+            let choice = sel.select(topo, &key);
+            let sp = topo.port_of_gpu(src, choice.src_side);
+            let dp = topo.port_of_gpu(dst, choice.dst_side);
+            let route = topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst);
+            FlowSpec::new(key, ByteSize::from_mib(96), route)
+        })
+        .collect()
+}
+
+/// Runs `routine` repeatedly for up to `budget` (≥ 1 call after one warm-up)
+/// and returns `(median_wall_us, samples)` — the same measurement loop as
+/// the vendored criterion stub, reusable from binaries.
+pub fn median_wall_us<F: FnMut()>(budget: Duration, mut routine: F) -> (f64, usize) {
+    routine(); // warm-up, untimed
+    let mut samples: Vec<f64> = Vec::new();
+    let deadline = Instant::now() + budget;
+    while samples.is_empty() || (Instant::now() < deadline && samples.len() < 1000) {
+        let start = Instant::now();
+        routine();
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (samples[samples.len() / 2], samples.len())
 }
 
 /// Prints a header banner for an experiment.
@@ -81,9 +237,37 @@ mod tests {
 
     #[test]
     fn defaults_are_sane() {
-        let c = Cli::default();
+        let c = Cli::with_defaults(8);
         assert_eq!(c.seed, 42);
+        assert_eq!(c.iters, 8);
         assert!(!c.json);
+        assert!(c.sweep.is_none() && c.json_out.is_none() && c.check_against.is_none());
+        assert_eq!(c.parallel(), ParallelPolicy::default());
+    }
+
+    #[test]
+    fn regression_gate_math() {
+        let doc = |ms: f64| {
+            let mut d = JsonValue::object();
+            d.push("total_wall_ms", ms);
+            d
+        };
+        assert!(check_wall_regression(&doc(190.0), &doc(100.0), 2.0).is_ok());
+        let err = check_wall_regression(&doc(210.0), &doc(100.0), 2.0).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        assert!(check_wall_regression(&JsonValue::object(), &doc(1.0), 2.0).is_err());
+    }
+
+    #[test]
+    fn json_files_round_trip_on_disk() {
+        let mut doc = JsonValue::object();
+        doc.push("total_wall_ms", 12.5);
+        let path = std::env::temp_dir().join("c4_bench_roundtrip.json");
+        let path = path.to_str().unwrap();
+        write_json(path, &doc);
+        assert_eq!(read_json(path).unwrap(), doc);
+        assert!(read_json("/nonexistent/nope.json").is_err());
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -110,8 +110,7 @@ pub fn detect_hang(
         let rec = snap
             .colls
             .iter()
-            .filter(|c| c.comm == comm.comm && c.seq == seq)
-            .last();
+            .rfind(|c| c.comm == comm.comm && c.seq == seq);
         match rec {
             None => missing.push(rank as u32),
             Some(r) if r.end.is_none() => {

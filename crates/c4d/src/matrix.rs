@@ -152,7 +152,7 @@ impl DelayMatrix {
         let mut row_flagged = vec![false; self.n];
         let mut col_flagged = vec![false; self.n];
 
-        for i in 0..self.n {
+        for (i, flagged) in row_flagged.iter_mut().enumerate() {
             let entries: Vec<f64> = (0..self.n)
                 .filter(|&j| j != i)
                 .map(|j| self.get(i, j))
@@ -165,14 +165,14 @@ impl DelayMatrix {
             if bad as f64 / entries.len() as f64 >= row_col_fraction {
                 let mean_bad: f64 =
                     entries.iter().filter(|&&v| abnormal(v)).sum::<f64>() / bad.max(1) as f64;
-                row_flagged[i] = true;
+                *flagged = true;
                 findings.push(MatrixFinding::TxSlow {
                     rank: i as u32,
                     ratio: mean_bad / base,
                 });
             }
         }
-        for j in 0..self.n {
+        for (j, flagged) in col_flagged.iter_mut().enumerate() {
             let entries: Vec<f64> = (0..self.n)
                 .filter(|&i| i != j)
                 .map(|i| self.get(i, j))
@@ -185,16 +185,16 @@ impl DelayMatrix {
             if bad as f64 / entries.len() as f64 >= row_col_fraction {
                 let mean_bad: f64 =
                     entries.iter().filter(|&&v| abnormal(v)).sum::<f64>() / bad.max(1) as f64;
-                col_flagged[j] = true;
+                *flagged = true;
                 findings.push(MatrixFinding::RxSlow {
                     rank: j as u32,
                     ratio: mean_bad / base,
                 });
             }
         }
-        for i in 0..self.n {
-            for j in 0..self.n {
-                if i == j || row_flagged[i] || col_flagged[j] {
+        for (i, &row_is_slow) in row_flagged.iter().enumerate() {
+            for (j, &col_is_slow) in col_flagged.iter().enumerate() {
+                if i == j || row_is_slow || col_is_slow {
                     continue;
                 }
                 let v = self.get(i, j);

@@ -414,7 +414,7 @@ mod tests {
             min_rate: Bandwidth::from_gbps(100.0),
             max_rate: Bandwidth::from_gbps(100.0),
         };
-        m.observe(&[outcome.clone()]);
+        m.observe(std::slice::from_ref(&outcome));
         assert!((m.qp_weight(&k) - 100.0).abs() < 1e-9);
         // EMA: a second observation at 200 moves halfway.
         let faster = c4_netsim::FlowOutcome {

@@ -34,10 +34,10 @@ impl PathCatalog {
                         ok.push(p);
                     } else {
                         for l in [p.up, p.down] {
-                            if !topo.link(l).is_up() || topo.link(l).degradation() < 1.0 {
-                                if !eliminated.contains(&l) {
-                                    eliminated.push(l);
-                                }
+                            if (!topo.link(l).is_up() || topo.link(l).degradation() < 1.0)
+                                && !eliminated.contains(&l)
+                            {
+                                eliminated.push(l);
                             }
                         }
                     }

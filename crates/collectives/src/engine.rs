@@ -13,8 +13,8 @@
 
 use std::collections::HashMap;
 
-use c4_netsim::{drain, DrainConfig, FlowKey, FlowSpec, PathSelector};
-use c4_simcore::{ByteSize, DetRng, SimTime};
+use c4_netsim::{drain, DrainConfig, FlowKey, FlowSpec, PathChoice, PathSelector};
+use c4_simcore::{scoped_map, ByteSize, DetRng, ParallelPolicy, SimTime};
 use c4_telemetry::{
     AlgoKind, CollKind, CollRecord, ConnKey, DataType, RankRecord, WorkerTelemetry,
 };
@@ -23,6 +23,12 @@ use c4_topology::{LinkId, Topology};
 use crate::comm::{CommConfig, Communicator};
 use crate::plan::{bus_factor, RingPlan};
 use crate::result::CollectiveResult;
+
+/// Minimum route-assembly items (intra edges + boundary QPs) in one
+/// [`build_plan`] before worker threads are spawned; below it the
+/// per-thread setup cost exceeds the topology walks. A wall-clock
+/// heuristic only — plans are bit-identical either way.
+const PARALLEL_MIN_ROUTES: usize = 64;
 
 /// Per-QP byte-split weight function; C4P's dynamic load balancing supplies
 /// one so faster paths carry more of each stream. Weights are normalized per
@@ -156,6 +162,7 @@ impl PlanCache {
     /// is the selector's current [`PathSelector::cache_token`] — callers
     /// with an uncacheable selector (token `None`) must bypass the cache
     /// entirely rather than fill it with unservable entries.
+    #[allow(clippy::too_many_arguments)]
     fn get_or_build(
         &mut self,
         topo: &Topology,
@@ -163,6 +170,7 @@ impl PlanCache {
         qps: u16,
         token: u64,
         selector: &mut dyn PathSelector,
+        parallel: ParallelPolicy,
     ) -> &PlanSpec {
         let key = PlanKey {
             comm: comm.id(),
@@ -177,7 +185,7 @@ impl PlanCache {
             self.hits += 1;
         } else {
             self.misses += 1;
-            let plan = build_plan(topo, comm, qps, selector);
+            let plan = build_plan(topo, comm, qps, selector, parallel);
             self.entries.insert(
                 key.clone(),
                 PlanEntry {
@@ -192,21 +200,35 @@ impl PlanCache {
 }
 
 /// Builds the route structure of one collective: ring plan, per-QP path
-/// selection, route assembly. Selector calls happen in deterministic
-/// (stream, qp) order, matching the historical construction order exactly.
+/// selection, route assembly.
+///
+/// Two phases keep large plans fast without giving up determinism:
+///
+/// 1. **Path selection** runs serially in (stream, qp) order — selectors
+///    are stateful (round-robin counters, load ledgers), so the call order
+///    matches the historical construction order exactly.
+/// 2. **Route assembly** — the expensive per-QP topology walk — is a pure
+///    function of (topology, key, choice) and fans out over `parallel`
+///    scoped threads, results merged back in stream order. The produced
+///    plan is bit-identical at any thread count.
 fn build_plan(
     topo: &Topology,
     comm: &Communicator,
     qps: u16,
     selector: &mut dyn PathSelector,
+    parallel: ParallelPolicy,
 ) -> PlanSpec {
     let plan = RingPlan::build(topo, comm);
+    let route_items = plan.intra_edges.len() + plan.boundaries.len() * qps as usize;
+    let parallel = if route_items < PARALLEL_MIN_ROUTES {
+        ParallelPolicy::SERIAL
+    } else {
+        parallel
+    };
 
     // Intra-node NVLink edges, each carrying the full stream B.
-    let intra: Vec<(FlowKey, Vec<LinkId>)> = plan
-        .intra_edges
-        .iter()
-        .map(|&(src, dst)| {
+    let intra: Vec<(FlowKey, Vec<LinkId>)> =
+        scoped_map(parallel, &plan.intra_edges, |&(src, dst)| {
             let key = FlowKey {
                 src_gpu: src,
                 dst_gpu: dst,
@@ -216,11 +238,10 @@ fn build_plan(
                 incarnation: comm.incarnation(),
             };
             (key, topo.intra_node_route(src, dst))
-        })
-        .collect();
+        });
 
-    // Boundary streams: Q QPs per stream, each with a selected path.
-    let streams: Vec<Vec<(FlowKey, Vec<LinkId>)>> = plan
+    // Phase 1: selector decisions, serial, in (stream, qp) order.
+    let choices: Vec<Vec<(FlowKey, PathChoice)>> = plan
         .boundaries
         .iter()
         .map(|stream| {
@@ -234,21 +255,30 @@ fn build_plan(
                         qp: q,
                         incarnation: comm.incarnation(),
                     };
-                    let choice = selector.select(topo, &k);
-                    let src_port = topo.port_of_gpu(k.src_gpu, choice.src_side);
-                    let dst_port = topo.port_of_gpu(k.dst_gpu, choice.dst_side);
-                    let route = topo.inter_node_route(
-                        k.src_gpu,
-                        src_port,
-                        choice.fabric.as_ref(),
-                        dst_port,
-                        k.dst_gpu,
-                    );
-                    (k, route)
+                    (k, selector.select(topo, &k))
                 })
                 .collect()
         })
         .collect();
+
+    // Phase 2: route assembly per stream, fanned out.
+    let streams: Vec<Vec<(FlowKey, Vec<LinkId>)>> = scoped_map(parallel, &choices, |stream| {
+        stream
+            .iter()
+            .map(|&(k, ref choice)| {
+                let src_port = topo.port_of_gpu(k.src_gpu, choice.src_side);
+                let dst_port = topo.port_of_gpu(k.dst_gpu, choice.dst_side);
+                let route = topo.inter_node_route(
+                    k.src_gpu,
+                    src_port,
+                    choice.fabric.as_ref(),
+                    dst_port,
+                    k.dst_gpu,
+                );
+                (k, route)
+            })
+            .collect()
+    });
 
     PlanSpec { intra, streams }
 }
@@ -287,9 +317,11 @@ fn build_request(
     // plans can never be served back, so storing them would only leak
     // dead entries.
     let plan: &PlanSpec = match (cache, selector.cache_token()) {
-        (Some(c), Some(token)) => c.get_or_build(topo, comm, qps, token, selector),
+        (Some(c), Some(token)) => {
+            c.get_or_build(topo, comm, qps, token, selector, req.drain.parallel)
+        }
         _ => {
-            fresh_plan = build_plan(topo, comm, qps, selector);
+            fresh_plan = build_plan(topo, comm, qps, selector, req.drain.parallel);
             &fresh_plan
         }
     };
@@ -530,7 +562,7 @@ pub fn run_tree_collective(
     req: &CollectiveRequest<'_>,
     selector: &mut dyn PathSelector,
     rng: &mut DetRng,
-    mut telemetry: Option<&mut [WorkerTelemetry]>,
+    telemetry: Option<&mut [WorkerTelemetry]>,
 ) -> CollectiveResult {
     let comm = req.comm;
     let message_bytes = ByteSize::from_bytes(req.count * req.dtype.size_bytes());
@@ -597,7 +629,7 @@ pub fn run_tree_collective(
         finished
     };
 
-    if let Some(tel) = telemetry.as_deref_mut() {
+    if let Some(tel) = telemetry {
         for (rank, &gpu) in comm.devices().iter().enumerate() {
             tel[gpu.index()].record_coll(CollRecord {
                 comm: comm.id(),
@@ -1063,6 +1095,34 @@ mod tests {
             Some(&mut cache),
         );
         assert_eq!(cache.hits(), 1, "uncacheable selector never hits");
+    }
+
+    #[test]
+    fn parallel_plan_build_is_identical_to_serial() {
+        // Route assembly fans out across threads; the resulting flow set,
+        // drain and report must match the serial build bit for bit.
+        let t = topo();
+        let comm = full_comm(&t, 4);
+        let run_with = |threads: usize| {
+            let mut req = request(&comm);
+            req.drain.parallel = ParallelPolicy::with_threads(threads);
+            let mut sel = EcmpSelector::new(17);
+            let mut rng = DetRng::seed_from(23);
+            run_collective(&t, &req, &mut sel, None, &mut rng, None)
+        };
+        let serial = run_with(1);
+        for threads in [2, 4] {
+            let par = run_with(threads);
+            assert_eq!(par.finished, serial.finished, "{threads} threads");
+            assert_eq!(par.qp_outcomes.len(), serial.qp_outcomes.len());
+            for (a, b) in par.qp_outcomes.iter().zip(&serial.qp_outcomes) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.bytes, b.bytes);
+                assert_eq!(a.finish, b.finish);
+                assert_eq!(a.mean_rate, b.mean_rate);
+            }
+            assert_eq!(par.report.link_bytes, serial.report.link_bytes);
+        }
     }
 
     #[test]

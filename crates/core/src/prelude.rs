@@ -1,8 +1,8 @@
 //! One-stop re-exports of the workspace's public API.
 
 pub use c4_simcore::{
-    Bandwidth, ByteSize, DetRng, Engine, EventQueue, Histogram, SimDuration, SimTime,
-    StreamingStats, TimeSeries,
+    scoped_map, Bandwidth, ByteSize, DetRng, Engine, EventQueue, Histogram, JsonValue,
+    ParallelPolicy, SimDuration, SimTime, StreamingStats, TimeSeries,
 };
 
 pub use c4_topology::{

@@ -23,7 +23,7 @@
 //!   floating-point association; `tests/maxmin_differential.rs` holds them
 //!   to 1e-9.
 
-use c4_simcore::{Bandwidth, DetRng, SimDuration, SimTime};
+use c4_simcore::{Bandwidth, DetRng, ParallelPolicy, SimDuration, SimTime};
 use c4_topology::{LinkKind, Topology};
 
 use crate::congestion::CnpModel;
@@ -46,6 +46,11 @@ pub struct DrainConfig {
     pub rate_noise: f64,
     /// CNP accounting model (`None` = no CNP accounting).
     pub cnp: Option<CnpModel>,
+    /// Thread budget for the solver's batched component re-solves (and for
+    /// the collective layer's route assembly, which reuses the drain
+    /// config). Defaults to the `C4_THREADS` environment selection; the
+    /// allocation is bit-identical at any thread count.
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for DrainConfig {
@@ -56,6 +61,7 @@ impl Default for DrainConfig {
             epoch: SimDuration::from_millis(10),
             rate_noise: 0.0,
             cnp: None,
+            parallel: ParallelPolicy::default(),
         }
     }
 }
@@ -198,11 +204,14 @@ pub fn drain(
     // allocation (perturbed only by completions); `capped` additionally
     // carries the per-epoch DCQCN noise caps. Components untouched by an
     // event keep their rates without re-solving.
-    let mut base = MaxMinState::with_flows(&p.dense_capacity, &p.dense_routes, None);
-    let mut capped = (cfg.rate_noise > 0.0)
-        .then(|| MaxMinState::with_flows(&p.dense_capacity, &p.dense_routes, None));
-    for f in 0..nf {
-        if finish[f].is_some() {
+    let mut base = MaxMinState::with_flows(&p.dense_capacity, &p.dense_routes, None)
+        .with_parallel(cfg.parallel);
+    let mut capped = (cfg.rate_noise > 0.0).then(|| {
+        MaxMinState::with_flows(&p.dense_capacity, &p.dense_routes, None)
+            .with_parallel(cfg.parallel)
+    });
+    for (f, fin) in finish.iter().enumerate() {
+        if fin.is_some() {
             base.remove_flow(f);
             if let Some(c) = capped.as_mut() {
                 c.remove_flow(f);
@@ -894,7 +903,7 @@ mod tests {
         let mut rng = DetRng::seed_from(11);
         let no_deadline = drain(
             &t,
-            &[spec.clone()],
+            std::slice::from_ref(&spec),
             &DrainConfig::default(),
             &mut DetRng::seed_from(11),
         );

@@ -43,8 +43,15 @@
 //!   the partition stale outright.
 //! * **Full-solve fallback.** When the dirty components cover more than
 //!   half the live flows, or flows were added since the last partition,
-//!   the state runs one full solve and re-partitions. The incremental path
-//!   is therefore never asymptotically worse than the reference solver.
+//!   the state re-partitions and re-solves every component. The incremental
+//!   path is therefore never asymptotically worse than the reference solver.
+//! * **Deterministic parallelism.** Components are independent
+//!   sub-problems, so batched re-solves fan out over a scoped-thread pool
+//!   sized by [`DrainConfig::parallel`](drain::DrainConfig) (default: the
+//!   `C4_THREADS` environment selection). Each component's rates are a pure
+//!   function of its own inputs and results merge in component-index
+//!   order, making allocations bit-identical at any thread count — the
+//!   differential harness pins serial vs 2- and 4-thread states exactly.
 //! * **Reference agreement.** The state's event-driven kernel (water level
 //!   jumping between cap/saturation events on a lazy min-heap) produces the
 //!   same allocation as the textbook progressive-filling loop retained in

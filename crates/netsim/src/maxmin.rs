@@ -19,8 +19,16 @@
 //! back to one full solve (and re-partitions), so the incremental path is
 //! never slower than the reference by more than bookkeeping.
 
+use c4_simcore::{scoped_map, ParallelPolicy};
+
 /// Per-flow rate caps; `f64::INFINITY` means uncapped.
 pub type RateCaps = Vec<f64>;
+
+/// Minimum live-flow mass across the components of one re-solve batch
+/// before worker threads are spawned; below it the per-thread setup cost
+/// exceeds the solve itself. Purely a wall-clock heuristic — results are
+/// bit-identical either way.
+const PARALLEL_MIN_FLOWS: usize = 192;
 
 /// Rate assigned to flows with an empty route and no finite cap
 /// (represented as `f64::MAX / 4` to avoid arithmetic overflow downstream).
@@ -109,8 +117,8 @@ fn waterfill(capacity: &[f64], links_of: &[Vec<u32>], caps: &[f64], rates: &mut 
 
         // Freeze flows on saturated links and flows at their cap.
         let mut froze_any = false;
-        for i in 0..active_flows.len() {
-            let f = active_flows[i] as usize;
+        for &f in &active_flows {
+            let f = f as usize;
             if !active[f] {
                 continue;
             }
@@ -506,9 +514,17 @@ struct Component {
 /// (≪ 1e-9 relative; `tests/maxmin_differential.rs` enforces this).
 ///
 /// Fallback rule: when the dirty components cover more than half the live
-/// flows — or flows were added since the last partition — the state runs one
-/// full solve over everything and rebuilds the partition (which also splits
+/// flows — or flows were added since the last partition — the state
+/// re-partitions and re-solves every component (which also splits
 /// components that flow removals have disconnected).
+///
+/// **Parallelism.** Components are independent sub-problems, so a batch of
+/// re-solves (dirty components, or all components after a full
+/// invalidation) fans out over a [`ParallelPolicy`]-sized scoped-thread
+/// pool via [`scoped_map`]. Each component's rates are a pure function of
+/// its own links/caps and worker results merge back in component-index
+/// order, so allocations are **bit-identical to the serial path at any
+/// thread count** — `tests/maxmin_differential.rs` pins this exactly.
 ///
 /// [`remove_flow`]: MaxMinState::remove_flow
 /// [`rate_perturb`]: MaxMinState::rate_perturb
@@ -534,6 +550,8 @@ pub struct MaxMinState {
     dirty_list: Vec<u32>,
     /// Flows added since the partition was built force a full re-solve.
     partition_stale: bool,
+    /// Thread budget for batched component re-solves.
+    parallel: ParallelPolicy,
     /// Statistics: full solves vs component re-solves since construction.
     full_solves: u64,
     component_solves: u64,
@@ -555,9 +573,28 @@ impl MaxMinState {
             dirty: Vec::new(),
             dirty_list: Vec::new(),
             partition_stale: true,
+            parallel: ParallelPolicy::default(),
             full_solves: 0,
             component_solves: 0,
         }
+    }
+
+    /// Sets the thread budget for batched component re-solves (builder
+    /// form). The allocation is bit-identical at any thread count; this
+    /// only trades wall-clock time.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Sets the thread budget for batched component re-solves.
+    pub fn set_parallel(&mut self, parallel: ParallelPolicy) {
+        self.parallel = parallel;
+    }
+
+    /// The current thread budget.
+    pub fn parallel(&self) -> ParallelPolicy {
+        self.parallel
     }
 
     /// Creates a state pre-loaded with flows (the drain-loop entry path).
@@ -667,11 +704,17 @@ impl MaxMinState {
     pub fn rates(&mut self) -> &[f64] {
         if self.needs_full_solve() {
             self.solve_full();
-        } else {
-            while let Some(c) = self.dirty_list.pop() {
+        } else if !self.dirty_list.is_empty() {
+            let mut dirty = std::mem::take(&mut self.dirty_list);
+            // Ascending component order keeps the thread-chunk assignment
+            // deterministic (the merge is order-independent regardless:
+            // components write disjoint flow ranges).
+            dirty.sort_unstable();
+            for &c in &dirty {
                 self.dirty[c as usize] = false;
-                self.solve_component(c as usize);
             }
+            self.solve_components(&dirty);
+            self.component_solves += dirty.len() as u64;
         }
         &self.rates
     }
@@ -730,18 +773,66 @@ impl MaxMinState {
         }
     }
 
+    /// Full invalidation: re-partition from the current live flows, then
+    /// re-solve every component (fanned out under the thread budget).
+    ///
+    /// Partitioning first — rather than one monolithic waterfill over the
+    /// whole problem — keeps the full path on the exact same per-component
+    /// arithmetic as the incremental path, which is what makes parallel
+    /// and serial execution bit-identical everywhere.
     fn solve_full(&mut self) {
-        let nf = self.routes.len();
-        let caps: Vec<f64> = (0..nf).map(|f| self.masked_cap(f)).collect();
-        for r in self.rates.iter_mut() {
-            *r = 0.0;
-        }
-        waterfill_event(&self.capacity, &self.routes, &caps, &mut self.rates);
-        self.full_solves += 1;
         self.rebuild_partition();
+        for f in 0..self.routes.len() {
+            self.rates[f] = if !self.alive[f] {
+                0.0
+            } else if self.routes[f].is_empty() {
+                // Unconstrained flow: its cap (or "infinity").
+                if self.caps[f].is_finite() {
+                    self.caps[f].max(0.0)
+                } else {
+                    UNBOUNDED
+                }
+            } else {
+                0.0
+            };
+        }
+        let all: Vec<u32> = (0..self.comps.len() as u32).collect();
+        self.solve_components(&all);
+        self.full_solves += 1;
     }
 
-    fn solve_component(&mut self, c: usize) {
+    /// Re-solves the given components, in parallel when the batch is big
+    /// enough, and merges the rates back in component-index order.
+    fn solve_components(&mut self, comp_ids: &[u32]) {
+        if comp_ids.is_empty() {
+            return;
+        }
+        let work: usize = comp_ids
+            .iter()
+            .map(|&c| self.comps[c as usize].alive_count)
+            .sum();
+        let policy = if work < PARALLEL_MIN_FLOWS {
+            ParallelPolicy::SERIAL
+        } else {
+            self.parallel
+        };
+        let results: Vec<Vec<f64>> = {
+            let this = &*self;
+            scoped_map(policy, comp_ids, |&c| this.component_rates(c as usize))
+        };
+        let comps = &self.comps;
+        let rates = &mut self.rates;
+        for (&c, local) in comp_ids.iter().zip(&results) {
+            for (i, &f) in comps[c as usize].flows.iter().enumerate() {
+                rates[f as usize] = local[i];
+            }
+        }
+    }
+
+    /// The pure per-component solve: rates of `comps[c].flows` (in that
+    /// order) as a function of nothing but the component's own links,
+    /// routes and caps. Safe to run concurrently for distinct components.
+    fn component_rates(&self, c: usize) -> Vec<f64> {
         let comp = &self.comps[c];
         let local_capacity: Vec<f64> = comp
             .links
@@ -755,10 +846,7 @@ impl MaxMinState {
             .collect();
         let mut local_rates = vec![0.0_f64; comp.flows.len()];
         waterfill_event(&local_capacity, &comp.local_routes, &caps, &mut local_rates);
-        for (i, &f) in comp.flows.iter().enumerate() {
-            self.rates[f as usize] = local_rates[i];
-        }
-        self.component_solves += 1;
+        local_rates
     }
 
     /// Rebuilds the flow–link connected components via union-find over
@@ -1087,6 +1175,69 @@ mod tests {
         assert!(close(r[c], 10.0));
         s.rate_perturb(b, 2.0);
         assert!(close(s.rates()[b], 2.0));
+    }
+
+    #[test]
+    fn parallel_state_is_bit_identical_to_serial() {
+        // A problem large enough to clear PARALLEL_MIN_FLOWS: 128 disjoint
+        // 4-flow components (512 flows) plus caps, mutated through every
+        // entry point. Serial and 2-/4-thread states must agree on every
+        // bit at every step, including the full-solve fallback.
+        let ncomp = 128usize;
+        let capacity: Vec<f64> = (0..2 * ncomp)
+            .map(|l| 50.0 + (l % 17) as f64 * 13.0)
+            .collect();
+        let mut routes: Vec<Vec<u32>> = Vec::new();
+        let mut caps: Vec<f64> = Vec::new();
+        for c in 0..ncomp {
+            let (a, b) = (2 * c as u32, 2 * c as u32 + 1);
+            for (route, cap) in [
+                (vec![a], f64::INFINITY),
+                (vec![a, b], 40.0 + (c % 5) as f64),
+                (vec![b], f64::INFINITY),
+                (vec![b], 11.5),
+            ] {
+                routes.push(route);
+                caps.push(cap);
+            }
+        }
+        let mut states: Vec<MaxMinState> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| {
+                MaxMinState::with_flows(&capacity, &routes, Some(&caps))
+                    .with_parallel(ParallelPolicy::with_threads(t))
+            })
+            .collect();
+        let assert_identical = |states: &mut Vec<MaxMinState>, what: &str| {
+            let reference: Vec<u64> = states[0].rates().iter().map(|r| r.to_bits()).collect();
+            for s in states.iter_mut().skip(1) {
+                let got: Vec<u64> = s.rates().iter().map(|r| r.to_bits()).collect();
+                assert_eq!(
+                    got,
+                    reference,
+                    "{what}: {} threads diverged",
+                    s.parallel().threads()
+                );
+            }
+        };
+        assert_identical(&mut states, "initial solve");
+        for s in states.iter_mut() {
+            s.remove_flow(1);
+            s.rate_perturb(6, 3.25);
+            s.link_change(9, 140.0);
+        }
+        assert_identical(&mut states, "small dirty batch");
+        // Dirty > half the flows → full-solve fallback path.
+        for s in states.iter_mut() {
+            for f in 0..routes.len() {
+                s.rate_perturb(f, 17.0 + (f % 7) as f64);
+            }
+        }
+        assert_identical(&mut states, "full-solve fallback");
+        for s in states.iter_mut() {
+            s.add_flow(&[0, 5, 11], f64::INFINITY);
+        }
+        assert_identical(&mut states, "after addition");
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Minimal JSON tree: build, pretty-print, parse.
+//!
+//! The workspace's crates.io dependencies are offline stubs, so the usual
+//! `serde_json` path is unavailable; this module provides the small
+//! machine-readable surface the experiment harness needs — enough to write
+//! `BENCH_*.json` files from the bench binaries and read them back for CI
+//! regression gates, closing the ROADMAP's "Serde is schema-only" item for
+//! benchmark outputs. It is a strict subset of JSON: objects preserve
+//! insertion order, numbers are `f64`, and non-finite numbers serialize as
+//! `null` (JSON has no NaN/Infinity).
+
+use std::fmt;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish integer from float).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; key order is preserved as inserted/parsed.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an empty object (append with [`JsonValue::push`]).
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends `key: value` to an object; panics on non-objects (builder
+    /// misuse, not data-dependent).
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> &mut Self {
+        match self {
+            JsonValue::Object(entries) => entries.push((key.into(), value.into())),
+            other => panic!("push on non-object JsonValue: {other:?}"),
+        }
+        self
+    }
+
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline
+    /// (the on-disk `BENCH_*.json` format).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| out.push_str(&"  ".repeat(d));
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                // Arrays of scalars stay on one line; nested structures
+                // get one element per line.
+                let scalar = items
+                    .iter()
+                    .all(|v| !matches!(v, JsonValue::Array(_) | JsonValue::Object(_)));
+                if scalar {
+                    out.push_str(&self.to_string());
+                } else {
+                    out.push_str("[\n");
+                    for (i, v) in items.iter().enumerate() {
+                        pad(out, depth + 1);
+                        v.write_pretty(out, depth + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    pad(out, depth);
+                    out.push(']');
+                }
+            }
+            JsonValue::Object(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    pad(out, depth + 1);
+                    out.push_str(&format!("{}: ", JsonValue::Str(k.clone())));
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+
+    /// Parses a JSON document (the subset this module emits plus standard
+    /// escapes and whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    /// Compact (single-line) JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Num(n) if !n.is_finite() => f.write_str("null"),
+            JsonValue::Num(n) => {
+                if *n == n.trunc() && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            JsonValue::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\t' => f.write_str("\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}: {v}", JsonValue::Str(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl<V: Into<JsonValue>> From<Vec<V>> for JsonValue {
+    fn from(v: Vec<V>) -> Self {
+        JsonValue::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                entries.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(JsonValue::Num)
+                .ok_or_else(|| format!("malformed number at byte {start}"))
+        }
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        // Surrogate pairs are not emitted by this module;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let s = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                let c = s.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_display_compact() {
+        let mut obj = JsonValue::object();
+        obj.push("name", "fig3")
+            .push("gpus", 4096usize)
+            .push("rows", vec![1.5f64, 2.0, -3.25]);
+        assert_eq!(
+            obj.to_string(),
+            r#"{"name": "fig3", "gpus": 4096, "rows": [1.5, 2, -3.25]}"#
+        );
+    }
+
+    #[test]
+    fn round_trips_through_parse() {
+        let mut row = JsonValue::object();
+        row.push("gpus", 16usize).push("loss", 0.0312f64);
+        let mut doc = JsonValue::object();
+        doc.push("schema", "c4-bench-v1")
+            .push("ok", true)
+            .push("none", JsonValue::Null)
+            .push("rows", JsonValue::Array(vec![row]));
+        for text in [doc.to_string(), doc.pretty()] {
+            let back = JsonValue::parse(&text).expect("parses");
+            assert_eq!(back, doc, "round-trip of {text}");
+        }
+        let loss = doc
+            .get("rows")
+            .and_then(|r| r.as_array())
+            .and_then(|r| r[0].get("loss"))
+            .and_then(|v| v.as_f64());
+        assert_eq!(loss, Some(0.0312));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = JsonValue::Str("a\"b\\c\nd\te\u{1}é".into());
+        let text = s.to_string();
+        assert_eq!(JsonValue::parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(JsonValue::parse("").is_err());
+        assert!(JsonValue::parse("{\"a\": }").is_err());
+        assert!(JsonValue::parse("[1, 2,]").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+        assert!(JsonValue::parse("{} trailing").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(JsonValue::Num(42.0).to_string(), "42");
+        assert_eq!(JsonValue::Num(-7.0).to_string(), "-7");
+        assert_eq!(JsonValue::Num(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn pretty_is_indented_and_parseable() {
+        let mut doc = JsonValue::object();
+        doc.push("a", 1usize);
+        doc.push("b", JsonValue::Array(vec![JsonValue::object()]));
+        let p = doc.pretty();
+        assert!(p.contains("\n  \"a\": 1,\n"), "pretty output: {p}");
+        assert_eq!(JsonValue::parse(&p).unwrap(), doc);
+    }
+
+    #[test]
+    fn parses_whitespace_and_nested_structures() {
+        let text = r#"
+            { "x": [ { "y": 1e3 }, [true, false, null] ],
+              "z": -0.25 }
+        "#;
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(
+            v.get("x").unwrap().as_array().unwrap()[0]
+                .get("y")
+                .unwrap()
+                .as_f64(),
+            Some(1000.0)
+        );
+        assert_eq!(v.get("z").unwrap().as_f64(), Some(-0.25));
+    }
+}

@@ -13,6 +13,13 @@
 //!   (FIFO among equal timestamps).
 //! * [`DetRng`] — a seeded random source with the distributions the fault and
 //!   congestion models need (exponential, log-normal, Poisson).
+//! * [`ParallelPolicy`] / [`scoped_map`] — deterministic scoped-thread
+//!   fan-out for the layers whose work decomposes into independent items
+//!   (per-component max-min re-solves, per-stream route assembly); results
+//!   are bit-identical at any thread count.
+//! * [`JsonValue`] — a tiny JSON tree (build/print/parse) so the bench
+//!   binaries emit machine-readable `BENCH_*.json` files without a
+//!   networked `serde_json`.
 //! * [`stats`] / [`series`] — streaming statistics and time-series recording
 //!   used by telemetry and the experiment harness.
 //!
@@ -30,6 +37,8 @@
 
 pub mod engine;
 pub mod event;
+pub mod json;
+pub mod parallel;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -38,6 +47,8 @@ pub mod units;
 
 pub use engine::{Engine, Process};
 pub use event::EventQueue;
+pub use json::JsonValue;
+pub use parallel::{scoped_map, ParallelPolicy};
 pub use rng::DetRng;
 pub use series::TimeSeries;
 pub use stats::{Histogram, StreamingStats};

@@ -123,7 +123,7 @@ impl TimeSeries {
         if end <= start {
             return out;
         }
-        let nbins = ((end - start).as_nanos() + width.as_nanos() - 1) / width.as_nanos();
+        let nbins = (end - start).as_nanos().div_ceil(width.as_nanos());
         let mut sums = vec![0.0; nbins as usize];
         let mut counts = vec![0u64; nbins as usize];
         for (t, v) in self.iter() {

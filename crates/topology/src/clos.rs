@@ -144,6 +144,34 @@ impl ClosConfig {
         }
     }
 
+    /// A multi-pod production fabric for the multi-thousand-GPU scale sweep
+    /// (the Fig 3 extension): `nodes` servers at testbed leaf density (each
+    /// leaf terminates 32 × 200 Gbps host ports, so the leaf tier grows
+    /// with the cluster instead of being fixed at 16), partitioned into
+    /// `groups` leaf groups so jobs spanning groups must cross the spine
+    /// layer, with trunked 400 Gbps spine uplinks at 2:1 oversubscription —
+    /// the shared-pod regime in which traffic collisions grow with scale
+    /// (§II-D).
+    ///
+    /// Valid whenever `nodes/2` leaves split into `groups` even-sized
+    /// groups of ≥ 2 (e.g. 512 nodes / 8 groups → 256 leaves, 32 per
+    /// group); [`ClosConfig::validate`] rejects the rest.
+    pub fn pod_grouped(nodes: usize, groups: usize) -> Self {
+        ClosConfig {
+            nodes,
+            gpus_per_node: 8,
+            nics_per_node: 8,
+            num_leaves: (nodes / 2).max(2),
+            num_spines: 8,
+            uplinks_per_leaf_spine: 1,
+            port_gbps: 200.0,
+            fabric_gbps: 400.0,
+            nvlink_gbps: 362.0,
+            pcie_gbps: 400.0,
+            wiring: WiringMode::NodeGrouped { groups },
+        }
+    }
+
     /// Collapses parallel leaf↔spine links into one trunk of the same
     /// aggregate capacity (LAG/trunked uplinks, as on the testbed whose
     /// leaves expose 8 fat uplinks — "1 link error among the 8 uplinks",
@@ -218,20 +246,20 @@ impl ClosConfig {
         if self.gpus_per_node == 0 || self.nics_per_node == 0 {
             return Err("nodes need at least one GPU and one NIC".into());
         }
-        if self.gpus_per_node % self.nics_per_node != 0 {
+        if !self.gpus_per_node.is_multiple_of(self.nics_per_node) {
             return Err(format!(
                 "gpus_per_node ({}) must be a multiple of nics_per_node ({})",
                 self.gpus_per_node, self.nics_per_node
             ));
         }
-        if self.num_leaves == 0 || self.num_leaves % 2 != 0 {
+        if self.num_leaves == 0 || !self.num_leaves.is_multiple_of(2) {
             return Err("leaf count must be positive and even".into());
         }
         if self.num_spines == 0 || self.uplinks_per_leaf_spine == 0 {
             return Err("fabric needs at least one spine and one uplink".into());
         }
         let groups = self.groups();
-        if groups == 0 || self.num_leaves % groups != 0 {
+        if groups == 0 || !self.num_leaves.is_multiple_of(groups) {
             return Err(format!(
                 "groups ({groups}) must divide the leaf count ({})",
                 self.num_leaves
@@ -240,7 +268,7 @@ impl ClosConfig {
         if self.num_leaves / groups < 2 {
             return Err("each leaf group needs at least two leaves".into());
         }
-        if self.num_leaves / groups % 2 != 0 {
+        if !(self.num_leaves / groups).is_multiple_of(2) {
             return Err("leaves per group must be even".into());
         }
         for (name, v) in [
@@ -288,6 +316,27 @@ mod tests {
         assert_eq!(cfg.group_of_node(8), 1);
         assert_eq!(cfg.group_of_node(15), 1);
         assert_eq!(cfg.leaf_pairs_per_group(), 2);
+    }
+
+    #[test]
+    fn pod_grouped_scales_leaves_with_nodes_at_two_to_one() {
+        for (nodes, groups) in [(16usize, 2usize), (64, 4), (512, 8)] {
+            let cfg = ClosConfig::pod_grouped(nodes, groups);
+            cfg.validate().unwrap();
+            assert_eq!(cfg.total_gpus(), nodes * 8);
+            assert_eq!(cfg.num_leaves, nodes / 2);
+            assert!(
+                (cfg.oversubscription() - 2.0).abs() < 1e-9,
+                "{nodes} nodes: oversub {}",
+                cfg.oversubscription()
+            );
+        }
+        // 512 nodes / 8 groups: jobs wider than 64 nodes must span groups.
+        let cfg = ClosConfig::pod_grouped(512, 8);
+        assert_eq!(cfg.group_of_node(63), 0);
+        assert_eq!(cfg.group_of_node(64), 1);
+        // Odd shapes fail validation instead of mis-wiring.
+        assert!(ClosConfig::pod_grouped(6, 3).validate().is_err());
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl PortSide {
 
     /// Inverse of [`PortSide::index`] (any even value maps to left).
     pub fn from_index(i: usize) -> PortSide {
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             PortSide::Left
         } else {
             PortSide::Right

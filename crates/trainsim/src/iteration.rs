@@ -7,7 +7,7 @@ use c4_collectives::{
 };
 use c4_faults::ComputePerturbation;
 use c4_netsim::{DrainConfig, PathSelector};
-use c4_simcore::{DetRng, SimDuration, SimTime};
+use c4_simcore::{DetRng, ParallelPolicy, SimDuration, SimTime};
 use c4_telemetry::{CommRecord, WorkerTelemetry};
 use c4_topology::Topology;
 
@@ -61,6 +61,11 @@ pub struct TrainingJob {
     plan_cache: PlanCache,
     /// Give-up horizon for a single gradient sync (hang modelling).
     pub comm_deadline: SimDuration,
+    /// Thread budget for the network layers under this job (max-min
+    /// component re-solves, flow-plan route assembly). Results are
+    /// bit-identical at any thread count; defaults to the `C4_THREADS`
+    /// environment selection.
+    pub parallel: ParallelPolicy,
 }
 
 impl TrainingJob {
@@ -92,6 +97,7 @@ impl TrainingJob {
             comm_config: CommConfig::default(),
             plan_cache: PlanCache::new(),
             comm_deadline: SimDuration::from_secs(120),
+            parallel: ParallelPolicy::default(),
         }
     }
 
@@ -169,7 +175,7 @@ impl TrainingJob {
         qp_weights: Option<&QpWeightFn<'_>>,
         rng: &mut DetRng,
         perturbations: &[ComputePerturbation],
-        mut telemetry: Option<&mut [WorkerTelemetry]>,
+        telemetry: Option<&mut [WorkerTelemetry]>,
     ) -> IterationReport {
         let start = self.now;
         let base = self.spec.compute_per_iteration();
@@ -194,6 +200,7 @@ impl TrainingJob {
 
         let drain = DrainConfig {
             deadline: Some(start + max_compute + self.comm_deadline),
+            parallel: self.parallel,
             ..DrainConfig::default()
         };
         let requests: Vec<CollectiveRequest<'_>> = self
@@ -219,7 +226,7 @@ impl TrainingJob {
             selector,
             qp_weights,
             rng,
-            telemetry.as_deref_mut(),
+            telemetry,
             Some(&mut self.plan_cache),
         );
 

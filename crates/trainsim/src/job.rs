@@ -187,10 +187,10 @@ impl ParallelLayout {
             });
         }
 
-        if gpn % spec.tp != 0 {
+        if !gpn.is_multiple_of(spec.tp) {
             return Err(format!("tp ({}) must divide GPUs/node ({gpn})", spec.tp));
         }
-        if nodes.len() % spec.pp != 0 {
+        if !nodes.len().is_multiple_of(spec.pp) {
             return Err(format!(
                 "pp ({}) must divide the node count ({})",
                 spec.pp,

@@ -57,7 +57,7 @@ fn main() {
             .collect();
         Communicator::new(id, devices, &topo).expect("tenant comm")
     };
-    let tenants = vec![
+    let tenants = [
         tenant(1, &[0, 8]),
         tenant(2, &[1, 2, 9, 10]),
         tenant(3, &[3, 4, 5, 11, 12, 13]),

@@ -1,7 +1,7 @@
 //! Differential harness: the incremental max-min machinery must be
 //! indistinguishable from the retained from-scratch reference.
 //!
-//! Two layers are held to agreement within 1e-9 (relative):
+//! Three layers are checked:
 //!
 //! * **Solver** — [`MaxMinState`] (persistent, component-partitioned,
 //!   event-driven kernel) vs [`maxmin::solve`] (textbook progressive
@@ -14,6 +14,12 @@
 //!   fabric links), DCQCN noise epochs, CNP accounting and deadlines. Both
 //!   consume the RNG in the same order, so reports must match event for
 //!   event.
+//! * **Parallel determinism** — every solver case also runs 2- and
+//!   4-thread [`MaxMinState`]s through the same mutation script, and every
+//!   drain case re-runs [`drain`] under 2- and 4-thread policies. Worker
+//!   results merge in component-index order, so the parallel path must be
+//!   **bit-identical** to the serial one (a strictly stronger bound than
+//!   the 1e-9 the reference comparison allows).
 //!
 //! The proptest stub samples deterministically per test name, so failures
 //! reproduce exactly in CI.
@@ -56,6 +62,19 @@ fn reference_rates(
         }
     }
     out
+}
+
+/// Parallel vs serial must agree on every bit, not merely within 1e-9:
+/// each component's rates are the same pure function either way, merged in
+/// component-index order.
+fn assert_rates_bit_identical(parallel: &[f64], serial: &[f64], what: &str) {
+    for (f, (&a, &b)) in parallel.iter().zip(serial).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: flow {f} parallel {a} vs serial {b}"
+        );
+    }
 }
 
 fn assert_rates_agree(incremental: &[f64], reference: &[f64], what: &str) {
@@ -102,12 +121,30 @@ proptest! {
         let mut alive = vec![true; n_flows];
         let mut capacity_now = capacity.clone();
 
-        let mut state = MaxMinState::with_flows(&capacity, &routes, Some(&caps));
+        let mut state = MaxMinState::with_flows(&capacity, &routes, Some(&caps))
+            .with_parallel(ParallelPolicy::SERIAL);
+        // The same problem at 2 and 4 threads, fed the identical mutation
+        // script: results must be bit-identical to the serial state.
+        let mut par_states: Vec<MaxMinState> = [2usize, 4]
+            .iter()
+            .map(|&t| {
+                MaxMinState::with_flows(&capacity, &routes, Some(&caps))
+                    .with_parallel(ParallelPolicy::with_threads(t))
+            })
+            .collect();
         assert_rates_agree(
             state.rates(),
             &reference_rates(&capacity_now, &routes, &caps, &alive),
             "initial solve",
         );
+        for p in par_states.iter_mut() {
+            let threads = p.parallel().threads();
+            assert_rates_bit_identical(
+                p.rates(),
+                state.rates(),
+                &format!("initial solve at {threads} threads"),
+            );
+        }
 
         for step in 0..script_len {
             match rng.index(4) {
@@ -115,6 +152,9 @@ proptest! {
                     // Remove a (possibly already removed) flow.
                     let f = rng.index(n_flows);
                     state.remove_flow(f);
+                    for p in par_states.iter_mut() {
+                        p.remove_flow(f);
+                    }
                     alive[f] = false;
                 }
                 1 => {
@@ -126,6 +166,9 @@ proptest! {
                         rng.uniform() * 300.0
                     };
                     state.rate_perturb(f, cap);
+                    for p in par_states.iter_mut() {
+                        p.rate_perturb(f, cap);
+                    }
                     if alive[f] {
                         caps[f] = cap;
                     }
@@ -139,6 +182,9 @@ proptest! {
                         1.0 + rng.uniform() * 400.0
                     };
                     state.link_change(l, c);
+                    for p in par_states.iter_mut() {
+                        p.link_change(l, c);
+                    }
                     capacity_now[l] = c;
                 }
                 _ => {
@@ -148,6 +194,9 @@ proptest! {
                         if rng.chance(0.7) {
                             let cap = rng.uniform() * 300.0;
                             state.rate_perturb(f, cap);
+                            for p in par_states.iter_mut() {
+                                p.rate_perturb(f, cap);
+                            }
                             if alive[f] {
                                 caps[f] = cap;
                             }
@@ -160,6 +209,15 @@ proptest! {
                 &reference_rates(&capacity_now, &routes, &caps, &alive),
                 &format!("after mutation step {step}"),
             );
+            let serial_now = state.rates().to_vec();
+            for p in par_states.iter_mut() {
+                let threads = p.parallel().threads();
+                assert_rates_bit_identical(
+                    p.rates(),
+                    &serial_now,
+                    &format!("after mutation step {step} at {threads} threads"),
+                );
+            }
         }
     }
 
@@ -174,7 +232,11 @@ proptest! {
         let mut rng = DetRng::seed_from(seed);
         let capacity: Vec<f64> =
             (0..n_links).map(|_| 1.0 + rng.uniform() * 400.0).collect();
-        let mut state = MaxMinState::new(&capacity);
+        let mut state = MaxMinState::new(&capacity).with_parallel(ParallelPolicy::SERIAL);
+        let mut par_states: Vec<MaxMinState> = [2usize, 4]
+            .iter()
+            .map(|&t| MaxMinState::new(&capacity).with_parallel(ParallelPolicy::with_threads(t)))
+            .collect();
         let mut routes: Vec<Vec<u32>> = Vec::new();
         let mut caps: Vec<f64> = Vec::new();
         for _ in 0..batches {
@@ -188,6 +250,9 @@ proptest! {
                     f64::INFINITY
                 };
                 state.add_flow(&route, cap);
+                for p in par_states.iter_mut() {
+                    p.add_flow(&route, cap);
+                }
                 routes.push(route);
                 caps.push(cap);
             }
@@ -197,6 +262,15 @@ proptest! {
                 &reference_rates(&capacity, &routes, &caps, &alive),
                 "after addition batch",
             );
+            let serial_now = state.rates().to_vec();
+            for p in par_states.iter_mut() {
+                let threads = p.parallel().threads();
+                assert_rates_bit_identical(
+                    p.rates(),
+                    &serial_now,
+                    &format!("after addition batch at {threads} threads"),
+                );
+            }
             // Interleave a removal so additions mix with removals across
             // partition rebuilds. The mirror models the removed slot as an
             // empty-route, zero-cap flow, which the reference also pins to
@@ -204,6 +278,9 @@ proptest! {
             if !routes.is_empty() && rng.chance(0.5) {
                 let f = rng.index(routes.len());
                 state.remove_flow(f);
+                for p in par_states.iter_mut() {
+                    p.remove_flow(f);
+                }
                 routes[f] = Vec::new();
                 caps[f] = 0.0;
                 let alive = vec![true; routes.len()];
@@ -212,6 +289,15 @@ proptest! {
                     &reference_rates(&capacity, &routes, &caps, &alive),
                     "after interleaved removal",
                 );
+                let serial_now = state.rates().to_vec();
+                for p in par_states.iter_mut() {
+                    let threads = p.parallel().threads();
+                    assert_rates_bit_identical(
+                        p.rates(),
+                        &serial_now,
+                        &format!("after interleaved removal at {threads} threads"),
+                    );
+                }
             }
         }
     }
@@ -301,11 +387,40 @@ fn assert_reports_agree(inc: &DrainReport, reference: &DrainReport, what: &str) 
     }
 }
 
+/// Two [`drain`] reports produced under different thread policies must be
+/// exactly equal — same completion instants, same bytes, same CNP series.
+fn assert_reports_identical(parallel: &DrainReport, serial: &DrainReport, what: &str) {
+    assert_eq!(parallel.outcomes.len(), serial.outcomes.len());
+    for (f, (a, b)) in parallel.outcomes.iter().zip(&serial.outcomes).enumerate() {
+        assert_eq!(a.finish, b.finish, "{what}: flow {f} finish");
+        assert_eq!(a.mean_rate, b.mean_rate, "{what}: flow {f} mean rate");
+        assert_eq!(a.min_rate, b.min_rate, "{what}: flow {f} min rate");
+        assert_eq!(a.max_rate, b.max_rate, "{what}: flow {f} max rate");
+    }
+    assert_eq!(parallel.end, serial.end, "{what}: end");
+    assert_eq!(
+        parallel.congested_flows, serial.congested_flows,
+        "{what}: congested flows"
+    );
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&parallel.link_bytes),
+        bits(&serial.link_bytes),
+        "{what}: link bytes"
+    );
+    assert_eq!(
+        bits(&parallel.cnp_per_port),
+        bits(&serial.cnp_per_port),
+        "{what}: cnp per port"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Incremental and reference drains agree over random topologies, flow
-    /// populations, fault injections, noise epochs and deadlines.
+    /// populations, fault injections, noise epochs and deadlines — and the
+    /// incremental drain is bit-identical to itself at 2 and 4 threads.
     #[test]
     fn drain_agrees_with_reference(
         nodes in 2usize..5,
@@ -344,6 +459,7 @@ proptest! {
             epoch: SimDuration::from_micros(500),
             rate_noise: [0.0, 0.1, 0.0, 0.25][noise_kind],
             cnp: (noise_kind >= 2).then(CnpModel::paper_default),
+            parallel: ParallelPolicy::SERIAL,
         };
 
         let mut rng_a = DetRng::seed_from(seed ^ 0xAAAA);
@@ -351,6 +467,24 @@ proptest! {
         let inc = drain(&topo, &specs, &cfg, &mut rng_a);
         let reference = drain_reference(&topo, &specs, &cfg, &mut rng_b);
         assert_reports_agree(&inc, &reference, "random drain");
+
+        // The same drain under worker threads: bit-identical, and the RNG
+        // must end in the same position (same consumption order).
+        let next_after_serial = rng_a.uniform();
+        for threads in [2usize, 4] {
+            let par_cfg = DrainConfig {
+                parallel: ParallelPolicy::with_threads(threads),
+                ..cfg.clone()
+            };
+            let mut rng_p = DetRng::seed_from(seed ^ 0xAAAA);
+            let par = drain(&topo, &specs, &par_cfg, &mut rng_p);
+            assert_reports_identical(&par, &inc, &format!("{threads}-thread drain"));
+            assert_eq!(
+                rng_p.uniform().to_bits(),
+                next_after_serial.to_bits(),
+                "thread count must not change RNG consumption"
+            );
+        }
     }
 
     /// The exact shared-fabric shape the collective engine produces: many
@@ -400,6 +534,19 @@ proptest! {
         let inc = drain(&topo, &specs, &cfg, &mut rng_a);
         let reference = drain_reference(&topo, &specs, &cfg, &mut rng_b);
         assert_reports_agree(&inc, &reference, "collective-shaped drain");
+        for threads in [2usize, 4] {
+            let par_cfg = DrainConfig {
+                parallel: ParallelPolicy::with_threads(threads),
+                ..cfg.clone()
+            };
+            let mut rng_p = DetRng::seed_from(seed ^ 0xBBBB);
+            let par = drain(&topo, &specs, &par_cfg, &mut rng_p);
+            assert_reports_identical(
+                &par,
+                &inc,
+                &format!("collective-shaped {threads}-thread drain"),
+            );
+        }
     }
 }
 
