@@ -1,0 +1,81 @@
+//! Regenerates **`BENCH_c4p.json`**: the C4P-vs-ECMP concurrent-jobs
+//! comparison at cluster scale (the Fig 10 contention pattern on
+//! `pod_grouped` fabrics of 512…4096 GPUs, 1:1 and 2:1 oversubscription).
+//!
+//! Each cell runs eight jobs interleaved across all leaf groups — every
+//! ring boundary crosses the spine layer — under both selectors, and
+//! records mean per-job bus bandwidth plus the **plan-build wall clock**
+//! of each selector (ring planning + path selection + route assembly, from
+//! `PlanCache::build_wall_ms`). The C4P plan build is the workload the
+//! dense ledger, catalog link indexes and batched selection optimize.
+//!
+//! `--json-out BENCH_c4p.json` writes the machine-readable document
+//! (schema `c4-bench-v1`); `--check-against <baseline.json>` compares
+//! `total_wall_ms` against a checked-in baseline and exits non-zero past
+//! 2× — the CI perf gate, same pattern as `fig3 --sweep scale`.
+//! `--threads N|max` overrides the `C4_THREADS` selection.
+
+use c4::scenarios::fig10;
+use c4_bench::{banner, check_wall_regression, parse_cli, pct, read_json, write_json};
+
+/// Allowed wall-clock growth over the checked-in baseline before the gate
+/// trips.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn main() {
+    let cli = parse_cli(2);
+    let mut cfg = fig10::C4pScaleConfig::scale_4096(cli.seed, cli.iters);
+    cfg.parallel = cli.parallel();
+    banner(
+        "C4P vs ECMP at cluster scale — 8 concurrent jobs, 512…4096 GPUs",
+        "Fig 10 pattern: engineered allocation beats hashing as collisions compound",
+    );
+    eprintln!("threads: {}", cfg.parallel.threads());
+
+    // Read the baseline before any write: CI points --check-against and
+    // --json-out at the same path.
+    let baseline = cli
+        .check_against
+        .as_deref()
+        .map(|path| read_json(path).unwrap_or_else(|e| panic!("baseline: {e}")));
+
+    let sweep = fig10::run_scale(&cfg);
+    // Stdout carries only seed-deterministic simulation results (identical
+    // at any thread count); wall clocks go to stderr and the JSON document.
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>10}",
+        "GPUs", "oversub", "ECMP (Gbps)", "C4P (Gbps)", "gain"
+    );
+    for r in &sweep.rows {
+        println!(
+            "{:>6} {:>8} {:>12.1} {:>12.1} {:>10}",
+            r.gpus,
+            format!("{}:1", r.oversub),
+            r.ecmp_gbps,
+            r.c4p_gbps,
+            pct(r.improvement)
+        );
+    }
+    for r in &sweep.rows {
+        eprintln!(
+            "wall {:>6} GPUs {}:1 — cell {:>8.1} ms · plan build ecmp {:>7.2} ms, c4p {:>7.2} ms",
+            r.gpus, r.oversub, r.wall_ms, r.ecmp_plan_ms, r.c4p_plan_ms
+        );
+    }
+    eprintln!("total wall: {:.1} ms", sweep.total_wall_ms);
+
+    let doc = sweep.to_json();
+    if let Some(path) = cli.json_out.as_deref() {
+        write_json(path, &doc);
+        eprintln!("wrote {path}");
+    }
+    if let Some(baseline) = baseline {
+        match check_wall_regression(&doc, &baseline, REGRESSION_FACTOR) {
+            Ok(msg) => eprintln!("perf gate: {msg}"),
+            Err(msg) => {
+                eprintln!("perf gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,14 +1,37 @@
 //! The C4P master: QP path allocation with dual-port balance, spine
 //! spreading, faulty-link elimination, and dynamic load rebalancing.
-
-use std::collections::HashMap;
+//!
+//! ## Batched, deterministically parallel selection
+//!
+//! Path selection is stateful (the ledger's counts decide every choice), so
+//! historically each plan build walked its keys one `select` at a time. At
+//! thousands of GPUs that serial walk is the plan-build bottleneck — but it
+//! has exploitable structure: a key's decision reads and writes **only the
+//! fabric links of its own (src_leaf, dst_leaf) pair** (its candidate
+//! uplinks belong to the source leaf, its downlinks to the destination
+//! leaf). Two leaf pairs share links only when they share the source leaf
+//! (same uplink row) or the destination leaf (same downlink column), so
+//! grouping keys by leaf pair and partitioning groups into connected
+//! components of that share-a-leaf relation yields partitions whose link
+//! sets are disjoint. Selections in different partitions commute, which is
+//! why [`C4pMaster::select_batch`] can fan partitions over worker threads
+//! and still produce **bit-identical** choices, ledger counts and sticky
+//! entries to the serial key order (pinned by `tests/c4p_differential.rs`).
 
 use c4_netsim::{mix64, FlowKey, PathChoice, PathSelector};
-use c4_simcore::Bandwidth;
-use c4_topology::{FabricPath, PortSide, Topology};
+use c4_simcore::{scoped_map, Bandwidth, ParallelPolicy, UnionFind};
+use c4_topology::{FabricPath, PortSide, SwitchId, Topology};
 
+use crate::fasthash::FastMap;
 use crate::ledger::PathLoadLedger;
 use crate::probe::PathCatalog;
+
+/// Default minimum batch size before [`C4pMaster::select_batch`]
+/// partitions and spawns workers; below it the serial loop wins on wall
+/// clock (the dense ledger makes one selection ~100 ns, so the fan-out
+/// only pays for very large connection bursts). Decisions are identical
+/// either way; [`C4pMaster::set_batch_min_keys`] tunes the crossover.
+const PARALLEL_MIN_KEYS: usize = 4096;
 
 /// C4P behaviour knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +55,60 @@ impl Default for C4pConfig {
     }
 }
 
+/// The sticky-allocation table a selection works against: the serial path
+/// mutates the master's map directly; batch workers overlay local writes on
+/// a shared read-only base (`None` = removed) so partitions never touch
+/// each other's entries.
+enum StickyView<'a> {
+    /// Direct mutable access (serial selection).
+    Direct(&'a mut FastMap<FlowKey, PathChoice>),
+    /// Copy-on-write overlay (one per batch worker).
+    Overlay {
+        base: &'a FastMap<FlowKey, PathChoice>,
+        local: FastMap<FlowKey, Option<PathChoice>>,
+    },
+}
+
+impl StickyView<'_> {
+    fn get(&self, key: &FlowKey) -> Option<PathChoice> {
+        match self {
+            StickyView::Direct(map) => map.get(key).copied(),
+            StickyView::Overlay { base, local } => match local.get(key) {
+                Some(over) => *over,
+                None => base.get(key).copied(),
+            },
+        }
+    }
+
+    fn insert(&mut self, key: FlowKey, choice: PathChoice) {
+        match self {
+            StickyView::Direct(map) => {
+                map.insert(key, choice);
+            }
+            StickyView::Overlay { local, .. } => {
+                local.insert(key, Some(choice));
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &FlowKey) {
+        match self {
+            StickyView::Direct(map) => {
+                map.remove(key);
+            }
+            StickyView::Overlay { local, .. } => {
+                local.insert(*key, None);
+            }
+        }
+    }
+}
+
+/// One ledger mutation of a batch worker: `true` = allocate, `false` =
+/// release. Replayed on the master ledger at merge time; operations of
+/// different partitions touch disjoint links, so replay order across
+/// partitions cannot change the final counts.
+type LedgerOp = (FabricPath, bool);
+
 /// The cluster-wide traffic-engineering master.
 ///
 /// Implements [`PathSelector`], so it drops into the collective engine in
@@ -41,12 +118,18 @@ pub struct C4pMaster {
     cfg: C4pConfig,
     catalog: PathCatalog,
     ledger: PathLoadLedger,
-    sticky: HashMap<FlowKey, PathChoice>,
-    rate_ema: HashMap<FlowKey, f64>,
+    sticky: FastMap<FlowKey, PathChoice>,
+    rate_ema: FastMap<FlowKey, f64>,
     reroute_salt: u64,
     /// Bumped whenever allocations are dropped (rebalance/reset), so plan
     /// caches keyed on [`PathSelector::cache_token`] invalidate.
     generation: u64,
+    /// Worker-thread budget for [`C4pMaster::select_batch`]. Defaults to
+    /// the `C4_THREADS` environment selection (unset ⇒ serial); choices are
+    /// bit-identical at any value.
+    parallel: ParallelPolicy,
+    /// Batch-size floor below which `select_batch` stays serial.
+    batch_min_keys: usize,
 }
 
 impl C4pMaster {
@@ -55,12 +138,39 @@ impl C4pMaster {
         C4pMaster {
             cfg,
             catalog: PathCatalog::probe(topo),
-            ledger: PathLoadLedger::new(),
-            sticky: HashMap::new(),
-            rate_ema: HashMap::new(),
+            ledger: PathLoadLedger::for_topology(topo),
+            sticky: FastMap::default(),
+            rate_ema: FastMap::default(),
             reroute_salt: 0xC4B0_5EED,
             generation: 0,
+            parallel: ParallelPolicy::default(),
+            batch_min_keys: PARALLEL_MIN_KEYS,
         }
+    }
+
+    /// Overrides the batch-size floor below which [`select_batch`] stays
+    /// serial (differential tests drop it to force the partitioned path on
+    /// small inputs; selections are bit-identical either way).
+    ///
+    /// [`select_batch`]: PathSelector::select_batch
+    pub fn set_batch_min_keys(&mut self, min_keys: usize) {
+        self.batch_min_keys = min_keys;
+    }
+
+    /// Sets the batch-selection thread budget, builder style.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Sets the batch-selection thread budget.
+    pub fn set_parallel(&mut self, parallel: ParallelPolicy) {
+        self.parallel = parallel;
+    }
+
+    /// The batch-selection thread budget.
+    pub fn parallel(&self) -> ParallelPolicy {
+        self.parallel
     }
 
     /// The current path catalog.
@@ -76,13 +186,14 @@ impl C4pMaster {
     /// Re-probes the fabric and, in dynamic mode, drops all allocations so
     /// subsequent selections spread evenly over the surviving paths. Call
     /// after a topology change (the paper's "dynamically adapting QP
-    /// workloads in response to network changes").
+    /// workloads in response to network changes"). The dense ledger is
+    /// rebuilt to the topology's current link table.
     pub fn rebalance(&mut self, topo: &Topology) {
         self.catalog = PathCatalog::probe(topo);
         self.generation += 1;
         if self.cfg.dynamic {
             self.sticky.clear();
-            self.ledger.clear();
+            self.ledger = PathLoadLedger::for_topology(topo);
         }
     }
 
@@ -106,23 +217,14 @@ impl C4pMaster {
     }
 
     /// The QP byte-split weight for a key: its observed rate EMA, or 1
-    /// before any observation. Pass as the engine's `qp_weights` so faster
-    /// paths carry more of each stream.
+    /// before any observation. The collective engine reads this through
+    /// [`PathSelector::byte_split_weight`] — a borrow, not a table clone —
+    /// so faster paths carry more of each stream.
     pub fn qp_weight(&self, key: &FlowKey) -> f64 {
         if !self.cfg.dynamic {
             return 1.0;
         }
         self.rate_ema.get(key).copied().unwrap_or(1.0)
-    }
-
-    /// Snapshot of the byte-split weight table (the engine's weight callback
-    /// cannot borrow the master, which the selector borrows mutably).
-    pub fn weight_table(&self) -> HashMap<FlowKey, f64> {
-        if self.cfg.dynamic {
-            self.rate_ema.clone()
-        } else {
-            HashMap::new()
-        }
     }
 
     /// The sticky allocation for a key, if one exists.
@@ -137,7 +239,18 @@ impl C4pMaster {
         PortSide::from_index(key.qp as usize)
     }
 
-    fn choice_is_live(&self, topo: &Topology, choice: &PathChoice) -> bool {
+    /// The (src_leaf, dst_leaf) pair a key's selection works against — the
+    /// batch-partitioning coordinate. Every ledger link the selection can
+    /// read or write (candidates, releases of a dead sticky path) belongs
+    /// to this pair's uplink row / downlink column.
+    fn leaf_pair(topo: &Topology, key: &FlowKey) -> (SwitchId, SwitchId) {
+        let side = Self::side_for(key);
+        let sp = topo.port_of_gpu(key.src_gpu, side);
+        let dp = topo.port_of_gpu(key.dst_gpu, side);
+        (topo.port(sp).leaf, topo.port(dp).leaf)
+    }
+
+    fn choice_is_live(topo: &Topology, choice: &PathChoice) -> bool {
         match &choice.fabric {
             None => true,
             Some(p) => topo.link(p.up).is_up() && topo.link(p.down).is_up(),
@@ -146,11 +259,11 @@ impl C4pMaster {
 
     /// ECMP-style fallback over live paths — what the switches do to a
     /// static allocation when its link dies (uncoordinated, hash-based).
-    fn ecmp_fallback(&self, key: &FlowKey, live: &[FabricPath]) -> Option<FabricPath> {
+    fn ecmp_fallback(salt: u64, key: &FlowKey, live: &[FabricPath]) -> Option<FabricPath> {
         if live.is_empty() {
             return None;
         }
-        let h = mix64(key.digest(self.reroute_salt));
+        let h = mix64(key.digest(salt));
         Some(live[(h % live.len() as u64) as usize])
     }
 
@@ -171,16 +284,29 @@ impl C4pMaster {
             .map(|i| all[(dead_idx + i) % n])
             .find(|p| topo.link(p.up).is_up() && topo.link(p.down).is_up())
     }
-}
 
-impl PathSelector for C4pMaster {
-    fn select(&mut self, topo: &Topology, key: &FlowKey) -> PathChoice {
-        if let Some(existing) = self.sticky.get(key).copied() {
-            if self.choice_is_live(topo, &existing) {
+    /// The single decision procedure behind both [`PathSelector::select`]
+    /// and the batch workers: identical code ⇒ identical choices. `ledger`
+    /// and `sticky` abstract over "the master's own state" (serial) vs "a
+    /// worker's private copy/overlay" (batch); `log`, when present, records
+    /// every ledger mutation for merge-time replay.
+    #[allow(clippy::too_many_arguments)]
+    fn select_core(
+        cfg: &C4pConfig,
+        catalog: &PathCatalog,
+        reroute_salt: u64,
+        topo: &Topology,
+        key: &FlowKey,
+        ledger: &mut PathLoadLedger,
+        sticky: &mut StickyView<'_>,
+        mut log: Option<&mut Vec<LedgerOp>>,
+    ) -> PathChoice {
+        if let Some(existing) = sticky.get(key) {
+            if Self::choice_is_live(topo, &existing) {
                 return existing;
             }
             // Allocation's path died.
-            if !self.cfg.dynamic {
+            if !cfg.dynamic {
                 // Static TE: the switches reroute without consulting the
                 // master (ledger untouched). Hash-threshold ECMP shifts the
                 // dead bucket onto its neighbour, concentrating orphans.
@@ -199,7 +325,7 @@ impl PathSelector for C4pMaster {
                             .copied()
                             .filter(|p| topo.link(p.up).is_up() && topo.link(p.down).is_up())
                             .collect();
-                        self.ecmp_fallback(key, &live)
+                        Self::ecmp_fallback(reroute_salt, key, &live)
                     });
                 return PathChoice {
                     src_side: existing.src_side,
@@ -209,9 +335,12 @@ impl PathSelector for C4pMaster {
             }
             // Dynamic: fall through to a fresh allocation.
             if let Some(p) = existing.fabric {
-                self.ledger.release(&p);
+                ledger.release(&p);
+                if let Some(log) = log.as_deref_mut() {
+                    log.push((p, false));
+                }
             }
-            self.sticky.remove(key);
+            sticky.remove(key);
         }
 
         let side = Self::side_for(key);
@@ -222,15 +351,18 @@ impl PathSelector for C4pMaster {
         let fabric = if src_leaf == dst_leaf {
             None
         } else {
-            let healthy = self.catalog.healthy_paths(src_leaf, dst_leaf);
+            let (healthy, pairs) = catalog.candidates(src_leaf, dst_leaf);
             // Rotate the tie-break start per leaf pair so one spine failure
             // doesn't strike the same allocation slots on every leaf.
             let offset = (mix64(src_leaf.0 as u64 ^ (dst_leaf.0 as u64) << 17)
                 % healthy.len().max(1) as u64) as usize;
-            match self.ledger.least_loaded_rotated(healthy, offset) {
-                Some(p) => {
-                    let p = *p;
-                    self.ledger.allocate(&p);
+            match ledger.least_loaded_indexed(pairs, offset) {
+                Some(i) => {
+                    let p = healthy[i];
+                    ledger.allocate(&p);
+                    if let Some(log) = log {
+                        log.push((p, true));
+                    }
                     Some(p)
                 }
                 None => {
@@ -241,7 +373,7 @@ impl PathSelector for C4pMaster {
                         .into_iter()
                         .filter(|p| topo.link(p.up).is_up() && topo.link(p.down).is_up())
                         .collect();
-                    self.ecmp_fallback(key, &live)
+                    Self::ecmp_fallback(reroute_salt, key, &live)
                 }
             }
         };
@@ -250,8 +382,198 @@ impl PathSelector for C4pMaster {
             dst_side: side,
             fabric,
         };
-        self.sticky.insert(*key, choice);
+        sticky.insert(*key, choice);
         choice
+    }
+}
+
+impl PathSelector for C4pMaster {
+    fn select(&mut self, topo: &Topology, key: &FlowKey) -> PathChoice {
+        let mut sticky = StickyView::Direct(&mut self.sticky);
+        Self::select_core(
+            &self.cfg,
+            &self.catalog,
+            self.reroute_salt,
+            topo,
+            key,
+            &mut self.ledger,
+            &mut sticky,
+            None,
+        )
+    }
+
+    /// Batched selection, bit-identical to calling [`PathSelector::select`]
+    /// per key in slice order (see the module docs for why disjoint-link
+    /// partitions commute). Serial policies and small batches take the
+    /// plain loop.
+    fn select_batch(&mut self, topo: &Topology, keys: &[FlowKey]) -> Vec<PathChoice> {
+        if self.parallel.is_serial() || keys.len() < self.batch_min_keys {
+            return keys.iter().map(|k| self.select(topo, k)).collect();
+        }
+
+        // Resolve every key's leaf pair — pure per-key topology lookups,
+        // fanned out — then assign group ids with a cheap serial pass over
+        // a dense src×dst index (leaves are the first `num_leaves` switch
+        // ids).
+        let nl = topo.num_leaves();
+        let pairs: Vec<(SwitchId, SwitchId)> =
+            scoped_map(self.parallel, keys, |key| Self::leaf_pair(topo, key));
+        let mut group_at: Vec<u32> = vec![u32::MAX; nl * nl];
+        let mut group_pairs: Vec<(SwitchId, SwitchId)> = Vec::new();
+        let mut group_of_key: Vec<u32> = Vec::with_capacity(keys.len());
+        for &pair in &pairs {
+            let slot = pair.0.index() * nl + pair.1.index();
+            let mut g = group_at[slot];
+            if g == u32::MAX {
+                g = group_pairs.len() as u32;
+                group_at[slot] = g;
+                group_pairs.push(pair);
+            }
+            group_of_key.push(g);
+        }
+
+        // Partition groups: union by shared source leaf or destination
+        // leaf (the only ways two leaf pairs can share a fabric link) —
+        // ids 0..nl are source (uplink-row) leaves, nl..2nl destination
+        // (downlink-column) leaves. Same-leaf groups touch no links and
+        // stay singleton partitions.
+        let mut uf = UnionFind::new(2 * nl);
+        for &(src, dst) in &group_pairs {
+            if src != dst {
+                uf.union(src.0, nl as u32 + dst.0);
+            }
+        }
+        // Root id space: union-find roots (< 2·nl) then one solo id per
+        // same-leaf group.
+        let mut part_at: Vec<u32> = vec![u32::MAX; 2 * nl + group_pairs.len()];
+        let mut part_of_group: Vec<u32> = Vec::with_capacity(group_pairs.len());
+        let mut nparts = 0usize;
+        for (g, &(src, dst)) in group_pairs.iter().enumerate() {
+            let root = if src == dst {
+                2 * nl + g
+            } else {
+                uf.find(src.0) as usize
+            };
+            let mut p = part_at[root];
+            if p == u32::MAX {
+                p = nparts as u32;
+                part_at[root] = p;
+                nparts += 1;
+            }
+            part_of_group.push(p);
+        }
+
+        // Per-partition key indices, original order preserved.
+        let mut part_keys: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+        for (i, &g) in group_of_key.iter().enumerate() {
+            part_keys[part_of_group[g as usize] as usize].push(i as u32);
+        }
+
+        // Pack partitions into one contiguous chunk per worker thread,
+        // balanced by key count, so each worker pays for exactly one
+        // ledger copy and one sticky overlay. Partitions are mutually
+        // link- and key-disjoint, so partitions sharing a worker's view
+        // cannot influence each other any more than separated ones.
+        let workers = self.parallel.threads().min(nparts).max(1);
+        let target = keys.len().div_ceil(workers);
+        let mut chunks: Vec<Vec<u32>> = Vec::with_capacity(workers);
+        let mut cur: Vec<u32> = Vec::new();
+        let mut cur_keys = 0usize;
+        for (p, indices) in part_keys.iter().enumerate() {
+            cur.push(p as u32);
+            cur_keys += indices.len();
+            if cur_keys >= target && chunks.len() + 1 < workers {
+                chunks.push(std::mem::take(&mut cur));
+                cur_keys = 0;
+            }
+        }
+        if !cur.is_empty() {
+            chunks.push(cur);
+        }
+
+        // Fan the chunks out. A worker's decisions depend only on its own
+        // partitions' links and keys, so they match what the serial
+        // interleaving would have produced.
+        let cfg = self.cfg;
+        let reroute_salt = self.reroute_salt;
+        let catalog = &self.catalog;
+        let base_ledger = &self.ledger;
+        let base_sticky = &self.sticky;
+        type WorkerOut = (
+            Vec<PathChoice>,
+            Vec<LedgerOp>,
+            Vec<(FlowKey, Option<PathChoice>)>,
+        );
+        let results: Vec<WorkerOut> = scoped_map(self.parallel, &chunks, |parts| {
+            let mut ledger = base_ledger.clone();
+            let mut sticky = StickyView::Overlay {
+                base: base_sticky,
+                local: FastMap::default(),
+            };
+            let mut ops: Vec<LedgerOp> = Vec::new();
+            let mut choices: Vec<PathChoice> = Vec::new();
+            for &p in parts {
+                for &i in &part_keys[p as usize] {
+                    choices.push(Self::select_core(
+                        &cfg,
+                        catalog,
+                        reroute_salt,
+                        topo,
+                        &keys[i as usize],
+                        &mut ledger,
+                        &mut sticky,
+                        Some(&mut ops),
+                    ));
+                }
+            }
+            let sticky_ops = match sticky {
+                StickyView::Overlay { local, .. } => local.into_iter().collect(),
+                StickyView::Direct(_) => unreachable!("workers use overlays"),
+            };
+            (choices, ops, sticky_ops)
+        });
+
+        // Merge: replay ledger ops and sticky writes (disjoint across
+        // partitions, so replay order is immaterial to the outcome) and
+        // scatter choices back to input positions.
+        let mut out = vec![
+            PathChoice {
+                src_side: PortSide::Left,
+                dst_side: PortSide::Left,
+                fabric: None,
+            };
+            keys.len()
+        ];
+        for (parts, (choices, ops, sticky_ops)) in chunks.iter().zip(results) {
+            let mut next = choices.into_iter();
+            for &p in parts {
+                for &i in &part_keys[p as usize] {
+                    out[i as usize] = next.next().expect("one choice per key");
+                }
+            }
+            for (path, alloc) in ops {
+                if alloc {
+                    self.ledger.allocate(&path);
+                } else {
+                    self.ledger.release(&path);
+                }
+            }
+            for (key, entry) in sticky_ops {
+                match entry {
+                    Some(choice) => {
+                        self.sticky.insert(key, choice);
+                    }
+                    None => {
+                        self.sticky.remove(&key);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn byte_split_weight(&self, key: &FlowKey) -> f64 {
+        self.qp_weight(key)
     }
 
     fn name(&self) -> &'static str {
@@ -416,6 +738,8 @@ mod tests {
         };
         m.observe(std::slice::from_ref(&outcome));
         assert!((m.qp_weight(&k) - 100.0).abs() < 1e-9);
+        // The engine-facing hook reads the same EMA, by borrow.
+        assert!((m.byte_split_weight(&k) - 100.0).abs() < 1e-9);
         // EMA: a second observation at 200 moves halfway.
         let faster = c4_netsim::FlowOutcome {
             mean_rate: Bandwidth::from_gbps(200.0),
@@ -431,5 +755,44 @@ mod tests {
         let mut m = C4pMaster::new(&t, C4pConfig::default());
         let c = m.select(&t, &key(&t, 0, 1, 0, 0));
         assert!(c.fabric.is_none());
+    }
+
+    #[test]
+    fn batch_matches_serial_selects() {
+        // A batch big enough to trip the parallel path, with repeated keys
+        // (sticky hits) and same-leaf keys (no fabric) mixed in.
+        let t = topo_grouped();
+        let mut keys = Vec::new();
+        for i in 0..48usize {
+            for qp in 0..2u16 {
+                let mut k = key(&t, i % 8, 8 + ((i + 3) % 8), i % 8, qp);
+                k.comm = (i / 4) as u64;
+                keys.push(k);
+            }
+        }
+        keys.push(keys[0]); // sticky repeat
+        keys.push(key(&t, 0, 1, 0, 0)); // same group → same leaf pair
+
+        let mut serial = C4pMaster::new(&t, C4pConfig::default());
+        let expected: Vec<PathChoice> = keys.iter().map(|k| serial.select(&t, k)).collect();
+
+        for threads in [2usize, 4] {
+            let mut batch = C4pMaster::new(&t, C4pConfig::default())
+                .with_parallel(ParallelPolicy::with_threads(threads));
+            batch.set_batch_min_keys(1);
+            let got = batch.select_batch(&t, &keys);
+            assert_eq!(got, expected, "{threads} threads");
+            assert_eq!(
+                batch.ledger().total_allocations(),
+                serial.ledger().total_allocations()
+            );
+            for l in 0..t.num_links() {
+                let l = c4_topology::LinkId::from_index(l);
+                assert_eq!(batch.ledger().load(l), serial.ledger().load(l), "{l}");
+            }
+            for k in &keys {
+                assert_eq!(batch.allocation(k), serial.allocation(k));
+            }
+        }
     }
 }

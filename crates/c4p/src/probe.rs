@@ -6,57 +6,105 @@
 //! simulator's ground truth *is* what a probe packet would measure — and
 //! classifies each leaf→spine→leaf path as healthy (both links up at full
 //! capacity) or eliminated.
-
-use std::collections::HashMap;
+//!
+//! The catalog is stored **dense**: healthy paths of all ordered leaf pairs
+//! live in one flat vector with per-pair ranges, and each pair additionally
+//! carries its candidates' `[up, down]` link indices in a contiguous slice
+//! ([`PathCatalog::link_pairs`]). The allocation hot loop
+//! (`PathLoadLedger::least_loaded_indexed`) therefore runs over two small
+//! dense arrays — no hash lookups per candidate — which is what keeps plan
+//! builds fast at thousands of GPUs (hundreds of leaves ⇒ tens of
+//! thousands of leaf pairs).
 
 use c4_topology::{FabricPath, LinkId, SwitchId, Topology};
 
-/// The probing result: healthy paths per leaf pair, plus eliminated links.
+/// The probing result: healthy paths per ordered leaf pair, plus eliminated
+/// links.
 #[derive(Debug, Clone, Default)]
 pub struct PathCatalog {
-    healthy: HashMap<(SwitchId, SwitchId), Vec<FabricPath>>,
+    num_leaves: usize,
+    /// Healthy paths of every ordered leaf pair, flattened in
+    /// (src tier index, dst tier index) row-major order.
+    paths: Vec<FabricPath>,
+    /// Dense `[up, down]` link indices, parallel to `paths`.
+    link_pairs: Vec<[u32; 2]>,
+    /// `pair_start[src * L + dst] .. pair_start[src * L + dst + 1]` is the
+    /// pair's range into `paths` / `link_pairs`.
+    pair_start: Vec<u32>,
     eliminated: Vec<LinkId>,
 }
 
 impl PathCatalog {
     /// Probes every ordered leaf pair of the topology.
     pub fn probe(topo: &Topology) -> Self {
-        let mut healthy = HashMap::new();
+        let leaves = topo.leaves();
+        let nl = leaves.len();
+        // Leaves are built first, so a leaf's switch id doubles as its tier
+        // index — the invariant that lets lookups skip the topology.
+        debug_assert!(leaves.iter().enumerate().all(|(i, l)| l.index() == i));
+        let mut paths = Vec::new();
+        let mut link_pairs = Vec::new();
+        let mut pair_start = Vec::with_capacity(nl * nl + 1);
+        pair_start.push(0u32);
         let mut eliminated = Vec::new();
-        for &src in topo.leaves() {
-            for &dst in topo.leaves() {
-                if src == dst {
-                    continue;
-                }
-                let mut ok = Vec::new();
-                for p in topo.fabric_paths(src, dst) {
-                    if p.is_healthy(topo) {
-                        ok.push(p);
-                    } else {
-                        for l in [p.up, p.down] {
-                            if (!topo.link(l).is_up() || topo.link(l).degradation() < 1.0)
-                                && !eliminated.contains(&l)
-                            {
-                                eliminated.push(l);
+        for &src in leaves {
+            for &dst in leaves {
+                if src != dst {
+                    for p in topo.fabric_paths(src, dst) {
+                        if p.is_healthy(topo) {
+                            paths.push(p);
+                            link_pairs.push([p.up.index() as u32, p.down.index() as u32]);
+                        } else {
+                            for l in [p.up, p.down] {
+                                if (!topo.link(l).is_up() || topo.link(l).degradation() < 1.0)
+                                    && !eliminated.contains(&l)
+                                {
+                                    eliminated.push(l);
+                                }
                             }
                         }
                     }
                 }
-                healthy.insert((src, dst), ok);
+                pair_start.push(paths.len() as u32);
             }
         }
         PathCatalog {
-            healthy,
+            num_leaves: nl,
+            paths,
+            link_pairs,
+            pair_start,
             eliminated,
         }
     }
 
+    /// The pair's range into the flat path storage, empty for same-leaf or
+    /// out-of-range ids.
+    fn pair_range(&self, src: SwitchId, dst: SwitchId) -> std::ops::Range<usize> {
+        let (s, d) = (src.index(), dst.index());
+        if s >= self.num_leaves || d >= self.num_leaves {
+            return 0..0;
+        }
+        let p = s * self.num_leaves + d;
+        self.pair_start[p] as usize..self.pair_start[p + 1] as usize
+    }
+
     /// Healthy paths between two leaves (empty slice if none or same leaf).
     pub fn healthy_paths(&self, src: SwitchId, dst: SwitchId) -> &[FabricPath] {
-        self.healthy
-            .get(&(src, dst))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        &self.paths[self.pair_range(src, dst)]
+    }
+
+    /// The dense `[up, down]` link-index pairs of the same candidates
+    /// [`PathCatalog::healthy_paths`] returns, positions aligned — the scan
+    /// input for `PathLoadLedger::least_loaded_indexed`.
+    pub fn link_pairs(&self, src: SwitchId, dst: SwitchId) -> &[[u32; 2]] {
+        &self.link_pairs[self.pair_range(src, dst)]
+    }
+
+    /// Both candidate views of one leaf pair — paths and their dense link
+    /// indices — from a single range computation (the hot-path accessor).
+    pub fn candidates(&self, src: SwitchId, dst: SwitchId) -> (&[FabricPath], &[[u32; 2]]) {
+        let range = self.pair_range(src, dst);
+        (&self.paths[range.clone()], &self.link_pairs[range])
     }
 
     /// Links the prober eliminated from the allocation pool.
@@ -66,7 +114,7 @@ impl PathCatalog {
 
     /// Total healthy paths in the catalog.
     pub fn healthy_count(&self) -> usize {
-        self.healthy.values().map(|v| v.len()).sum()
+        self.paths.len()
     }
 }
 
@@ -116,5 +164,35 @@ mod tests {
         let t = Topology::build(&ClosConfig::testbed_128());
         let cat = PathCatalog::probe(&t);
         assert!(cat.healthy_paths(t.leaves()[0], t.leaves()[0]).is_empty());
+    }
+
+    #[test]
+    fn link_pairs_align_with_paths() {
+        let mut t = Topology::build(&ClosConfig::testbed_128());
+        t.link_mut(t.fabric_up_links(2, 1)[0]).set_up(false);
+        let cat = PathCatalog::probe(&t);
+        for &src in t.leaves() {
+            for &dst in t.leaves() {
+                let paths = cat.healthy_paths(src, dst);
+                let pairs = cat.link_pairs(src, dst);
+                assert_eq!(paths.len(), pairs.len());
+                for (p, pair) in paths.iter().zip(pairs) {
+                    assert_eq!(p.up.index() as u32, pair[0]);
+                    assert_eq!(p.down.index() as u32, pair[1]);
+                }
+            }
+        }
+        // Out-of-range switch ids (e.g. spines) yield empty slices.
+        let spine = t.spines()[0];
+        assert!(cat.healthy_paths(spine, t.leaves()[0]).is_empty());
+        assert!(cat.link_pairs(spine, t.leaves()[0]).is_empty());
+    }
+
+    #[test]
+    fn default_catalog_is_empty() {
+        let cat = PathCatalog::default();
+        let t = Topology::build(&ClosConfig::tiny(2));
+        assert!(cat.healthy_paths(t.leaves()[0], t.leaves()[1]).is_empty());
+        assert_eq!(cat.healthy_count(), 0);
     }
 }

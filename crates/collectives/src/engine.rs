@@ -12,6 +12,7 @@
 //!   jobs/tenants (§III-B).
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use c4_netsim::{drain, DrainConfig, FlowKey, FlowSpec, PathChoice, PathSelector};
 use c4_simcore::{scoped_map, ByteSize, DetRng, ParallelPolicy, SimTime};
@@ -30,9 +31,12 @@ use crate::result::CollectiveResult;
 /// heuristic only — plans are bit-identical either way.
 const PARALLEL_MIN_ROUTES: usize = 64;
 
-/// Per-QP byte-split weight function; C4P's dynamic load balancing supplies
-/// one so faster paths carry more of each stream. Weights are normalized per
-/// stream; non-positive weights are treated as a minimal share.
+/// Per-QP byte-split weight function override. When a caller passes `None`,
+/// the engine reads [`PathSelector::byte_split_weight`] straight off the
+/// selector instead — a borrow on the hot path, so C4P's dynamic load
+/// balancing needs no per-iteration clone of its rate table. Weights are
+/// normalized per stream; non-positive weights are treated as a minimal
+/// share.
 pub type QpWeightFn<'a> = dyn Fn(&FlowKey) -> f64 + 'a;
 
 /// One collective to execute.
@@ -120,6 +124,7 @@ pub struct PlanCache {
     entries: HashMap<PlanKey, PlanEntry>,
     hits: u64,
     misses: u64,
+    build_wall_ms: f64,
 }
 
 impl PlanCache {
@@ -136,6 +141,14 @@ impl PlanCache {
     /// Plans (re)built so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Wall-clock milliseconds spent building cache-missed plans (ring
+    /// planning, path selection, route assembly) through this cache — the
+    /// plan-build cost a BSP loop actually paid, which is what the scale
+    /// benchmarks record.
+    pub fn build_wall_ms(&self) -> f64 {
+        self.build_wall_ms
     }
 
     /// Cached plan count.
@@ -157,69 +170,54 @@ impl PlanCache {
     pub fn invalidate_comm(&mut self, comm: u64) {
         self.entries.retain(|k, _| k.comm != comm);
     }
+}
 
-    /// Returns a valid cached plan or rebuilds (and stores) it. `token`
-    /// is the selector's current [`PathSelector::cache_token`] — callers
-    /// with an uncacheable selector (token `None`) must bypass the cache
-    /// entirely rather than fill it with unservable entries.
-    #[allow(clippy::too_many_arguments)]
-    fn get_or_build(
-        &mut self,
-        topo: &Topology,
-        comm: &Communicator,
-        qps: u16,
-        token: u64,
-        selector: &mut dyn PathSelector,
-        parallel: ParallelPolicy,
-    ) -> &PlanSpec {
-        let key = PlanKey {
-            comm: comm.id(),
-            incarnation: comm.incarnation(),
-            qps,
-        };
-        let valid = self
-            .entries
-            .get(&key)
-            .is_some_and(|e| e.topo_version == topo.version() && e.selector_token == token);
-        if valid {
-            self.hits += 1;
-        } else {
-            self.misses += 1;
-            let plan = build_plan(topo, comm, qps, selector, parallel);
-            self.entries.insert(
-                key.clone(),
-                PlanEntry {
-                    topo_version: topo.version(),
-                    selector_token: token,
-                    plan,
-                },
-            );
+/// Where a request's plan lives after [`plan_requests`]: in the cache (by
+/// key) or in the call-local overflow vector (uncacheable selectors).
+enum PlanSource {
+    Cached(PlanKey),
+    Owned(usize),
+}
+
+/// A cache-missed request awaiting plan construction.
+struct PendingPlan {
+    source_idx: usize,
+    qps: u16,
+    ring: RingPlan,
+    parallel: ParallelPolicy,
+    key_start: usize,
+}
+
+/// Builds the boundary-stream flow keys of one ring plan in the canonical
+/// (stream, qp) order — the order selectors have always been called in.
+fn boundary_keys(ring: &RingPlan, comm: &Communicator, qps: u16, out: &mut Vec<FlowKey>) {
+    for stream in &ring.boundaries {
+        for q in 0..qps {
+            out.push(FlowKey {
+                src_gpu: stream.src_gpu,
+                dst_gpu: stream.dst_gpu,
+                comm: comm.id(),
+                channel: stream.boundary as u16,
+                qp: q,
+                incarnation: comm.incarnation(),
+            });
         }
-        &self.entries[&key].plan
     }
 }
 
-/// Builds the route structure of one collective: ring plan, per-QP path
-/// selection, route assembly.
-///
-/// Two phases keep large plans fast without giving up determinism:
-///
-/// 1. **Path selection** runs serially in (stream, qp) order — selectors
-///    are stateful (round-robin counters, load ledgers), so the call order
-///    matches the historical construction order exactly.
-/// 2. **Route assembly** — the expensive per-QP topology walk — is a pure
-///    function of (topology, key, choice) and fans out over `parallel`
-///    scoped threads, results merged back in stream order. The produced
-///    plan is bit-identical at any thread count.
-fn build_plan(
+/// Assembles one plan from its ring and the selector's choices: intra-node
+/// routes plus per-stream inter-node route assembly, fanned out over
+/// `parallel` scoped threads (bit-identical at any thread count).
+fn assemble_plan(
     topo: &Topology,
+    ring: &RingPlan,
     comm: &Communicator,
     qps: u16,
-    selector: &mut dyn PathSelector,
+    keys: &[FlowKey],
+    choices: &[PathChoice],
     parallel: ParallelPolicy,
 ) -> PlanSpec {
-    let plan = RingPlan::build(topo, comm);
-    let route_items = plan.intra_edges.len() + plan.boundaries.len() * qps as usize;
+    let route_items = ring.intra_edges.len() + ring.boundaries.len() * qps as usize;
     let parallel = if route_items < PARALLEL_MIN_ROUTES {
         ParallelPolicy::SERIAL
     } else {
@@ -228,7 +226,7 @@ fn build_plan(
 
     // Intra-node NVLink edges, each carrying the full stream B.
     let intra: Vec<(FlowKey, Vec<LinkId>)> =
-        scoped_map(parallel, &plan.intra_edges, |&(src, dst)| {
+        scoped_map(parallel, &ring.intra_edges, |&(src, dst)| {
             let key = FlowKey {
                 src_gpu: src,
                 dst_gpu: dst,
@@ -240,55 +238,159 @@ fn build_plan(
             (key, topo.intra_node_route(src, dst))
         });
 
-    // Phase 1: selector decisions, serial, in (stream, qp) order.
-    let choices: Vec<Vec<(FlowKey, PathChoice)>> = plan
-        .boundaries
-        .iter()
-        .map(|stream| {
-            (0..qps)
-                .map(|q| {
-                    let k = FlowKey {
-                        src_gpu: stream.src_gpu,
-                        dst_gpu: stream.dst_gpu,
-                        comm: comm.id(),
-                        channel: stream.boundary as u16,
-                        qp: q,
-                        incarnation: comm.incarnation(),
-                    };
-                    (k, selector.select(topo, &k))
+    // Route assembly per stream — the expensive per-QP topology walk, a
+    // pure function of (topology, key, choice).
+    let stream_chunks: Vec<(&[FlowKey], &[PathChoice])> = keys
+        .chunks(qps as usize)
+        .zip(choices.chunks(qps as usize))
+        .collect();
+    let streams: Vec<Vec<(FlowKey, Vec<LinkId>)>> =
+        scoped_map(parallel, &stream_chunks, |&(keys, choices)| {
+            keys.iter()
+                .zip(choices)
+                .map(|(&k, choice)| {
+                    let src_port = topo.port_of_gpu(k.src_gpu, choice.src_side);
+                    let dst_port = topo.port_of_gpu(k.dst_gpu, choice.dst_side);
+                    let route = topo.inter_node_route(
+                        k.src_gpu,
+                        src_port,
+                        choice.fabric.as_ref(),
+                        dst_port,
+                        k.dst_gpu,
+                    );
+                    (k, route)
                 })
                 .collect()
-        })
-        .collect();
-
-    // Phase 2: route assembly per stream, fanned out.
-    let streams: Vec<Vec<(FlowKey, Vec<LinkId>)>> = scoped_map(parallel, &choices, |stream| {
-        stream
-            .iter()
-            .map(|&(k, ref choice)| {
-                let src_port = topo.port_of_gpu(k.src_gpu, choice.src_side);
-                let dst_port = topo.port_of_gpu(k.dst_gpu, choice.dst_side);
-                let route = topo.inter_node_route(
-                    k.src_gpu,
-                    src_port,
-                    choice.fabric.as_ref(),
-                    dst_port,
-                    k.dst_gpu,
-                );
-                (k, route)
-            })
-            .collect()
-    });
+        });
 
     PlanSpec { intra, streams }
 }
 
-fn build_request(
+/// Resolves every request's route plan: cache hits are served directly;
+/// **all** cache misses are planned together — their flow keys concatenate
+/// in request order and go through one [`PathSelector::select_batch`] call,
+/// so a stateful selector sees exactly the key sequence the per-request
+/// serial builds produced, while batch-capable selectors (C4P) fan the
+/// selection over worker threads. Uncacheable selectors (token `None`)
+/// bypass the cache entirely rather than fill it with unservable entries.
+fn plan_requests(
     topo: &Topology,
-    req: &CollectiveRequest<'_>,
+    reqs: &[CollectiveRequest<'_>],
     selector: &mut dyn PathSelector,
-    qp_weights: Option<&QpWeightFn<'_>>,
-    cache: Option<&mut PlanCache>,
+    mut cache: Option<&mut PlanCache>,
+) -> (Vec<PlanSource>, Vec<PlanSpec>) {
+    let token = selector.cache_token();
+    let cacheable = cache.is_some() && token.is_some();
+    let build_start = Instant::now();
+    let mut sources: Vec<PlanSource> = Vec::with_capacity(reqs.len());
+    let mut pending: Vec<PendingPlan> = Vec::new();
+    let mut pending_keys: Vec<PlanKey> = Vec::new();
+    let mut all_keys: Vec<FlowKey> = Vec::new();
+
+    for req in reqs {
+        let comm = req.comm;
+        let qps = req.config.qps_per_stream.max(1);
+        let key = PlanKey {
+            comm: comm.id(),
+            incarnation: comm.incarnation(),
+            qps,
+        };
+        let usable = match (cache.as_deref(), token) {
+            (Some(c), Some(token)) => c
+                .entries
+                .get(&key)
+                .is_some_and(|e| e.topo_version == topo.version() && e.selector_token == token),
+            _ => false,
+        };
+        // A duplicate of a plan already pending in THIS call is a hit too:
+        // the earlier request's build will populate the cache before
+        // flow-spec assembly reads it (the old per-request get_or_build
+        // served the second request the same way).
+        if usable || (cacheable && pending_keys.contains(&key)) {
+            if let Some(c) = cache.as_deref_mut() {
+                c.hits += 1;
+            }
+            sources.push(PlanSource::Cached(key));
+            continue;
+        }
+        if let (Some(c), Some(_)) = (cache.as_deref_mut(), token) {
+            c.misses += 1;
+        }
+        if cacheable {
+            pending_keys.push(key);
+        }
+        let ring = RingPlan::build(topo, comm);
+        let key_start = all_keys.len();
+        boundary_keys(&ring, comm, qps, &mut all_keys);
+        pending.push(PendingPlan {
+            source_idx: sources.len(),
+            qps,
+            ring,
+            parallel: req.drain.parallel,
+            key_start,
+        });
+        sources.push(PlanSource::Owned(usize::MAX)); // patched below
+    }
+
+    // One batched selection across every missing plan.
+    let choices: Vec<PathChoice> = if all_keys.is_empty() {
+        Vec::new()
+    } else {
+        selector.select_batch(topo, &all_keys)
+    };
+
+    let mut owned: Vec<PlanSpec> = Vec::with_capacity(pending.len());
+    for (i, p) in pending.iter().enumerate() {
+        let req = &reqs[p.source_idx];
+        let key_end = pending
+            .get(i + 1)
+            .map(|n| n.key_start)
+            .unwrap_or(all_keys.len());
+        let plan = assemble_plan(
+            topo,
+            &p.ring,
+            req.comm,
+            p.qps,
+            &all_keys[p.key_start..key_end],
+            &choices[p.key_start..key_end],
+            p.parallel,
+        );
+        match (cache.as_deref_mut(), token) {
+            (Some(c), Some(token)) => {
+                let key = PlanKey {
+                    comm: req.comm.id(),
+                    incarnation: req.comm.incarnation(),
+                    qps: p.qps,
+                };
+                c.entries.insert(
+                    key.clone(),
+                    PlanEntry {
+                        topo_version: topo.version(),
+                        selector_token: token,
+                        plan,
+                    },
+                );
+                sources[p.source_idx] = PlanSource::Cached(key);
+            }
+            _ => {
+                sources[p.source_idx] = PlanSource::Owned(owned.len());
+                owned.push(plan);
+            }
+        }
+    }
+    if !pending.is_empty() {
+        if let Some(c) = cache {
+            c.build_wall_ms += build_start.elapsed().as_secs_f64() * 1e3;
+        }
+    }
+    (sources, owned)
+}
+
+/// Turns a resolved plan into the request's flow specs and timing metadata.
+fn build_request(
+    req: &CollectiveRequest<'_>,
+    plan: &PlanSpec,
+    weight_of: &dyn Fn(&FlowKey) -> f64,
 ) -> BuiltRequest {
     let comm = req.comm;
     let nranks = comm.nranks();
@@ -311,21 +413,6 @@ fn build_request(
         .unwrap_or(req.start)
         .max(req.start);
 
-    let qps = req.config.qps_per_stream.max(1);
-    let fresh_plan;
-    // Uncacheable selectors (cache_token `None`) bypass the cache: their
-    // plans can never be served back, so storing them would only leak
-    // dead entries.
-    let plan: &PlanSpec = match (cache, selector.cache_token()) {
-        (Some(c), Some(token)) => {
-            c.get_or_build(topo, comm, qps, token, selector, req.drain.parallel)
-        }
-        _ => {
-            fresh_plan = build_plan(topo, comm, qps, selector, req.drain.parallel);
-            &fresh_plan
-        }
-    };
-
     let flow_count = plan.intra.len() + plan.streams.iter().map(Vec::len).sum::<usize>();
     let mut specs: Vec<FlowSpec> = Vec::with_capacity(flow_count);
     for (key, route) in &plan.intra {
@@ -338,7 +425,7 @@ fn build_request(
         let raw: Vec<f64> = stream
             .iter()
             .map(|(k, _)| {
-                let w = qp_weights.map_or(1.0, |f| f(k));
+                let w = weight_of(k);
                 if w.is_finite() && w > 0.0 {
                     w
                 } else {
@@ -482,9 +569,24 @@ pub fn run_concurrent_cached(
         assert!(tel.len() > max_gpu, "telemetry slice too short");
     }
 
+    // Resolve all route plans first (cache hits + one batched build for
+    // the misses), then apply message bytes and QP weights per request.
+    let (sources, owned) = plan_requests(topo, reqs, selector, cache.as_deref_mut());
+    let cache_ref = cache.as_deref();
+    let sel_ref: &dyn PathSelector = &*selector;
+    let weight_of = |k: &FlowKey| qp_weights.map_or_else(|| sel_ref.byte_split_weight(k), |f| f(k));
     let built: Vec<BuiltRequest> = reqs
         .iter()
-        .map(|r| build_request(topo, r, selector, qp_weights, cache.as_deref_mut()))
+        .zip(&sources)
+        .map(|(r, source)| {
+            let plan: &PlanSpec = match source {
+                PlanSource::Cached(key) => {
+                    &cache_ref.expect("cached source implies a cache").entries[key].plan
+                }
+                PlanSource::Owned(i) => &owned[*i],
+            };
+            build_request(r, plan, &weight_of)
+        })
         .collect();
 
     // One shared drain over all flows. Note: flows of late-starting requests
@@ -571,21 +673,33 @@ pub fn run_tree_collective(
 
     let mut build_phase =
         |edges: &[(c4_topology::GpuId, c4_topology::GpuId)], phase: u16| -> Vec<FlowSpec> {
-            edges
+            let keys: Vec<FlowKey> = edges
                 .iter()
-                .map(|&(src, dst)| {
-                    let key = FlowKey {
-                        src_gpu: src,
-                        dst_gpu: dst,
-                        comm: comm.id(),
-                        channel: phase,
-                        qp: 0,
-                        incarnation: comm.incarnation(),
-                    };
+                .map(|&(src, dst)| FlowKey {
+                    src_gpu: src,
+                    dst_gpu: dst,
+                    comm: comm.id(),
+                    channel: phase,
+                    qp: 0,
+                    incarnation: comm.incarnation(),
+                })
+                .collect();
+            // Inter-node edges go through the selector as one batch (same
+            // decisions as edge-by-edge `select`, by the batch contract).
+            let inter_keys: Vec<FlowKey> = keys
+                .iter()
+                .zip(edges)
+                .filter(|(_, &(src, dst))| topo.gpu(src).node != topo.gpu(dst).node)
+                .map(|(&k, _)| k)
+                .collect();
+            let mut choices = selector.select_batch(topo, &inter_keys).into_iter();
+            keys.iter()
+                .zip(edges)
+                .map(|(&key, &(src, dst))| {
                     let route = if topo.gpu(src).node == topo.gpu(dst).node {
                         topo.intra_node_route(src, dst)
                     } else {
-                        let choice = selector.select(topo, &key);
+                        let choice = choices.next().expect("one choice per inter edge");
                         let sp = topo.port_of_gpu(src, choice.src_side);
                         let dp = topo.port_of_gpu(dst, choice.dst_side);
                         topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst)
@@ -1095,6 +1209,39 @@ mod tests {
             Some(&mut cache),
         );
         assert_eq!(cache.hits(), 1, "uncacheable selector never hits");
+    }
+
+    #[test]
+    fn duplicate_requests_in_one_call_build_their_plan_once() {
+        // Two requests on the same (comm, incarnation, qps) in a single
+        // run_concurrent_cached call: the first builds the plan, the
+        // second must be served from it — one miss, one hit, exactly as
+        // the per-request cache lookup behaved.
+        let t = topo();
+        let comm = full_comm(&t, 2);
+        let r1 = request(&comm);
+        let mut r2 = request(&comm);
+        r2.seq = 1;
+        let mut cache = PlanCache::new();
+        let mut sel = EcmpSelector::new(5);
+        let mut rng = DetRng::seed_from(31);
+        let results = run_concurrent_cached(
+            &t,
+            &[r1, r2],
+            &mut sel,
+            None,
+            &mut rng,
+            None,
+            Some(&mut cache),
+        );
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert_eq!(results.len(), 2);
+        // Identical plans ⇒ identical flow sets for both requests.
+        assert_eq!(results[0].qp_outcomes.len(), results[1].qp_outcomes.len());
+        for (a, b) in results[0].qp_outcomes.iter().zip(&results[1].qp_outcomes) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.bytes, b.bytes);
+        }
     }
 
     #[test]

@@ -70,34 +70,52 @@ impl RingPlan {
         let mut plan = RingPlan::default();
         let nodes = comm.nodes();
 
+        // Group participating GPUs by node in ONE pass over the rank order
+        // (the former per-node `devices_on` scans were quadratic in nodes,
+        // a real cost in thousand-GPU plan builds).
+        let mut pos_of_node: Vec<u32> = vec![u32::MAX; topo.num_nodes()];
+        for (i, &n) in nodes.iter().enumerate() {
+            pos_of_node[n.index()] = i as u32;
+        }
+        let mut members: Vec<Vec<GpuId>> = vec![Vec::new(); nodes.len()];
+        for &g in comm.devices() {
+            let pos = pos_of_node[topo.gpu(g).node.index()];
+            members[pos as usize].push(g);
+        }
+
         // Intra-node chains.
-        for &node in nodes {
-            let members = comm.devices_on(topo, node);
-            for pair in members.windows(2) {
+        for node_members in &members {
+            for pair in node_members.windows(2) {
                 plan.intra_edges.push((pair[0], pair[1]));
             }
         }
 
-        // Boundary streams over the cyclic node order.
+        // Boundary streams over the cyclic node order. Proxy per rail on
+        // each side: lowest-ranked member.
         if nodes.len() > 1 {
-            for (b, &src_node) in nodes.iter().enumerate() {
-                let dst_node = nodes[(b + 1) % nodes.len()];
-                let src_members = comm.devices_on(topo, src_node);
-                let dst_members = comm.devices_on(topo, dst_node);
-                // Proxy per rail on each side: lowest-ranked member.
-                let rail_of = |g: GpuId| topo.nic(topo.gpu(g).nic).local_index;
-                let mut src_by_rail: Vec<(usize, GpuId)> = Vec::new();
-                for &g in &src_members {
-                    let r = rail_of(g);
-                    if !src_by_rail.iter().any(|(rr, _)| *rr == r) {
-                        src_by_rail.push((r, g));
+            let rail_of = |g: GpuId| topo.nic(topo.gpu(g).nic).local_index;
+            let by_rail: Vec<Vec<(usize, GpuId)>> = members
+                .iter()
+                .map(|ms| {
+                    let mut v: Vec<(usize, GpuId)> = Vec::new();
+                    for &g in ms {
+                        let r = rail_of(g);
+                        if !v.iter().any(|(rr, _)| *rr == r) {
+                            v.push((r, g));
+                        }
                     }
-                }
-                for (i, &(rail, src_gpu)) in src_by_rail.iter().enumerate() {
-                    let dst_gpu = dst_members
+                    v
+                })
+                .collect();
+            for (b, &src_node) in nodes.iter().enumerate() {
+                let d = (b + 1) % nodes.len();
+                let dst_node = nodes[d];
+                let dst_members = &members[d];
+                for (i, &(rail, src_gpu)) in by_rail[b].iter().enumerate() {
+                    let dst_gpu = by_rail[d]
                         .iter()
-                        .copied()
-                        .find(|&g| rail_of(g) == rail)
+                        .find(|(r, _)| *r == rail)
+                        .map(|&(_, g)| g)
                         .unwrap_or(dst_members[i % dst_members.len()]);
                     plan.boundaries.push(BoundaryStream {
                         boundary: b,

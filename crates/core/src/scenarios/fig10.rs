@@ -8,10 +8,25 @@
 //! * 2:1 — C4P tasks within an 11.27 Gbps spread around ≈180 Gbps (CNP rate
 //!   control), +65.55 % over baseline.
 //! * Fig 11 — each bonded port receives ≈15 k CNPs/s (12.5–17.5 k band).
+//!
+//! This module also scales the concurrent-jobs comparison far past the
+//! paper's 128-GPU testbed: [`C4pScaleConfig::scale_4096`] runs the same
+//! eight-tenant contention pattern on [`ClosConfig::pod_grouped`] fabrics
+//! of 512…4096 GPUs at both 1:1 and 2:1 oversubscription, with every job
+//! interleaved across all leaf groups so each ring boundary crosses the
+//! spine layer — the regime where ECMP collisions compound and C4P's
+//! engineered allocation pays. Each point also records the **plan-build
+//! wall clock** of both selectors (from [`PlanCache::build_wall_ms`]),
+//! which is the metric the `bench_c4p` binary emits into `BENCH_c4p.json`
+//! and CI gates on.
 
-use c4_collectives::{run_concurrent, CollectiveRequest, Communicator};
-use c4_netsim::{CnpModel, DrainConfig, EcmpSelector, FlowKey, PathSelector};
-use c4_simcore::DetRng;
+use std::time::Instant;
+
+use c4_collectives::{
+    run_concurrent, run_concurrent_cached, CollectiveRequest, Communicator, PlanCache,
+};
+use c4_netsim::{mix64, CnpModel, DrainConfig, EcmpSelector, PathSelector};
+use c4_simcore::{DetRng, JsonValue, ParallelPolicy};
 use c4_topology::{ClosConfig, GpuId, NodeId, Topology};
 use c4_traffic::{C4pConfig, C4pMaster};
 
@@ -67,13 +82,13 @@ enum Mode<'a> {
         /// Base hash salt.
         salt: u64,
     },
-    /// One C4P master serving all jobs; a clone observes QP rates for
-    /// dynamic byte-splitting (the selector borrow is exclusive).
+    /// One C4P master serving all jobs. The engine reads byte-split
+    /// weights off the master's rate EMA through
+    /// [`PathSelector::byte_split_weight`] — no observer clone, no
+    /// per-iteration weight-table snapshot.
     C4p {
-        /// The selecting master.
+        /// The selecting (and observing) master.
         master: &'a mut C4pMaster,
-        /// The observing/weighting master.
-        observer: &'a mut C4pMaster,
     },
 }
 
@@ -89,11 +104,6 @@ fn run_mode(
     let mut cnp = Vec::new();
     let mut clock = 0.0_f64;
     for it in 0..iters {
-        let weight_table = match &mode {
-            Mode::Baseline { .. } => Default::default(),
-            Mode::C4p { observer, .. } => observer.weight_table(),
-        };
-        let weight_fn = move |k: &FlowKey| weight_table.get(k).copied().unwrap_or(1.0);
         let requests: Vec<CollectiveRequest<'_>> = jobs
             .iter()
             .map(|c| benchmark_request(c, it as u64, drain.clone()))
@@ -104,15 +114,15 @@ fn run_mode(
                 fresh_ecmp = EcmpSelector::new(*salt ^ (it as u64).wrapping_mul(0x9E37_79B9));
                 &mut fresh_ecmp
             }
-            Mode::C4p { master, .. } => *master,
+            Mode::C4p { master } => *master,
         };
-        let results = run_concurrent(topo, &requests, selector, Some(&weight_fn), rng, None);
+        let results = run_concurrent(topo, &requests, selector, None, rng, None);
         let mut iter_secs = 0.0_f64;
         for (i, res) in results.iter().enumerate() {
             sums[i] += res.busbw_gbps().unwrap_or(0.0);
             iter_secs = iter_secs.max(res.duration().map(|d| d.as_secs_f64()).unwrap_or(0.0));
-            if let Mode::C4p { observer, .. } = &mut mode {
-                observer.observe(&res.qp_outcomes);
+            if let Mode::C4p { master } = &mut mode {
+                master.observe(&res.qp_outcomes);
             }
         }
         clock += iter_secs;
@@ -159,13 +169,11 @@ pub fn run(two_to_one: bool, seed: u64, iters: usize) -> Fig10Report {
     );
 
     let mut master = C4pMaster::new(&topo, C4pConfig::default());
-    let mut observer = master.clone();
     let (c4p, cnp_series) = run_mode(
         &topo,
         &jobs,
         Mode::C4p {
             master: &mut master,
-            observer: &mut observer,
         },
         &drain,
         iters,
@@ -187,6 +195,265 @@ pub fn run(two_to_one: bool, seed: u64, iters: usize) -> Fig10Report {
         c4p_mean,
         improvement: c4p_mean / baseline_mean - 1.0,
         cnp_series,
+    }
+}
+
+/// Configuration of the C4P-vs-ECMP scale sweep (the Fig 10 contention
+/// pattern on production-scale `pod_grouped` fabrics).
+#[derive(Debug, Clone)]
+pub struct C4pScaleConfig {
+    /// Root random seed.
+    pub seed: u64,
+    /// BSP iterations per (scale, oversubscription, selector) cell.
+    pub iters: usize,
+    /// Cluster sizes to sweep, in nodes (GPUs = 8 × nodes, 8 jobs of
+    /// `nodes / 8` nodes each). Every entry must be ≥ 32 (the smallest
+    /// valid 8-group fabric) and `nodes / 8` must be ≤ 8 or divisible
+    /// by 8 (the group-interleaving stripe).
+    pub node_scales: Vec<usize>,
+    /// Oversubscription ratios to sweep (`1.0` = non-blocking, `2.0` =
+    /// the `pod_grouped` default).
+    pub oversub: Vec<f64>,
+    /// Thread budget for the solver, plan and batch-selection layers.
+    /// Simulated throughput is bit-identical at any value; only wall
+    /// clocks move.
+    pub parallel: ParallelPolicy,
+}
+
+impl C4pScaleConfig {
+    /// The CI-gated sweep: 512…4096 GPUs at 1:1 and 2:1 oversubscription.
+    pub fn scale_4096(seed: u64, iters: usize) -> Self {
+        C4pScaleConfig {
+            seed,
+            iters,
+            node_scales: vec![64, 128, 256, 512],
+            oversub: vec![1.0, 2.0],
+            parallel: ParallelPolicy::default(),
+        }
+    }
+}
+
+/// One cell of the scale sweep: a cluster size × oversubscription ratio
+/// with both selectors measured on identical workloads.
+#[derive(Debug, Clone)]
+pub struct C4pScaleRow {
+    /// Total GPUs in the fabric (8 jobs share them).
+    pub gpus: usize,
+    /// Leaf downlink:uplink capacity ratio (1.0 or 2.0).
+    pub oversub: f64,
+    /// Mean per-job bus bandwidth under uncoordinated ECMP, Gbps.
+    pub ecmp_gbps: f64,
+    /// Mean per-job bus bandwidth under C4P dynamic load balance, Gbps.
+    pub c4p_gbps: f64,
+    /// `c4p / ecmp − 1`.
+    pub improvement: f64,
+    /// ECMP plan-build wall clock (ring planning + path selection + route
+    /// assembly across all cache misses), milliseconds.
+    pub ecmp_plan_ms: f64,
+    /// C4P plan-build wall clock, milliseconds — the number the dense
+    /// ledger + catalog indexes and batched selection exist to shrink.
+    pub c4p_plan_ms: f64,
+    /// Whole-cell wall clock (topology build + both selectors), ms.
+    pub wall_ms: f64,
+}
+
+/// The full scale sweep plus the timing metadata `BENCH_c4p.json` records.
+#[derive(Debug, Clone)]
+pub struct C4pScaleSweep {
+    /// Per-cell results, in (scale, oversubscription) order.
+    pub rows: Vec<C4pScaleRow>,
+    /// Whole-sweep wall clock, milliseconds.
+    pub total_wall_ms: f64,
+    /// Thread budget the sweep ran under.
+    pub threads: usize,
+    /// The root seed.
+    pub seed: u64,
+    /// Iterations per cell.
+    pub iters: usize,
+}
+
+/// Eight equal jobs interleaved across the fabric's leaf groups: job `i`
+/// takes nodes `i, i+8, i+16, …`, ordered so consecutive ring nodes sit in
+/// different groups — every boundary stream crosses the spine layer.
+fn build_scale_jobs(topo: &Topology, nodes: usize) -> Vec<Communicator> {
+    let per_job = nodes / 8;
+    let order: Vec<usize> = if per_job <= 8 {
+        // Stride-8 node ids already hop one group per step.
+        (0..per_job).collect()
+    } else {
+        assert!(
+            per_job.is_multiple_of(8),
+            "group stripe needs nodes/8 ≤ 8 or divisible by 8, got {per_job}"
+        );
+        (0..per_job)
+            .map(|k| (k % 8) * (per_job / 8) + k / 8)
+            .collect()
+    };
+    (0..8u64)
+        .map(|i| {
+            let devices: Vec<GpuId> = order
+                .iter()
+                .map(|&s| NodeId::from_index(i as usize + 8 * s))
+                .flat_map(|n| topo.node(n).gpus.clone())
+                .collect();
+            Communicator::new(1 + i, devices, topo).expect("valid scale job comm")
+        })
+        .collect()
+}
+
+/// The selector driving one scale cell. C4P observes its own QP outcomes
+/// between iterations (the engine reads its byte-split weights by borrow).
+enum ScaleMode<'a> {
+    /// Uncoordinated ECMP with a fixed salt (plans cache across iters).
+    Ecmp(EcmpSelector),
+    /// The C4P master, batch-selecting under the sweep's thread budget.
+    C4p(&'a mut C4pMaster),
+}
+
+/// Runs one selector over `iters` BSP iterations of the 8-job workload,
+/// returning (mean per-job busbw Gbps, plan-build wall ms).
+fn run_scale_mode(
+    topo: &Topology,
+    jobs: &[Communicator],
+    mut mode: ScaleMode<'_>,
+    drain: &DrainConfig,
+    iters: usize,
+    rng: &mut DetRng,
+) -> (f64, f64) {
+    let mut cache = PlanCache::new();
+    let mut sum = 0.0_f64;
+    let mut n = 0usize;
+    for it in 0..iters {
+        let requests: Vec<CollectiveRequest<'_>> = jobs
+            .iter()
+            .map(|c| benchmark_request(c, it as u64, drain.clone()))
+            .collect();
+        let selector: &mut dyn PathSelector = match &mut mode {
+            ScaleMode::Ecmp(s) => s,
+            ScaleMode::C4p(m) => *m,
+        };
+        let results =
+            run_concurrent_cached(topo, &requests, selector, None, rng, None, Some(&mut cache));
+        for res in &results {
+            sum += res.busbw_gbps().unwrap_or(0.0);
+            n += 1;
+            if let ScaleMode::C4p(master) = &mut mode {
+                master.observe(&res.qp_outcomes);
+            }
+        }
+    }
+    (sum / n.max(1) as f64, cache.build_wall_ms())
+}
+
+/// Runs the C4P-vs-ECMP scale sweep.
+///
+/// # Panics
+///
+/// Panics if a scale point does not form a valid 8-group fabric (see
+/// [`C4pScaleConfig::node_scales`]).
+pub fn run_scale(cfg: &C4pScaleConfig) -> C4pScaleSweep {
+    assert!(
+        !cfg.node_scales.is_empty(),
+        "sweep needs at least one scale"
+    );
+    let sweep_start = Instant::now();
+    let mut rows = Vec::new();
+    for &nodes in &cfg.node_scales {
+        for &ratio in &cfg.oversub {
+            let row_start = Instant::now();
+            let mut clos = ClosConfig::pod_grouped(nodes, 8);
+            // pod_grouped wires 2:1; a non-blocking variant doubles the
+            // spine trunks.
+            clos.fabric_gbps *= 2.0 / ratio;
+            let topo = Topology::build(&clos);
+            let jobs = build_scale_jobs(&topo, nodes);
+            // No DCQCN noise / CNP model at scale: the classic 128-GPU run
+            // keeps them for the paper's rate-fluctuation figures, but here
+            // they only stagger thousands of same-sized completions into
+            // individual giant-component re-solves (the throughput
+            // comparison is unchanged — collisions are a placement effect).
+            let drain = DrainConfig {
+                rate_noise: 0.0,
+                cnp: None,
+                parallel: cfg.parallel,
+                ..DrainConfig::default()
+            };
+            let mut rng =
+                DetRng::seed_from(cfg.seed ^ mix64(nodes as u64 ^ ((ratio as u64) << 32)));
+
+            let ecmp = EcmpSelector::new(cfg.seed ^ 0xEC3F ^ nodes as u64);
+            let (ecmp_gbps, ecmp_plan_ms) = run_scale_mode(
+                &topo,
+                &jobs,
+                ScaleMode::Ecmp(ecmp),
+                &drain,
+                cfg.iters,
+                &mut rng,
+            );
+
+            let mut master =
+                C4pMaster::new(&topo, C4pConfig::default()).with_parallel(cfg.parallel);
+            let (c4p_gbps, c4p_plan_ms) = run_scale_mode(
+                &topo,
+                &jobs,
+                ScaleMode::C4p(&mut master),
+                &drain,
+                cfg.iters,
+                &mut rng,
+            );
+
+            rows.push(C4pScaleRow {
+                gpus: nodes * clos.gpus_per_node,
+                oversub: ratio,
+                ecmp_gbps,
+                c4p_gbps,
+                improvement: c4p_gbps / ecmp_gbps.max(1e-9) - 1.0,
+                ecmp_plan_ms,
+                c4p_plan_ms,
+                wall_ms: row_start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+    C4pScaleSweep {
+        rows,
+        total_wall_ms: sweep_start.elapsed().as_secs_f64() * 1e3,
+        threads: cfg.parallel.threads(),
+        seed: cfg.seed,
+        iters: cfg.iters,
+    }
+}
+
+impl C4pScaleSweep {
+    /// The sweep as a `BENCH_c4p.json`-schema document (`c4-bench-v1`).
+    pub fn to_json(&self) -> JsonValue {
+        let mut config = JsonValue::object();
+        config
+            .push("seed", self.seed)
+            .push("iters", self.iters)
+            .push("threads", self.threads);
+        let rows: Vec<JsonValue> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = JsonValue::object();
+                row.push("gpus", r.gpus)
+                    .push("oversub", r.oversub)
+                    .push("ecmp_gbps", r.ecmp_gbps)
+                    .push("c4p_gbps", r.c4p_gbps)
+                    .push("improvement", r.improvement)
+                    .push("ecmp_plan_ms", r.ecmp_plan_ms)
+                    .push("c4p_plan_ms", r.c4p_plan_ms)
+                    .push("wall_ms", r.wall_ms);
+                row
+            })
+            .collect();
+        let mut doc = JsonValue::object();
+        doc.push("schema", "c4-bench-v1")
+            .push("bench", "c4p_scale_sweep")
+            .push("config", config)
+            .push("rows", JsonValue::Array(rows))
+            .push("total_wall_ms", self.total_wall_ms);
+        doc
     }
 }
 
@@ -217,6 +484,95 @@ mod tests {
             "mean improvement {:.2} (paper: 0.703)",
             r.improvement
         );
+    }
+
+    #[test]
+    fn scale_sweep_shows_c4p_gain_and_times_plan_builds() {
+        // A shrunken scale point (32 nodes = 256 GPUs, the smallest valid
+        // 8-group fabric) exercises the full cell end to end.
+        let cfg = C4pScaleConfig {
+            seed: 7,
+            iters: 2,
+            node_scales: vec![32],
+            oversub: vec![1.0, 2.0],
+            parallel: ParallelPolicy::default(),
+        };
+        let sweep = run_scale(&cfg);
+        assert_eq!(sweep.rows.len(), 2);
+        for r in &sweep.rows {
+            assert_eq!(r.gpus, 256);
+            assert!(
+                r.c4p_gbps > r.ecmp_gbps,
+                "C4P {:.1} must beat ECMP {:.1} at {}:1",
+                r.c4p_gbps,
+                r.ecmp_gbps,
+                r.oversub
+            );
+            assert!(r.ecmp_plan_ms > 0.0 && r.c4p_plan_ms > 0.0);
+            assert!(r.wall_ms > 0.0);
+        }
+        // The blocking fabric carries less than the non-blocking one.
+        assert!(sweep.rows[1].c4p_gbps < sweep.rows[0].c4p_gbps * 1.02);
+        assert!(sweep.total_wall_ms >= sweep.rows.iter().map(|r| r.wall_ms).sum::<f64>());
+    }
+
+    #[test]
+    fn scale_sweep_json_matches_schema() {
+        let cfg = C4pScaleConfig {
+            seed: 3,
+            iters: 2,
+            node_scales: vec![32],
+            oversub: vec![2.0],
+            parallel: ParallelPolicy::default(),
+        };
+        let doc = run_scale(&cfg).to_json();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("c4-bench-v1")
+        );
+        assert_eq!(
+            doc.get("bench").and_then(|v| v.as_str()),
+            Some("c4p_scale_sweep")
+        );
+        assert!(doc.get("total_wall_ms").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let back = JsonValue::parse(&doc.pretty()).expect("round-trip");
+        let rows = back.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("gpus").and_then(|v| v.as_f64()), Some(256.0));
+        assert!(rows[0].get("c4p_plan_ms").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn scale_sweep_is_thread_count_invariant() {
+        // Simulated throughput must not depend on the thread budget —
+        // batch selection, component re-solves and route assembly all
+        // promise bit-identical results.
+        let mk = |threads: usize| {
+            let cfg = C4pScaleConfig {
+                seed: 11,
+                iters: 2,
+                node_scales: vec![32],
+                oversub: vec![2.0],
+                parallel: ParallelPolicy::with_threads(threads),
+            };
+            run_scale(&cfg)
+        };
+        let serial = mk(1);
+        for threads in [2, 4] {
+            let par = mk(threads);
+            for (a, b) in par.rows.iter().zip(&serial.rows) {
+                assert_eq!(
+                    a.ecmp_gbps.to_bits(),
+                    b.ecmp_gbps.to_bits(),
+                    "ECMP diverged at {threads} threads"
+                );
+                assert_eq!(
+                    a.c4p_gbps.to_bits(),
+                    b.c4p_gbps.to_bits(),
+                    "C4P diverged at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! dragged down; dynamic — all surviving ports near-evenly loaded.
 
 use c4_collectives::{run_concurrent, CollectiveRequest, Communicator};
-use c4_netsim::{CnpModel, DrainConfig, FlowKey};
+use c4_netsim::{CnpModel, DrainConfig};
 use c4_simcore::DetRng;
 use c4_topology::{ClosConfig, GpuId, NodeId, Topology, WiringMode};
 use c4_traffic::{C4pConfig, C4pMaster};
@@ -74,7 +74,6 @@ pub fn run(dynamic: bool, seed: u64, iters: usize, fail_at: usize) -> Fig12Repor
             ema_alpha: 0.5,
         },
     );
-    let mut observer = selector.clone();
 
     // Leaf 0's eight uplinks, one per spine.
     let uplinks: Vec<_> = (0..topo.num_spines())
@@ -93,29 +92,24 @@ pub fn run(dynamic: bool, seed: u64, iters: usize, fail_at: usize) -> Fig12Repor
                 selector.rebalance(&topo);
             }
         }
-        let weight_table = observer.weight_table();
-        let weight_fn = move |k: &FlowKey| weight_table.get(k).copied().unwrap_or(1.0);
+        // Byte-split weights come off the master's own rate EMA through the
+        // engine's selector hook — no observer clone, no table snapshot.
         let requests: Vec<CollectiveRequest<'_>> = jobs
             .iter()
             .map(|c| benchmark_request(c, it as u64, drain.clone()))
             .collect();
-        let results = run_concurrent(
-            &topo,
-            &requests,
-            &mut selector,
-            Some(&weight_fn),
-            &mut rng,
-            None,
-        );
+        let results = run_concurrent(&topo, &requests, &mut selector, None, &mut rng, None);
         let mut iter_secs = 0.0_f64;
         let busbws: Vec<f64> = results
             .iter()
             .map(|r| {
                 iter_secs = iter_secs.max(r.duration().map(|d| d.as_secs_f64()).unwrap_or(0.0));
-                observer.observe(&r.qp_outcomes);
                 r.busbw_gbps().unwrap_or(0.0)
             })
             .collect();
+        for r in &results {
+            selector.observe(&r.qp_outcomes);
+        }
         clock += iter_secs;
         // Fig 13: per-uplink bandwidth this iteration.
         let link_bytes = &results[0].report.link_bytes;

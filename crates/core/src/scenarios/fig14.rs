@@ -6,7 +6,7 @@
 //! 178.65); Job3 (GPT-175B, TP8/PP8 with GA=16) no noticeable change — the
 //! 16× gradient accumulation amortizes the communication C4P accelerates.
 
-use c4_netsim::{EcmpSelector, FlowKey, PathSelector};
+use c4_netsim::{EcmpSelector, PathSelector};
 use c4_simcore::DetRng;
 use c4_topology::{ClosConfig, NodeId, Topology};
 use c4_traffic::{C4pConfig, C4pMaster};
@@ -29,7 +29,6 @@ fn measure(
     topo: &Topology,
     spec: &JobSpec,
     selector: &mut dyn PathSelector,
-    mut c4p: Option<&mut C4pMaster>,
     rng: &mut DetRng,
     iters: usize,
 ) -> f64 {
@@ -38,15 +37,10 @@ fn measure(
     let mut job = TrainingJob::new(topo, spec.clone(), layout, 1000);
     let mut sps = Vec::new();
     for it in 0..iters {
-        let weight_table = c4p.as_deref().map(|m| m.weight_table()).unwrap_or_default();
-        let weight_fn = move |k: &FlowKey| weight_table.get(k).copied().unwrap_or(1.0);
-        let report = job.run_iteration(topo, selector, Some(&weight_fn), rng, &[], None);
-        if let Some(m) = c4p.as_deref_mut() {
-            // Feed observed QP rates back for dynamic byte-splitting.
-            // (TrainingJob does not retain results; re-observation happens
-            // through the next iteration's rates converging quickly.)
-            let _ = m;
-        }
+        // Byte-split weights come from the selector's own
+        // `byte_split_weight` hook (uniform until a master observes rates;
+        // TrainingJob does not retain per-QP outcomes to observe).
+        let report = job.run_iteration(topo, selector, None, rng, &[], None);
         if it > 0 {
             // Skip the first (warm-up) iteration.
             sps.push(report.samples_per_sec(spec.global_batch));
@@ -67,17 +61,9 @@ pub fn run(seed: u64, iters: usize) -> Vec<Fig14Row> {
     .into_iter()
     .map(|spec| {
         let mut ecmp = EcmpSelector::new(seed ^ 0xF16);
-        let baseline = measure(&topo, &spec, &mut ecmp, None, &mut rng, iters);
+        let baseline = measure(&topo, &spec, &mut ecmp, &mut rng, iters);
         let mut master = C4pMaster::new(&topo, C4pConfig::default());
-        let mut observer = master.clone();
-        let c4p = measure(
-            &topo,
-            &spec,
-            &mut master,
-            Some(&mut observer),
-            &mut rng,
-            iters,
-        );
+        let c4p = measure(&topo, &spec, &mut master, &mut rng, iters);
         Fig14Row {
             name: spec.name.clone(),
             baseline_sps: baseline,

@@ -16,8 +16,8 @@
 
 use std::time::Instant;
 
-use c4_netsim::EcmpSelector;
-use c4_simcore::{DetRng, JsonValue, ParallelPolicy};
+use c4_netsim::{mix64, EcmpSelector};
+use c4_simcore::{scoped_map, DetRng, JsonValue, ParallelPolicy};
 use c4_topology::{ClosConfig, NodeId, Topology};
 use c4_trainsim::{JobSpec, ParallelLayout, TrainingJob};
 
@@ -106,6 +106,12 @@ pub fn run(seed: u64, iters: usize) -> Vec<Fig3Row> {
 
 /// Runs a configured scaling sweep.
 ///
+/// Scale points are mutually independent — each draws from its own
+/// [`DetRng`] stream derived from the root seed and the point's width — so
+/// whole points fan out over the `cfg.parallel` thread pool and merge back
+/// in scale order. Per-seed output (and therefore the bench binary's
+/// stdout) is byte-identical at any thread count; only wall clocks move.
+///
 /// # Panics
 ///
 /// Panics if `cfg.scales` is empty, the topology is invalid, or a scale
@@ -114,12 +120,12 @@ pub fn run_config(cfg: &Fig3Config) -> Fig3Sweep {
     assert!(!cfg.scales.is_empty(), "sweep needs at least one scale");
     let sweep_start = Instant::now();
     let topo = Topology::build(&cfg.clos);
-    let mut rng = DetRng::seed_from(cfg.seed);
 
-    let mut actuals = Vec::new();
-    let mut walls = Vec::new();
-    for &dp in &cfg.scales {
+    let measured: Vec<(f64, f64)> = scoped_map(cfg.parallel, &cfg.scales, |&dp| {
         let point_start = Instant::now();
+        let mut rng = DetRng::seed_from(mix64(
+            cfg.seed ^ (dp as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ));
         let spec = JobSpec::gpt22b_scaling(dp);
         let nodes: Vec<NodeId> = (0..dp).map(NodeId::from_index).collect();
         let layout = ParallelLayout::place(&topo, &spec, nodes).expect("pod placement");
@@ -133,9 +139,12 @@ pub fn run_config(cfg: &Fig3Config) -> Fig3Sweep {
                 sps.push(report.samples_per_sec(spec.global_batch));
             }
         }
-        actuals.push(sps.iter().sum::<f64>() / sps.len() as f64);
-        walls.push(point_start.elapsed().as_secs_f64() * 1e3);
-    }
+        (
+            sps.iter().sum::<f64>() / sps.len() as f64,
+            point_start.elapsed().as_secs_f64() * 1e3,
+        )
+    });
+    let (actuals, walls): (Vec<f64>, Vec<f64>) = measured.into_iter().unzip();
 
     let base_per_unit = actuals[0] / cfg.scales[0] as f64;
     let rows = cfg

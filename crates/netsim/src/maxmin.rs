@@ -19,7 +19,7 @@
 //! back to one full solve (and re-partitions), so the incremental path is
 //! never slower than the reference by more than bookkeeping.
 
-use c4_simcore::{scoped_map, ParallelPolicy};
+use c4_simcore::{scoped_map, ParallelPolicy, UnionFind};
 
 /// Per-flow rate caps; `f64::INFINITY` means uncapped.
 pub type RateCaps = Vec<f64>;
@@ -853,23 +853,15 @@ impl MaxMinState {
     /// links, using only live flows (so removals split components here).
     fn rebuild_partition(&mut self) {
         let nl = self.capacity.len();
-        // Union-find over links.
-        let mut parent: Vec<u32> = (0..nl as u32).collect();
-        fn find(parent: &mut [u32], mut x: u32) -> u32 {
-            while parent[x as usize] != x {
-                parent[x as usize] = parent[parent[x as usize] as usize];
-                x = parent[x as usize];
-            }
-            x
-        }
+        // Union-find over links (shared helper — C4P's batch partitioner
+        // uses the same structure).
+        let mut uf = UnionFind::new(nl);
         for (f, r) in self.routes.iter().enumerate() {
             if !self.alive[f] || r.is_empty() {
                 continue;
             }
-            let root = find(&mut parent, r[0]);
             for &l in &r[1..] {
-                let lr = find(&mut parent, l);
-                parent[lr as usize] = root;
+                uf.union(l, r[0]);
             }
         }
 
@@ -882,7 +874,7 @@ impl MaxMinState {
             if !self.alive[f] || self.routes[f].is_empty() {
                 continue;
             }
-            let root = find(&mut parent, self.routes[f][0]);
+            let root = uf.find(self.routes[f][0]);
             let c = if comp_of_root[root as usize] == u32::MAX {
                 let c = self.comps.len() as u32;
                 comp_of_root[root as usize] = c;

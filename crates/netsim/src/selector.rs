@@ -29,6 +29,29 @@ pub trait PathSelector {
     /// Decides the path for the QP identified by `key`.
     fn select(&mut self, topo: &Topology, key: &FlowKey) -> PathChoice;
 
+    /// Decides paths for a whole batch of QPs at once, equivalent to
+    /// calling [`select`] on each key **in slice order** — the contract
+    /// every override must keep, bit for bit: same choices, same selector
+    /// state afterwards. The default is exactly that serial loop; stateful
+    /// selectors with commuting sub-batches (C4P groups keys by leaf pair
+    /// and fans disjoint-link partitions over worker threads) override it
+    /// for wall-clock speed without changing a single decision.
+    ///
+    /// [`select`]: PathSelector::select
+    fn select_batch(&mut self, topo: &Topology, keys: &[FlowKey]) -> Vec<PathChoice> {
+        keys.iter().map(|k| self.select(topo, k)).collect()
+    }
+
+    /// The per-QP byte-split weight the collective engine applies when the
+    /// caller does not supply an explicit weight function: streams split
+    /// their bytes across QPs proportionally to this value. The default
+    /// (uniform `1.0`) matches selectors without rate feedback; C4P returns
+    /// its observed-rate EMA so faster paths carry more of each stream —
+    /// borrowed straight from the master on the hot path, no table clone.
+    fn byte_split_weight(&self, _key: &FlowKey) -> f64 {
+        1.0
+    }
+
     /// Human-readable selector name (for reports).
     fn name(&self) -> &'static str;
 

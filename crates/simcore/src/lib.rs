@@ -43,6 +43,7 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod unionfind;
 pub mod units;
 
 pub use engine::{Engine, Process};
@@ -53,4 +54,5 @@ pub use rng::DetRng;
 pub use series::TimeSeries;
 pub use stats::{Histogram, StreamingStats};
 pub use time::{SimDuration, SimTime};
+pub use unionfind::UnionFind;
 pub use units::{Bandwidth, ByteSize};

@@ -134,12 +134,11 @@ fn dynamic_byte_split_equalizes_qp_finish_times() {
     topo.link_mut(topo.port(p).host_down).set_degradation(0.5);
 
     let mut master = C4pMaster::new(&topo, C4pConfig::default());
-    let mut observer = master.clone();
     let mut rng = DetRng::seed_from(10);
     let mut durations = Vec::new();
     for seq in 0..6u64 {
-        let table = observer.weight_table();
-        let weights = move |k: &FlowKey| table.get(k).copied().unwrap_or(1.0);
+        // No explicit weight function: the engine borrows the weights off
+        // the master's rate EMA via `PathSelector::byte_split_weight`.
         let req = CollectiveRequest {
             comm: &comm,
             seq,
@@ -151,8 +150,8 @@ fn dynamic_byte_split_equalizes_qp_finish_times() {
             rank_ready: None,
             drain: DrainConfig::default(),
         };
-        let res = run_collective(&topo, &req, &mut master, Some(&weights), &mut rng, None);
-        observer.observe(&res.qp_outcomes);
+        let res = run_collective(&topo, &req, &mut master, None, &mut rng, None);
+        master.observe(&res.qp_outcomes);
         durations.push(res.duration().expect("completes").as_secs_f64());
     }
     assert!(
