@@ -1,13 +1,18 @@
 //! Regenerates **`BENCH_c4p.json`**: the C4P-vs-ECMP concurrent-jobs
 //! comparison at cluster scale (the Fig 10 contention pattern on
-//! `pod_grouped` fabrics of 512…4096 GPUs, 1:1 and 2:1 oversubscription).
+//! rail-dense `pod_grouped_railed` fabrics of 512…4096 GPUs, at 1:1, 2:1
+//! and 4:1 oversubscription, with the paper's DCQCN rate noise and CNP
+//! accounting live in every cell).
 //!
 //! Each cell runs eight jobs interleaved across all leaf groups — every
 //! ring boundary crosses the spine layer — under both selectors, and
 //! records mean per-job bus bandwidth plus the **plan-build wall clock**
 //! of each selector (ring planning + path selection + route assembly, from
-//! `PlanCache::build_wall_ms`). The C4P plan build is the workload the
-//! dense ledger, catalog link indexes and batched selection optimize.
+//! `PlanCache::build_wall_ms`) and the **drain wall clock** (the noisy
+//! event loops, net of plan building). The plan build is the workload the
+//! dense ledger, catalog link indexes and batched selection optimize; the
+//! drains are what the event-driven engine optimizes (`bench_drain` gates
+//! them separately).
 //!
 //! `--json-out BENCH_c4p.json` writes the machine-readable document
 //! (schema `c4-bench-v1`); `--check-against <baseline.json>` compares

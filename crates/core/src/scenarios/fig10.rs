@@ -11,14 +11,17 @@
 //!
 //! This module also scales the concurrent-jobs comparison far past the
 //! paper's 128-GPU testbed: [`C4pScaleConfig::scale_4096`] runs the same
-//! eight-tenant contention pattern on [`ClosConfig::pod_grouped`] fabrics
-//! of 512…4096 GPUs at both 1:1 and 2:1 oversubscription, with every job
-//! interleaved across all leaf groups so each ring boundary crosses the
-//! spine layer — the regime where ECMP collisions compound and C4P's
-//! engineered allocation pays. Each point also records the **plan-build
-//! wall clock** of both selectors (from [`PlanCache::build_wall_ms`]),
-//! which is the metric the `bench_c4p` binary emits into `BENCH_c4p.json`
-//! and CI gates on.
+//! eight-tenant contention pattern on [`ClosConfig::pod_grouped_railed`]
+//! fabrics of 512…4096 GPUs at 1:1, 2:1 and 4:1 oversubscription, with
+//! every job interleaved across all leaf groups so each ring boundary
+//! crosses the spine layer — the regime where ECMP collisions compound and
+//! C4P's engineered allocation pays. Every cell runs the paper's DCQCN
+//! rate-noise and CNP models (the event-driven drain engine keeps the
+//! noisy event loops tractable at this scale). Each point records the
+//! **plan-build wall clock** of both selectors (from
+//! [`PlanCache::build_wall_ms`]) — the metric `bench_c4p` emits into
+//! `BENCH_c4p.json` — and the **drain wall clock**, which the
+//! `bench_drain` binary emits into `BENCH_drain.json`; CI gates both.
 
 use std::time::Instant;
 
@@ -221,15 +224,41 @@ pub struct C4pScaleConfig {
 }
 
 impl C4pScaleConfig {
-    /// The CI-gated sweep: 512…4096 GPUs at 1:1 and 2:1 oversubscription.
+    /// The CI-gated sweep: 512…4096 GPUs at 1:1, 2:1 and 4:1
+    /// oversubscription, with the paper's DCQCN rate noise and CNP
+    /// accounting live in every cell.
     pub fn scale_4096(seed: u64, iters: usize) -> Self {
         C4pScaleConfig {
             seed,
             iters,
             node_scales: vec![64, 128, 256, 512],
-            oversub: vec![1.0, 2.0],
+            oversub: vec![1.0, 2.0, 4.0],
             parallel: ParallelPolicy::default(),
         }
+    }
+
+    /// The drain-focused sweep behind `BENCH_drain.json`: the full
+    /// 4096-GPU fabric at every oversubscription ratio (the noisy
+    /// worst-case cells the event-driven drain engine exists for).
+    pub fn drain_4096(seed: u64, iters: usize) -> Self {
+        C4pScaleConfig {
+            seed,
+            iters,
+            node_scales: vec![512],
+            oversub: vec![1.0, 2.0, 4.0],
+            parallel: ParallelPolicy::default(),
+        }
+    }
+}
+
+/// The DCQCN rate-noise level of one scale cell — the classic Fig 10
+/// calibration: 4 % jitter on the non-blocking fabric, 10 % once the
+/// fabric oversubscribes (§IV-B2's congested regime).
+fn scale_rate_noise(oversub: f64) -> f64 {
+    if oversub >= 2.0 {
+        0.10
+    } else {
+        0.04
     }
 }
 
@@ -253,6 +282,12 @@ pub struct C4pScaleRow {
     /// C4P plan-build wall clock, milliseconds — the number the dense
     /// ledger + catalog indexes and batched selection exist to shrink.
     pub c4p_plan_ms: f64,
+    /// Wall clock of the ECMP iterations minus plan building — the shared
+    /// network drains (noisy DCQCN/CNP event loops), milliseconds. The
+    /// workload the event-driven drain engine exists to shrink.
+    pub ecmp_drain_ms: f64,
+    /// Drain wall clock of the C4P iterations, milliseconds.
+    pub c4p_drain_ms: f64,
     /// Whole-cell wall clock (topology build + both selectors), ms.
     pub wall_ms: f64,
 }
@@ -275,7 +310,8 @@ pub struct C4pScaleSweep {
 /// Eight equal jobs interleaved across the fabric's leaf groups: job `i`
 /// takes nodes `i, i+8, i+16, …`, ordered so consecutive ring nodes sit in
 /// different groups — every boundary stream crosses the spine layer.
-fn build_scale_jobs(topo: &Topology, nodes: usize) -> Vec<Communicator> {
+/// (Shared with the Fig 12-style fault-at-scale scenario.)
+pub(crate) fn build_scale_jobs(topo: &Topology, nodes: usize) -> Vec<Communicator> {
     let per_job = nodes / 8;
     let order: Vec<usize> = if per_job <= 8 {
         // Stride-8 node ids already hop one group per step.
@@ -311,7 +347,9 @@ enum ScaleMode<'a> {
 }
 
 /// Runs one selector over `iters` BSP iterations of the 8-job workload,
-/// returning (mean per-job busbw Gbps, plan-build wall ms).
+/// returning (mean per-job busbw Gbps, plan-build wall ms, drain wall ms).
+/// The drain wall is the iteration loop's residual after plan building —
+/// dominated by the shared noisy network drains.
 fn run_scale_mode(
     topo: &Topology,
     jobs: &[Communicator],
@@ -319,7 +357,8 @@ fn run_scale_mode(
     drain: &DrainConfig,
     iters: usize,
     rng: &mut DetRng,
-) -> (f64, f64) {
+) -> (f64, f64, f64) {
+    let mode_start = Instant::now();
     let mut cache = PlanCache::new();
     let mut sum = 0.0_f64;
     let mut n = 0usize;
@@ -342,7 +381,9 @@ fn run_scale_mode(
             }
         }
     }
-    (sum / n.max(1) as f64, cache.build_wall_ms())
+    let plan_ms = cache.build_wall_ms();
+    let mode_ms = mode_start.elapsed().as_secs_f64() * 1e3;
+    (sum / n.max(1) as f64, plan_ms, (mode_ms - plan_ms).max(0.0))
 }
 
 /// Runs the C4P-vs-ECMP scale sweep.
@@ -361,20 +402,24 @@ pub fn run_scale(cfg: &C4pScaleConfig) -> C4pScaleSweep {
     for &nodes in &cfg.node_scales {
         for &ratio in &cfg.oversub {
             let row_start = Instant::now();
-            let mut clos = ClosConfig::pod_grouped(nodes, 8);
-            // pod_grouped wires 2:1; a non-blocking variant doubles the
-            // spine trunks.
+            // Rail-dense leaves: past 256 nodes the leaf tier pins to the
+            // 8 NIC rails and the trunks widen, so the per-flow fair share
+            // stops halving at 4096 GPUs.
+            let mut clos = ClosConfig::pod_grouped_railed(nodes, 8);
+            // The railed pod wires 2:1; scale the trunk capacity for the
+            // 1:1 (non-blocking) and 4:1 (congested) variants.
             clos.fabric_gbps *= 2.0 / ratio;
             let topo = Topology::build(&clos);
             let jobs = build_scale_jobs(&topo, nodes);
-            // No DCQCN noise / CNP model at scale: the classic 128-GPU run
-            // keeps them for the paper's rate-fluctuation figures, but here
-            // they only stagger thousands of same-sized completions into
-            // individual giant-component re-solves (the throughput
-            // comparison is unchanged — collisions are a placement effect).
+            // The paper's congestion dynamics run at full scale: DCQCN
+            // rate jitter on congested flows plus CNP accounting, exactly
+            // as in the classic 128-GPU cells. (The event-driven drain
+            // keeps noisy cells tractable — noise used to stagger
+            // thousands of same-size completions into individual
+            // giant-component re-solves.)
             let drain = DrainConfig {
-                rate_noise: 0.0,
-                cnp: None,
+                rate_noise: scale_rate_noise(ratio),
+                cnp: Some(CnpModel::paper_default()),
                 parallel: cfg.parallel,
                 ..DrainConfig::default()
             };
@@ -382,7 +427,7 @@ pub fn run_scale(cfg: &C4pScaleConfig) -> C4pScaleSweep {
                 DetRng::seed_from(cfg.seed ^ mix64(nodes as u64 ^ ((ratio as u64) << 32)));
 
             let ecmp = EcmpSelector::new(cfg.seed ^ 0xEC3F ^ nodes as u64);
-            let (ecmp_gbps, ecmp_plan_ms) = run_scale_mode(
+            let (ecmp_gbps, ecmp_plan_ms, ecmp_drain_ms) = run_scale_mode(
                 &topo,
                 &jobs,
                 ScaleMode::Ecmp(ecmp),
@@ -393,7 +438,7 @@ pub fn run_scale(cfg: &C4pScaleConfig) -> C4pScaleSweep {
 
             let mut master =
                 C4pMaster::new(&topo, C4pConfig::default()).with_parallel(cfg.parallel);
-            let (c4p_gbps, c4p_plan_ms) = run_scale_mode(
+            let (c4p_gbps, c4p_plan_ms, c4p_drain_ms) = run_scale_mode(
                 &topo,
                 &jobs,
                 ScaleMode::C4p(&mut master),
@@ -410,6 +455,8 @@ pub fn run_scale(cfg: &C4pScaleConfig) -> C4pScaleSweep {
                 improvement: c4p_gbps / ecmp_gbps.max(1e-9) - 1.0,
                 ecmp_plan_ms,
                 c4p_plan_ms,
+                ecmp_drain_ms,
+                c4p_drain_ms,
                 wall_ms: row_start.elapsed().as_secs_f64() * 1e3,
             });
         }
@@ -443,6 +490,8 @@ impl C4pScaleSweep {
                     .push("improvement", r.improvement)
                     .push("ecmp_plan_ms", r.ecmp_plan_ms)
                     .push("c4p_plan_ms", r.c4p_plan_ms)
+                    .push("ecmp_drain_ms", r.ecmp_drain_ms)
+                    .push("c4p_drain_ms", r.c4p_drain_ms)
                     .push("wall_ms", r.wall_ms);
                 row
             })
@@ -450,6 +499,40 @@ impl C4pScaleSweep {
         let mut doc = JsonValue::object();
         doc.push("schema", "c4-bench-v1")
             .push("bench", "c4p_scale_sweep")
+            .push("config", config)
+            .push("rows", JsonValue::Array(rows))
+            .push("total_wall_ms", self.total_wall_ms);
+        doc
+    }
+
+    /// The sweep as a **drain-focused** `c4-bench-v1` document — the
+    /// `BENCH_drain.json` schema: per-cell drain wall clocks of the noisy
+    /// DCQCN/CNP event loops under both selectors, plus the simulated
+    /// throughputs for context.
+    pub fn to_drain_json(&self) -> JsonValue {
+        let mut config = JsonValue::object();
+        config
+            .push("seed", self.seed)
+            .push("iters", self.iters)
+            .push("threads", self.threads);
+        let rows: Vec<JsonValue> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = JsonValue::object();
+                row.push("gpus", r.gpus)
+                    .push("oversub", r.oversub)
+                    .push("ecmp_drain_ms", r.ecmp_drain_ms)
+                    .push("c4p_drain_ms", r.c4p_drain_ms)
+                    .push("ecmp_gbps", r.ecmp_gbps)
+                    .push("c4p_gbps", r.c4p_gbps)
+                    .push("wall_ms", r.wall_ms);
+                row
+            })
+            .collect();
+        let mut doc = JsonValue::object();
+        doc.push("schema", "c4-bench-v1")
+            .push("bench", "drain_noise_scale")
             .push("config", config)
             .push("rows", JsonValue::Array(rows))
             .push("total_wall_ms", self.total_wall_ms);
@@ -509,6 +592,7 @@ mod tests {
                 r.oversub
             );
             assert!(r.ecmp_plan_ms > 0.0 && r.c4p_plan_ms > 0.0);
+            assert!(r.ecmp_drain_ms > 0.0 && r.c4p_drain_ms > 0.0);
             assert!(r.wall_ms > 0.0);
         }
         // The blocking fabric carries less than the non-blocking one.
@@ -540,6 +624,37 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("gpus").and_then(|v| v.as_f64()), Some(256.0));
         assert!(rows[0].get("c4p_plan_ms").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert!(
+            rows[0]
+                .get("c4p_drain_ms")
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn scale_cells_run_the_noise_model() {
+        // The scale sweep's cells carry the paper's congestion dynamics:
+        // under contention the drains must mark congested flows (DCQCN
+        // caps drawn, CNPs emitted) rather than run noise-free.
+        let cfg = C4pScaleConfig {
+            seed: 5,
+            iters: 1,
+            node_scales: vec![32],
+            oversub: vec![2.0],
+            parallel: ParallelPolicy::default(),
+        };
+        let sweep = run_scale(&cfg);
+        let r = &sweep.rows[0];
+        // A noisy congested cell cannot sit exactly on the noise-free
+        // plateau; the fair share is jittered a few percent below it.
+        assert!(
+            r.c4p_gbps < 362.0,
+            "noisy 2:1 cell should sit below the NVLink cap: {}",
+            r.c4p_gbps
+        );
+        assert!(r.c4p_gbps > 100.0, "but not collapse: {}", r.c4p_gbps);
     }
 
     #[test]

@@ -8,27 +8,39 @@
 //!
 //! Two implementations share the [`DrainConfig`]/[`DrainReport`] surface:
 //!
-//! * [`drain`] — the production path. It keeps two persistent
-//!   [`MaxMinState`]s (the base allocation, and — when DCQCN rate noise is
-//!   on — a capped overlay) and feeds them events one by one:
-//!   a completion becomes [`MaxMinState::remove_flow`], an epoch's noise
-//!   caps become [`MaxMinState::rate_perturb`]. Only the connected
-//!   components touched by an event re-waterfill, and all per-event route
-//!   tables are precomputed once, so month-scale simulations stop paying
-//!   O(flows·links) per event.
+//! * [`drain`] — the production path, an event-driven engine whose
+//!   per-event work is proportional to *what changed*, not to what exists:
+//!   * one persistent [`MaxMinState`] carries the base allocation;
+//!     completions become [`MaxMinState::remove_flow`] and only the dirtied
+//!     components re-waterfill. Link loads, per-link flow counts and CNP
+//!     congestion scores are maintained incrementally off the solver's
+//!     dirty-component feed ([`MaxMinState::refresh`]) instead of being
+//!     rebuilt over every active flow each event.
+//!   * DCQCN noise needs no second solver: a noise cap only ever lands on a
+//!     flow crossing a saturated link shared with a competitor, and every
+//!     subscriber of such a link is capped, so the capped max-min
+//!     allocation is exactly `min(base_rate, cap)` per flow — a one-pass
+//!     re-cap from the resident base allocation.
+//!   * the next completion comes from an indexed min-heap with lazy
+//!     invalidation (rate changes bump a per-flow stamp) instead of a
+//!     linear scan, and completions landing within the one-byte tolerance
+//!     of one instant batch their removals so a shared component re-solves
+//!     once per batch rather than once per flow.
 //! * [`drain_reference`] — the retained from-scratch implementation
 //!   (re-solves the whole allocation at every event). It consumes the RNG
 //!   in exactly the same order as [`drain`], so for any topology, flow set,
 //!   noise level and deadline the two produce the same report up to
 //!   floating-point association; `tests/maxmin_differential.rs` holds them
-//!   to 1e-9.
+//!   to 1e-9 — with identical RNG positions afterwards.
+
+use std::collections::BinaryHeap;
 
 use c4_simcore::{Bandwidth, DetRng, ParallelPolicy, SimDuration, SimTime};
 use c4_topology::{LinkKind, Topology};
 
 use crate::congestion::CnpModel;
 use crate::flow::{FlowOutcome, FlowSpec};
-use crate::maxmin::{self, MaxMinState};
+use crate::maxmin::{self, MaxMinState, SolveScope};
 
 /// Configuration of one drain run.
 #[derive(Debug, Clone)]
@@ -106,6 +118,60 @@ impl DrainReport {
 
 /// Rates below this (bytes/s) count as stalled.
 const STALL_RATE: f64 = 1.0;
+
+/// A projected flow completion in the drain's event heap (min-heap over
+/// `(t_zero, flow)`).
+///
+/// `stamp` implements lazy invalidation: the entry is live only while the
+/// flow's stamp still matches — every rate change bumps the flow's stamp,
+/// and stale entries are discarded when they surface at the top.
+#[derive(Debug, Clone, Copy)]
+struct CompletionEvent {
+    /// Projected instant (seconds since drain start) at which the flow's
+    /// remaining bytes reach zero at its current rate.
+    t_zero: f64,
+    flow: u32,
+    stamp: u32,
+}
+
+impl PartialEq for CompletionEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.t_zero == other.t_zero && self.flow == other.flow
+    }
+}
+impl Eq for CompletionEvent {}
+impl PartialOrd for CompletionEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CompletionEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // completion first (ties broken by flow id for determinism).
+        // Projected instants are never NaN (rates are positive, finite).
+        other
+            .t_zero
+            .partial_cmp(&self.t_zero)
+            .expect("completion instants are not NaN")
+            .then_with(|| other.flow.cmp(&self.flow))
+    }
+}
+
+/// Materializes a flow's lazily-tracked remaining bytes at `now_s`.
+///
+/// Between rate changes a flow's remaining declines linearly, so one
+/// multiply replaces the reference's per-event subtraction (the same series
+/// summed in one step — the drift is pure floating-point association, far
+/// inside the differential harness's 1e-9).
+#[inline]
+fn materialize(f: usize, now_s: f64, rate: f64, remaining: &mut [f64], touch_s: &mut [f64]) {
+    let elapsed = now_s - touch_s[f];
+    if elapsed > 0.0 && rate > 0.0 {
+        remaining[f] = (remaining[f] - rate * elapsed).max(0.0);
+    }
+    touch_s[f] = now_s;
+}
 
 /// Static per-flow tables shared by both drain implementations.
 struct Problem {
@@ -188,43 +254,60 @@ pub fn drain(
     let mut cnp_accum = vec![0.0_f64; topo.ports().len()];
     let mut congested_flags = vec![false; nf];
 
-    // Flows with zero bytes complete instantly.
+    // Flows with zero bytes complete instantly. Their min_rate keeps the
+    // same "no moving rate observed" sentinel as stalled flows, so both
+    // report Bandwidth::ZERO through one path.
     for f in 0..nf {
         if remaining[f] <= 0.0 {
             finish[f] = Some(cfg.start);
-            min_rate[f] = 0.0;
         }
     }
 
     let noisy = cfg.rate_noise > 0.0 || cfg.cnp.is_some();
     let mut now = cfg.start;
+    // Seconds since `cfg.start`, accumulated from the same raw `dt` chain
+    // the byte accounting uses. (Deriving elapsed time from the quantized
+    // `now` would lose up to half a nanosecond per event — enough to drift
+    // completion times outside the differential tolerance.)
+    let mut now_s = 0.0_f64;
     let mut active: Vec<usize> = (0..nf).filter(|&f| finish[f].is_none()).collect();
 
-    // The persistent allocation states: `base` carries the uncapped max-min
-    // allocation (perturbed only by completions); `capped` additionally
-    // carries the per-epoch DCQCN noise caps. Components untouched by an
-    // event keep their rates without re-solving.
+    // The persistent base (uncapped) allocation, perturbed only by flow
+    // completions. DCQCN noise needs no second solver: a noise cap is only
+    // ever applied to a congested flow — one crossing a saturated link it
+    // shares with a competitor — and *every* flow crossing such a link is
+    // congested, so the caps cover all of a saturated link's subscribers
+    // and the freed capacity has no taker. The capped max-min allocation
+    // is therefore exactly `min(base_rate, cap)` per flow: capped flows
+    // pin to their caps, uncapped flows stay at their private bottlenecks.
+    // The differential harness holds this identity against the reference's
+    // full capped re-solve at 1e-9.
     let mut base = MaxMinState::with_flows(&p.dense_capacity, &p.dense_routes, None)
         .with_parallel(cfg.parallel);
-    let mut capped = (cfg.rate_noise > 0.0).then(|| {
-        MaxMinState::with_flows(&p.dense_capacity, &p.dense_routes, None)
-            .with_parallel(cfg.parallel)
-    });
     for (f, fin) in finish.iter().enumerate() {
         if fin.is_some() {
             base.remove_flow(f);
-            if let Some(c) = capped.as_mut() {
-                c.remove_flow(f);
-            }
         }
     }
 
-    // Reused per-event scratch (sized to the dense link table).
+    // Incrementally-maintained derived state. `rate` is each flow's actual
+    // (possibly noise-capped) rate; `touch_s` is when its `remaining` was
+    // last materialized; `stamp` versions its completion-heap entries.
+    let mut rate = vec![0.0_f64; nf];
+    let mut touch_s = vec![0.0_f64; nf];
+    let mut score = vec![0.0_f64; nf];
+    let mut stamp = vec![0u32; nf];
     let mut link_load = vec![0.0_f64; ndl];
     let mut link_flows = vec![0u32; ndl];
-    let mut scores: Vec<f64> = Vec::new();
-    let mut rates_buf: Vec<f64> = Vec::new();
+    // Active flows with score > 0, ascending — exactly the flows the noise
+    // model re-draws each event, in the order the reference draws them.
+    let mut congested: Vec<u32> = Vec::new();
+    // Flows whose rate was set this event (they need exact per-event
+    // remaining/dt bookkeeping; everything else rides the heap).
+    let mut scan: Vec<usize> = Vec::new();
+    let mut heap: BinaryHeap<CompletionEvent> = BinaryHeap::new();
     let cnp_model = cfg.cnp.unwrap_or_default();
+    let mut events = 0u64;
 
     while !active.is_empty() {
         if let Some(deadline) = cfg.deadline {
@@ -232,63 +315,187 @@ pub fn drain(
                 break;
             }
         }
+        events += 1;
 
-        // Base max-min allocation over the active flows (incremental).
-        let base_rates: &[f64] = base.rates();
+        // 1. Bring the base allocation up to date; only the components
+        //    dirtied by completions re-solve.
+        let scope = base.refresh();
 
-        // Identify sharing pressure for noise/CNP.
-        for l in 0..ndl {
-            link_load[l] = 0.0;
-            link_flows[l] = 0;
-        }
-        for &f in &active {
-            for &l in &p.dense_routes[f] {
-                link_load[l as usize] += base_rates[f];
-                link_flows[l as usize] += 1;
+        // 2. Refresh link loads/counts and congestion scores for exactly
+        //    what the solver re-solved. Components partition the links, and
+        //    component flow lists are ascending, so per-link accumulation
+        //    order — and hence every bit of the sums — matches a
+        //    from-scratch rebuild over all active flows.
+        if scope != SolveScope::Unchanged {
+            let rates = base.current_rates();
+            match scope {
+                SolveScope::Full => {
+                    link_load.fill(0.0);
+                    link_flows.fill(0);
+                    for &f in &active {
+                        for &l in &p.dense_routes[f] {
+                            link_load[l as usize] += rates[f];
+                            link_flows[l as usize] += 1;
+                        }
+                    }
+                    for &f in &active {
+                        score[f] = cnp_model.flow_score(
+                            &p.dense_routes[f],
+                            &link_load,
+                            &p.dense_capacity,
+                            &link_flows,
+                        );
+                    }
+                }
+                SolveScope::Components => {
+                    for &c in base.resolved_components() {
+                        for &l in base.component_links(c) {
+                            link_load[l as usize] = 0.0;
+                            link_flows[l as usize] = 0;
+                        }
+                        for &f in base.component_flows(c) {
+                            let f = f as usize;
+                            if finish[f].is_none() {
+                                for &l in &p.dense_routes[f] {
+                                    link_load[l as usize] += rates[f];
+                                    link_flows[l as usize] += 1;
+                                }
+                            }
+                        }
+                    }
+                    for &c in base.resolved_components() {
+                        for &f in base.component_flows(c) {
+                            let f = f as usize;
+                            if finish[f].is_none() {
+                                score[f] = cnp_model.flow_score(
+                                    &p.dense_routes[f],
+                                    &link_load,
+                                    &p.dense_capacity,
+                                    &link_flows,
+                                );
+                            }
+                        }
+                    }
+                }
+                SolveScope::Unchanged => unreachable!(),
+            }
+            congested.clear();
+            for &f in &active {
+                if score[f] > 0.0 {
+                    congested_flags[f] = true;
+                    congested.push(f as u32);
+                }
             }
         }
-        scores.clear();
-        scores.extend(active.iter().map(|&f| {
-            cnp_model.flow_score(
-                &p.dense_routes[f],
-                &link_load,
-                &p.dense_capacity,
-                &link_flows,
-            )
-        }));
 
-        // DCQCN noise: re-cap congested flows for this epoch and re-solve
-        // only the components whose caps actually changed.
-        rates_buf.clear();
+        // 3. Rate updates. Noise first: every congested flow draws a fresh
+        //    cap this event (ascending flow order — the sequence the
+        //    reference consumes the RNG in). Congested flows re-enter
+        //    `scan` every event, so they never need heap entries.
+        scan.clear();
+        let base_rates = base.current_rates();
         if cfg.rate_noise > 0.0 {
-            let c = capped.as_mut().expect("capped state exists when noisy");
-            for (i, &f) in active.iter().enumerate() {
-                let cap = if scores[i] > 0.0 {
-                    base_rates[f] * (1.0 - cfg.rate_noise * rng.uniform())
-                } else {
-                    f64::INFINITY
-                };
-                c.rate_perturb(f, cap);
-            }
-            let capped_rates = c.rates();
-            rates_buf.extend(active.iter().map(|&f| capped_rates[f]));
-        } else {
-            rates_buf.extend(active.iter().map(|&f| base_rates[f]));
-        }
-        let rates: &[f64] = &rates_buf;
-
-        for (i, &f) in active.iter().enumerate() {
-            if scores[i] > 0.0 {
-                congested_flags[f] = true;
+            for &f in &congested {
+                let f = f as usize;
+                let b = base_rates[f];
+                let cap = b * (1.0 - cfg.rate_noise * rng.uniform());
+                let nr = if cap < b { cap } else { b };
+                materialize(f, now_s, rate[f], &mut remaining, &mut touch_s);
+                if nr.to_bits() != rate[f].to_bits() {
+                    stamp[f] = stamp[f].wrapping_add(1);
+                    rate[f] = nr;
+                }
+                scan.push(f);
             }
         }
+        // Uncongested flows of re-solved components adopt their fresh base
+        // rate; a flow whose recomputed rate is bit-identical keeps its
+        // completion-heap entry untouched.
+        if scope != SolveScope::Unchanged {
+            let adopt = |f: usize,
+                         rate: &mut [f64],
+                         stamp: &mut [u32],
+                         scan: &mut Vec<usize>,
+                         remaining: &mut [f64],
+                         touch_s: &mut [f64]| {
+                if cfg.rate_noise > 0.0 && score[f] > 0.0 {
+                    return; // handled by the noise pass
+                }
+                let nr = base_rates[f];
+                if nr.to_bits() != rate[f].to_bits() {
+                    materialize(f, now_s, rate[f], remaining, touch_s);
+                    stamp[f] = stamp[f].wrapping_add(1);
+                    rate[f] = nr;
+                    scan.push(f);
+                }
+            };
+            match scope {
+                SolveScope::Full => {
+                    for &f in &active {
+                        adopt(
+                            f,
+                            &mut rate,
+                            &mut stamp,
+                            &mut scan,
+                            &mut remaining,
+                            &mut touch_s,
+                        );
+                    }
+                }
+                SolveScope::Components => {
+                    for &c in base.resolved_components() {
+                        for &f in base.component_flows(c) {
+                            let f = f as usize;
+                            if finish[f].is_none() {
+                                adopt(
+                                    f,
+                                    &mut rate,
+                                    &mut stamp,
+                                    &mut scan,
+                                    &mut remaining,
+                                    &mut touch_s,
+                                );
+                            }
+                        }
+                    }
+                }
+                SolveScope::Unchanged => unreachable!(),
+            }
+        }
 
-        // Time to next event: earliest completion, epoch boundary, deadline.
+        // 4. Time to next event: earliest completion (re-rated flows by
+        //    direct scan, stable flows from the heap), epoch boundary,
+        //    deadline.
         let mut dt = f64::INFINITY;
-        for (i, &f) in active.iter().enumerate() {
-            if rates[i] > STALL_RATE {
-                dt = dt.min(remaining[f] / rates[i]);
+        for &f in &scan {
+            if rate[f] > STALL_RATE {
+                dt = dt.min(remaining[f] / rate[f]);
             }
+        }
+        while let Some(&top) = heap.peek() {
+            let f = top.flow as usize;
+            if top.stamp != stamp[f] || finish[f].is_some() {
+                heap.pop();
+                continue;
+            }
+            let heap_dt = top.t_zero - now_s;
+            if heap_dt > 0.0 {
+                dt = dt.min(heap_dt);
+                break;
+            }
+            // Degenerate rounding: in a very long drain the absolute
+            // instants can sit within one ulp of `now_s`, collapsing the
+            // difference to ≤ 0 while bytes remain (which would end the
+            // drain early through the `dt <= 0` guard below). Fall back to
+            // the always-positive relative form, exactly as the reference
+            // computes it, and track the flow by direct scan this event.
+            heap.pop();
+            materialize(f, now_s, rate[f], &mut remaining, &mut touch_s);
+            if rate[f] > STALL_RATE {
+                dt = dt.min(remaining[f] / rate[f]);
+            }
+            stamp[f] = stamp[f].wrapping_add(1);
+            scan.push(f);
         }
         let any_moving = dt.is_finite();
         if noisy {
@@ -306,35 +513,93 @@ pub fn drain(
             break;
         }
 
-        // Advance.
+        // 5. Advance.
         let step = SimDuration::from_secs_f64(dt);
         if let Some(cnp) = cfg.cnp {
-            for (i, &f) in active.iter().enumerate() {
+            for &f in &active {
                 if let Some(port) = p.src_port_of[f] {
-                    cnp_accum[port] += cnp.cnp_rate(scores[i], rng.uniform()) * dt;
+                    cnp_accum[port] += cnp.cnp_rate(score[f], rng.uniform()) * dt;
                 }
             }
         }
-        for (i, &f) in active.iter().enumerate() {
-            let moved = rates[i] * dt;
-            remaining[f] = (remaining[f] - moved).max(0.0);
-            if rates[i] > STALL_RATE {
-                min_rate[f] = min_rate[f].min(rates[i]);
-                max_rate[f] = max_rate[f].max(rates[i]);
+        let next_s = now_s + dt;
+        for &f in &scan {
+            remaining[f] = (remaining[f] - rate[f] * dt).max(0.0);
+            touch_s[f] = next_s;
+            if rate[f] > STALL_RATE {
+                min_rate[f] = min_rate[f].min(rate[f]);
+                max_rate[f] = max_rate[f].max(rate[f]);
             }
         }
+        now_s = next_s;
         now += step;
-        // Completion tolerance: one byte.
-        for &f in &active {
+
+        // 6. Completions (one-byte tolerance): re-rated flows by direct
+        //    check, stable flows by popping every heap entry now due. A
+        //    batch completing at one instant issues its removals together,
+        //    so the dirtied components re-solve once next event.
+        let mut completed_any = false;
+        for &f in &scan {
             if remaining[f] <= 1.0 && finish[f].is_none() {
                 finish[f] = Some(now);
                 base.remove_flow(f);
-                if let Some(c) = capped.as_mut() {
-                    c.remove_flow(f);
-                }
+                completed_any = true;
             }
         }
-        active.retain(|&f| finish[f].is_none());
+        while let Some(&top) = heap.peek() {
+            let f = top.flow as usize;
+            if top.stamp != stamp[f] || finish[f].is_some() {
+                heap.pop();
+                continue;
+            }
+            // An entry is due once the flow is inside the one-byte
+            // tolerance, which precedes its zero instant by 1/rate.
+            if top.t_zero - 1.0 / rate[f] <= now_s {
+                heap.pop();
+                materialize(f, now_s, rate[f], &mut remaining, &mut touch_s);
+                if remaining[f] <= 1.0 {
+                    // min/max folds happened when this rate episode began.
+                    finish[f] = Some(now);
+                    base.remove_flow(f);
+                    completed_any = true;
+                } else {
+                    // Floating-point shy of the tolerance: re-arm.
+                    stamp[f] = stamp[f].wrapping_add(1);
+                    heap.push(CompletionEvent {
+                        t_zero: now_s + remaining[f] / rate[f],
+                        flow: f as u32,
+                        stamp: stamp[f],
+                    });
+                }
+            } else {
+                break;
+            }
+        }
+
+        // 7. Re-arm completion events for this event's re-rated movers.
+        //    Congested flows under noise skip the heap — they are
+        //    re-scanned every event until a refresh clears their score.
+        for &f in &scan {
+            if finish[f].is_none()
+                && rate[f] > STALL_RATE
+                && !(cfg.rate_noise > 0.0 && score[f] > 0.0)
+            {
+                heap.push(CompletionEvent {
+                    t_zero: now_s + remaining[f] / rate[f],
+                    flow: f as u32,
+                    stamp: stamp[f],
+                });
+            }
+        }
+        if completed_any {
+            active.retain(|&f| finish[f].is_none());
+        }
+    }
+
+    // Materialize the lazily-tracked remaining bytes of survivors so the
+    // byte accounting below sees the full elapsed drain.
+    for &f in &active {
+        materialize(f, now_s, rate[f], &mut remaining, &mut touch_s);
     }
 
     // Per-link byte accounting: every link on a flow's route carried
@@ -352,11 +617,9 @@ pub fn drain(
 
     if std::env::var_os("C4_DRAIN_STATS").is_some() {
         eprintln!(
-            "drain stats: flows={nf} dense_links={ndl} base_full={} base_comp={} capped_full={} capped_comp={} comps={}",
+            "drain stats: flows={nf} dense_links={ndl} events={events} base_full={} base_comp={} comps={}",
             base.full_solves(),
             base.component_solves(),
-            capped.as_ref().map_or(0, |c| c.full_solves()),
-            capped.as_ref().map_or(0, |c| c.component_solves()),
             base.component_count(),
         );
     }
@@ -418,10 +681,11 @@ pub fn drain_reference(
     let mut cnp_accum = vec![0.0_f64; topo.ports().len()];
     let mut congested_flags = vec![false; nf];
 
+    // Instantly-completed zero-byte flows keep the same "no moving rate
+    // observed" min_rate sentinel as stalled flows (both report ZERO).
     for f in 0..nf {
         if remaining[f] <= 0.0 {
             finish[f] = Some(cfg.start);
-            min_rate[f] = 0.0;
         }
     }
 
@@ -721,6 +985,55 @@ mod tests {
         let report = drain(&t, &[spec], &DrainConfig::default(), &mut rng);
         assert!(report.all_completed());
         assert_eq!(report.outcomes[0].finish, Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn zero_byte_and_stalled_flows_share_the_no_rate_sentinel() {
+        // Regression: instantly-completed zero-byte flows used to write an
+        // explicit `min_rate = 0.0` while never-started stalled flows kept
+        // the INFINITY "nothing observed" sentinel — two representations
+        // for the same fact. Both paths are unified: any flow that never
+        // moved reports ZERO min/max/mean rate, in both implementations.
+        let mut t = topo();
+        let live_route = simple_route(&t);
+        let mut dead_route = live_route.clone();
+        dead_route[1] = {
+            // A second rail's uplink, killed below.
+            let g = t.gpu_at(NodeId::from_index(0), 1);
+            let port = t.port_of_gpu(g, PortSide::Left);
+            t.port(port).host_up
+        };
+        t.link_mut(dead_route[1]).set_up(false);
+        let specs = vec![
+            FlowSpec::new(key(0, 8, 0), ByteSize::ZERO, live_route.clone()),
+            FlowSpec::new(key(1, 9, 0), ByteSize::from_mib(64), dead_route),
+            FlowSpec::new(key(0, 8, 1), ByteSize::from_mib(64), live_route),
+        ];
+        let cfg = DrainConfig {
+            deadline: Some(SimTime::from_secs(1)),
+            ..DrainConfig::default()
+        };
+        for (name, report) in [
+            ("drain", drain(&t, &specs, &cfg, &mut DetRng::seed_from(6))),
+            (
+                "reference",
+                drain_reference(&t, &specs, &cfg, &mut DetRng::seed_from(6)),
+            ),
+        ] {
+            let zero_byte = &report.outcomes[0];
+            let stalled = &report.outcomes[1];
+            let moving = &report.outcomes[2];
+            assert!(zero_byte.completed() && !stalled.completed(), "{name}");
+            assert_eq!(zero_byte.min_rate, Bandwidth::ZERO, "{name}: zero-byte");
+            assert_eq!(zero_byte.max_rate, Bandwidth::ZERO, "{name}: zero-byte");
+            assert_eq!(stalled.min_rate, Bandwidth::ZERO, "{name}: stalled");
+            assert_eq!(stalled.max_rate, Bandwidth::ZERO, "{name}: stalled");
+            assert_eq!(
+                zero_byte.min_rate, stalled.min_rate,
+                "{name}: one sentinel for 'never moved'"
+            );
+            assert!(moving.min_rate > Bandwidth::ZERO, "{name}: mover");
+        }
     }
 
     #[test]

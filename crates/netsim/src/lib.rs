@@ -41,10 +41,17 @@
 //!   Until then the state re-solves the (superset) stale component — more
 //!   work than strictly needed, never a wrong answer. Adding a flow marks
 //!   the partition stale outright.
-//! * **Full-solve fallback.** When the dirty components cover more than
-//!   half the live flows, or flows were added since the last partition,
-//!   the state re-partitions and re-solves every component. The incremental
-//!   path is therefore never asymptotically worse than the reference solver.
+//! * **Re-partition on dead mass.** Once the flows removed since the last
+//!   partition outweigh the survivors, the next solve re-partitions —
+//!   dropping dead flows from the component tables and splitting
+//!   components removals disconnected (amortized O(1) per removal).
+//!   Allocations are independent of partition granularity, so only wall
+//!   clock moves. Cap perturbations alone never force a re-partition.
+//! * **Dirty-component feed.** [`MaxMinState::refresh`] reports what each
+//!   lazy solve touched ([`SolveScope`]: nothing, a component list, or a
+//!   full re-partition), so the drain engine maintains its link loads,
+//!   congestion scores and completion heap incrementally for exactly the
+//!   flows whose rates may have changed.
 //! * **Deterministic parallelism.** Components are independent
 //!   sub-problems, so batched re-solves fan out over a scoped-thread pool
 //!   sized by [`DrainConfig::parallel`](drain::DrainConfig) (default: the
@@ -75,5 +82,5 @@ pub use congestion::CnpModel;
 pub use drain::{drain, drain_reference, DrainConfig, DrainReport};
 pub use flow::{FlowKey, FlowOutcome, FlowSpec};
 pub use hash::mix64;
-pub use maxmin::MaxMinState;
+pub use maxmin::{MaxMinState, SolveScope};
 pub use selector::{EcmpSelector, PathChoice, PathSelector, RailLocalSelector};

@@ -484,6 +484,22 @@ pub fn residual(capacity: &[f64], routes: &[Vec<u32>], rates: &[f64]) -> Vec<f64
     res
 }
 
+/// What the last [`MaxMinState::refresh`] call actually re-solved — the
+/// dirty-component feed the event-driven drain loop consumes to update its
+/// link loads, congestion scores and completion heap incrementally instead
+/// of rebuilding them over every active flow each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveScope {
+    /// Nothing was dirty: no rate changed since the previous refresh.
+    Unchanged,
+    /// Only the components listed by [`MaxMinState::resolved_components`]
+    /// re-solved; every other flow's rate is bit-identical to before.
+    Components,
+    /// A full solve ran (with re-partition): component ids were reassigned
+    /// and every rate is fresh — derived state must rebuild from scratch.
+    Full,
+}
+
 /// One connected component of the flow–link sharing graph.
 #[derive(Debug, Clone, Default)]
 struct Component {
@@ -550,6 +566,17 @@ pub struct MaxMinState {
     dirty_list: Vec<u32>,
     /// Flows added since the partition was built force a full re-solve.
     partition_stale: bool,
+    /// Flows removed since the partition was built. When the dead mass
+    /// reaches the live mass, the next refresh re-partitions — dropping
+    /// dead flows from the component tables and splitting components that
+    /// removals have disconnected — so long drains keep their re-solve
+    /// cost proportional to the *surviving* flows.
+    dead_since_partition: usize,
+    /// What the last [`refresh`](MaxMinState::refresh) re-solved.
+    last_scope: SolveScope,
+    /// Component ids re-solved by the last refresh (when `last_scope` is
+    /// [`SolveScope::Components`]), ascending.
+    last_resolved: Vec<u32>,
     /// Thread budget for batched component re-solves.
     parallel: ParallelPolicy,
     /// Statistics: full solves vs component re-solves since construction.
@@ -573,6 +600,9 @@ impl MaxMinState {
             dirty: Vec::new(),
             dirty_list: Vec::new(),
             partition_stale: true,
+            dead_since_partition: 0,
+            last_scope: SolveScope::Unchanged,
+            last_resolved: Vec::new(),
             parallel: ParallelPolicy::default(),
             full_solves: 0,
             component_solves: 0,
@@ -650,6 +680,7 @@ impl MaxMinState {
         }
         self.alive[f] = false;
         self.n_alive -= 1;
+        self.dead_since_partition += 1;
         self.rates[f] = 0.0;
         let c = self.comp_of_flow[f];
         if c != u32::MAX {
@@ -702,8 +733,24 @@ impl MaxMinState {
     /// The current allocation, re-solving lazily. Indexed by flow id;
     /// entries of removed flows read 0.
     pub fn rates(&mut self) -> &[f64] {
+        self.refresh();
+        &self.rates
+    }
+
+    /// Brings the allocation up to date (lazily, like [`rates`]) and reports
+    /// what was re-solved, so derived per-flow state (link loads, scores,
+    /// completion events) can be updated for exactly the flows whose rates
+    /// may have changed. Read the result via [`current_rates`] and
+    /// [`resolved_components`].
+    ///
+    /// [`rates`]: MaxMinState::rates
+    /// [`current_rates`]: MaxMinState::current_rates
+    /// [`resolved_components`]: MaxMinState::resolved_components
+    pub fn refresh(&mut self) -> SolveScope {
+        self.last_resolved.clear();
         if self.needs_full_solve() {
             self.solve_full();
+            self.last_scope = SolveScope::Full;
         } else if !self.dirty_list.is_empty() {
             let mut dirty = std::mem::take(&mut self.dirty_list);
             // Ascending component order keeps the thread-chunk assignment
@@ -715,8 +762,41 @@ impl MaxMinState {
             }
             self.solve_components(&dirty);
             self.component_solves += dirty.len() as u64;
+            self.last_resolved = dirty;
+            self.last_scope = SolveScope::Components;
+        } else {
+            self.last_scope = SolveScope::Unchanged;
         }
+        self.last_scope
+    }
+
+    /// The allocation as of the last [`refresh`]/[`rates`] call, without
+    /// re-solving. Indexed by flow id; removed flows read 0.
+    ///
+    /// [`refresh`]: MaxMinState::refresh
+    /// [`rates`]: MaxMinState::rates
+    pub fn current_rates(&self) -> &[f64] {
         &self.rates
+    }
+
+    /// Component ids the last [`refresh`](MaxMinState::refresh) re-solved
+    /// (ascending). Meaningful when it returned [`SolveScope::Components`];
+    /// empty after `Unchanged` or `Full`.
+    pub fn resolved_components(&self) -> &[u32] {
+        &self.last_resolved
+    }
+
+    /// The flows of component `c` as of the current partition, ascending.
+    /// Includes flows removed since the partition was built (their rates
+    /// read 0).
+    pub fn component_flows(&self, c: u32) -> &[u32] {
+        &self.comps[c as usize].flows
+    }
+
+    /// The links of component `c`, as indices into the capacity table this
+    /// state was built over.
+    pub fn component_links(&self, c: u32) -> &[u32] {
+        &self.comps[c as usize].links
     }
 
     /// Live (not-removed) flow count.
@@ -754,12 +834,14 @@ impl MaxMinState {
         if self.dirty_list.is_empty() {
             return false;
         }
-        let dirty_alive: usize = self
-            .dirty_list
-            .iter()
-            .map(|&c| self.comps[c as usize].alive_count)
-            .sum();
-        2 * dirty_alive > self.n_alive.max(1)
+        // Re-partition once the dead mass reaches the live mass: removals
+        // both bloat the component tables (dead flows still cost kernel
+        // setup every re-solve) and may have disconnected components. The
+        // rebuild is O(live routes) and amortizes to O(1) per removal.
+        // Max-min allocations are independent of partition granularity —
+        // a component solved whole is bit-identical to its disconnected
+        // pieces solved separately — so only wall clock moves.
+        self.dead_since_partition >= self.n_alive.max(1)
     }
 
     /// Masked cap table: removed flows get cap 0, pinning them to rate 0
@@ -916,6 +998,7 @@ impl MaxMinState {
         self.dirty.resize(self.comps.len(), false);
         self.dirty_list.clear();
         self.partition_stale = false;
+        self.dead_since_partition = 0;
     }
 }
 
@@ -1111,20 +1194,65 @@ mod tests {
     }
 
     #[test]
-    fn large_dirty_set_falls_back_to_full_solve() {
+    fn cap_bursts_resolve_components_without_repartition() {
         let capacity = vec![10.0, 10.0, 10.0, 10.0];
         let routes = vec![vec![0], vec![1], vec![2], vec![3]];
         let mut s = MaxMinState::with_flows(&capacity, &routes, None);
         let _ = s.rates();
         let full_before = s.full_solves();
-        // Dirty 3 of 4 singleton components: > half the live flows.
+        // Dirty 3 of 4 singleton components (a DCQCN epoch re-cap burst):
+        // the partition is intact, so each dirty component re-solves in
+        // place — no full solve, no re-partition.
         s.rate_perturb(0, 1.0);
         s.rate_perturb(1, 2.0);
         s.rate_perturb(2, 3.0);
         let r = s.rates();
         assert!(close(r[0], 1.0) && close(r[1], 2.0) && close(r[2], 3.0));
         assert!(close(r[3], 10.0));
-        assert_eq!(s.full_solves(), full_before + 1, "fallback expected");
+        assert_eq!(s.full_solves(), full_before, "no re-partition for caps");
+        assert_eq!(s.component_solves(), 3);
+    }
+
+    #[test]
+    fn dead_mass_triggers_repartition_and_prunes_components() {
+        let capacity = vec![10.0, 10.0, 10.0, 10.0];
+        let routes = vec![vec![0], vec![1], vec![2], vec![3]];
+        let mut s = MaxMinState::with_flows(&capacity, &routes, None);
+        let _ = s.rates();
+        let full_before = s.full_solves();
+        // One removal: 1 dead vs 3 alive → incremental component re-solve.
+        s.remove_flow(0);
+        assert_eq!(s.refresh(), SolveScope::Components);
+        assert_eq!(s.resolved_components(), &[0]);
+        assert_eq!(s.full_solves(), full_before);
+        // Second removal: 2 dead vs 2 alive → re-partition, which drops the
+        // dead flows from the component tables entirely.
+        s.remove_flow(1);
+        assert_eq!(s.refresh(), SolveScope::Full);
+        assert_eq!(s.full_solves(), full_before + 1);
+        assert_eq!(s.component_count(), 2);
+        let survivors: usize = (0..s.component_count())
+            .map(|c| s.component_flows(c as u32).len())
+            .sum();
+        assert_eq!(survivors, 2, "re-partition prunes dead flows");
+        assert!(close(s.rates()[2], 10.0) && close(s.rates()[3], 10.0));
+    }
+
+    #[test]
+    fn refresh_scope_reports_what_resolved() {
+        let capacity = vec![10.0, 20.0];
+        let routes = vec![vec![0], vec![1]];
+        let mut s = MaxMinState::with_flows(&capacity, &routes, None);
+        assert_eq!(s.refresh(), SolveScope::Full, "first solve partitions");
+        assert_eq!(s.refresh(), SolveScope::Unchanged);
+        s.rate_perturb(1, 5.0);
+        assert_eq!(s.refresh(), SolveScope::Components);
+        assert_eq!(s.resolved_components(), &[1]);
+        assert_eq!(s.component_flows(1), &[1]);
+        assert_eq!(s.component_links(1), &[1]);
+        assert_eq!(s.current_rates()[1], 5.0);
+        assert_eq!(s.refresh(), SolveScope::Unchanged);
+        assert!(s.resolved_components().is_empty());
     }
 
     #[test]

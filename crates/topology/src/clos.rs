@@ -172,6 +172,39 @@ impl ClosConfig {
         }
     }
 
+    /// The [`pod_grouped`](ClosConfig::pod_grouped) fabric with leaf density
+    /// that tracks the **8 NIC rails**: past 256 nodes the plain variant's
+    /// leaf tier outgrows the rail count (each group gets more leaf pairs
+    /// than rails, so half its leaves terminate no ports while the wired
+    /// half carries double density — the per-flow fair share halves at
+    /// 4096 GPUs). This variant caps the leaf pairs per group at
+    /// `nics_per_node` and widens the leaf↔spine trunks instead, keeping
+    /// every leaf wired and the oversubscription at 2:1 at any scale.
+    /// Identical to `pod_grouped` for `nodes ≤ 256` (with 8 groups).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the wired-port capacity per leaf does not divide into
+    /// whole 2:1 trunks (use power-of-two node counts).
+    pub fn pod_grouped_railed(nodes: usize, groups: usize) -> Self {
+        let mut cfg = Self::pod_grouped(nodes, groups);
+        let max_leaves = groups * cfg.nics_per_node * 2;
+        if cfg.num_leaves > max_leaves {
+            cfg.num_leaves = max_leaves;
+            // Hold the 2:1 ratio: each leaf now terminates
+            // nodes×nics×2/num_leaves ports; uplink capacity must be half
+            // the downlink.
+            let down_gbps = cfg.downlink_gbps_per_leaf();
+            let per_spine = down_gbps / 2.0 / cfg.num_spines as f64 / cfg.fabric_gbps;
+            assert!(
+                per_spine.fract() == 0.0 && per_spine >= 1.0 && per_spine <= u8::MAX as f64,
+                "rail-dense pod needs whole 2:1 trunks, got {per_spine} per spine"
+            );
+            cfg.uplinks_per_leaf_spine = per_spine as u8;
+        }
+        cfg
+    }
+
     /// Collapses parallel leaf↔spine links into one trunk of the same
     /// aggregate capacity (LAG/trunked uplinks, as on the testbed whose
     /// leaves expose 8 fat uplinks — "1 link error among the 8 uplinks",
@@ -337,6 +370,36 @@ mod tests {
         assert_eq!(cfg.group_of_node(64), 1);
         // Odd shapes fail validation instead of mis-wiring.
         assert!(ClosConfig::pod_grouped(6, 3).validate().is_err());
+    }
+
+    #[test]
+    fn pod_grouped_railed_keeps_every_leaf_wired_at_two_to_one() {
+        // ≤ 256 nodes: identical to the plain variant.
+        for nodes in [64usize, 128, 256] {
+            assert_eq!(
+                ClosConfig::pod_grouped_railed(nodes, 8),
+                ClosConfig::pod_grouped(nodes, 8),
+                "{nodes} nodes"
+            );
+        }
+        // Past 256 nodes the leaf tier pins to the rail count (16 leaves
+        // per group) and the trunks widen to hold 2:1.
+        let cfg = ClosConfig::pod_grouped_railed(512, 8);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.num_leaves, 8 * 16);
+        assert_eq!(cfg.uplinks_per_leaf_spine, 2);
+        assert!(
+            (cfg.oversubscription() - 2.0).abs() < 1e-9,
+            "oversub {}",
+            cfg.oversubscription()
+        );
+        // Leaf pairs per group match the 8 rails exactly: every leaf
+        // terminates ports (no dark leaves, no double-density leaves).
+        assert_eq!(cfg.leaf_pairs_per_group(), cfg.nics_per_node);
+        let cfg = ClosConfig::pod_grouped_railed(1024, 8);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.uplinks_per_leaf_spine, 4);
+        assert!((cfg.oversubscription() - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -8,12 +8,16 @@
 //!   filling), across randomized link tables, route sets, cap tables and
 //!   long mutation scripts of flow removals, cap perturbations and link
 //!   capacity changes — the exact operations the drain loop feeds it.
-//! * **Drain** — [`drain`] (incremental, event-by-event) vs
+//! * **Drain** — [`drain`] (the event-driven engine: completion heap,
+//!   dirty-component load/score maintenance, one-pass noise re-caps) vs
 //!   [`drain_reference`] (full re-solve per event), across randomized tiny
 //!   Clos topologies, flow populations, fault injections (killed host and
-//!   fabric links), DCQCN noise epochs, CNP accounting and deadlines. Both
-//!   consume the RNG in the same order, so reports must match event for
-//!   event.
+//!   fabric links), DCQCN noise epochs, CNP accounting and deadlines —
+//!   plus a dedicated noisy-at-scale family on a grouped pod (epoch
+//!   re-caps over a spine-shared giant component, same-size completion
+//!   batches, deadlines). Both consume the RNG in the same order, so
+//!   reports must match event for event and the RNG must land on the same
+//!   position (asserted bit-for-bit).
 //! * **Parallel determinism** — every solver case also runs 2- and
 //!   4-thread [`MaxMinState`]s through the same mutation script, and every
 //!   drain case re-runs [`drain`] under 2- and 4-thread policies. Worker
@@ -469,8 +473,15 @@ proptest! {
         assert_reports_agree(&inc, &reference, "random drain");
 
         // The same drain under worker threads: bit-identical, and the RNG
-        // must end in the same position (same consumption order).
+        // must end in the same position (same consumption order). The
+        // incremental drain must also leave the RNG exactly where the
+        // reference left its own — identical consumption order.
         let next_after_serial = rng_a.uniform();
+        assert_eq!(
+            next_after_serial.to_bits(),
+            rng_b.uniform().to_bits(),
+            "drain must consume the RNG in exactly the reference's order"
+        );
         for threads in [2usize, 4] {
             let par_cfg = DrainConfig {
                 parallel: ParallelPolicy::with_threads(threads),
@@ -545,6 +556,109 @@ proptest! {
                 &par,
                 &inc,
                 &format!("collective-shaped {threads}-thread drain"),
+            );
+        }
+    }
+}
+
+/// Builds the noisy-at-scale worst case on a grouped pod: cross-group QP
+/// pairs of identical size (same-instant completion batches), a sprinkle
+/// of differently-sized and zero-byte flows, all contending on the spine.
+fn grouped_pod_specs(topo: &Topology, seed: u64, streams: usize) -> Vec<FlowSpec> {
+    let mut sel = EcmpSelector::new(seed ^ 0x5CA1E);
+    let mut rng = DetRng::seed_from(seed);
+    let nodes = topo.num_nodes();
+    let mut specs = Vec::new();
+    for s in 0..streams {
+        // Source in group 0's half, destination in group 1's half, so every
+        // stream crosses the spine layer (the giant shared component).
+        let src = topo.gpu_at(NodeId::from_index(s % (nodes / 2)), s % 8);
+        let dst = topo.gpu_at(
+            NodeId::from_index(nodes / 2 + (s * 3) % (nodes / 2)),
+            (s / 2) % 8,
+        );
+        let bytes = match s % 7 {
+            // Mostly identical sizes: completions land in batches.
+            0..=4 => ByteSize::from_mib(64),
+            5 => ByteSize::from_mib(24 + (rng.index(8) as u64)),
+            _ => ByteSize::ZERO,
+        };
+        for qp in 0..2u16 {
+            let key = FlowKey {
+                src_gpu: src,
+                dst_gpu: dst,
+                comm: 1 + (s % 8) as u64,
+                channel: s as u16,
+                qp,
+                incarnation: 0,
+            };
+            let choice = sel.select(topo, &key);
+            let sp = topo.port_of_gpu(src, choice.src_side);
+            let dp = topo.port_of_gpu(dst, choice.dst_side);
+            let route = topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst);
+            specs.push(FlowSpec::new(key, bytes, route));
+        }
+    }
+    specs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Noisy-at-scale: the exact regime the event-driven engine was built
+    /// for — epoch re-caps over a giant spine-shared component, same-size
+    /// completion batches, and deadlines — pinned against the reference at
+    /// 1e-9 with identical RNG consumption, and bit-identical to itself at
+    /// 2 and 4 threads.
+    #[test]
+    fn drain_agrees_at_scale_under_noise_epochs_and_batches(
+        seed in 0u64..1_000_000,
+        streams in 8usize..48,
+        noise_kind in 0usize..3,
+        deadline_case in 0usize..3,
+    ) {
+        let topo = Topology::build(&ClosConfig::pod_grouped(16, 2));
+        let specs = grouped_pod_specs(&topo, seed, streams);
+        let cfg = DrainConfig {
+            start: SimTime::ZERO,
+            // Deadlines from "cuts the drain mid-flight" to "after every
+            // completion"; 0 = none.
+            deadline: (deadline_case > 0).then(|| {
+                SimTime::ZERO + SimDuration::from_millis(4u64.pow(deadline_case as u32 + 1))
+            }),
+            // Epochs short enough that every drain re-caps many times.
+            epoch: SimDuration::from_micros(400),
+            rate_noise: [0.04, 0.10, 0.25][noise_kind],
+            cnp: Some(CnpModel::paper_default()),
+            parallel: ParallelPolicy::SERIAL,
+        };
+        let mut rng_a = DetRng::seed_from(seed ^ 0xCCCC);
+        let mut rng_b = DetRng::seed_from(seed ^ 0xCCCC);
+        let inc = drain(&topo, &specs, &cfg, &mut rng_a);
+        let reference = drain_reference(&topo, &specs, &cfg, &mut rng_b);
+        assert_reports_agree(&inc, &reference, "noisy-at-scale drain");
+        let next_after_serial = rng_a.uniform();
+        assert_eq!(
+            next_after_serial.to_bits(),
+            rng_b.uniform().to_bits(),
+            "noisy-at-scale drain must match the reference's RNG position"
+        );
+        for threads in [2usize, 4] {
+            let par_cfg = DrainConfig {
+                parallel: ParallelPolicy::with_threads(threads),
+                ..cfg.clone()
+            };
+            let mut rng_p = DetRng::seed_from(seed ^ 0xCCCC);
+            let par = drain(&topo, &specs, &par_cfg, &mut rng_p);
+            assert_reports_identical(
+                &par,
+                &inc,
+                &format!("noisy-at-scale {threads}-thread drain"),
+            );
+            assert_eq!(
+                rng_p.uniform().to_bits(),
+                next_after_serial.to_bits(),
+                "thread count must not change RNG consumption at scale"
             );
         }
     }
