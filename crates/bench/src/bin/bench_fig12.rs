@@ -1,0 +1,79 @@
+//! Regenerates **`BENCH_fig12.json`**: the Fig 12 fault-tolerance
+//! experiment at production scale — the eight-job contention pattern on the
+//! 4096-GPU `pod_grouped_railed` fabric with DCQCN noise and CNP accounting
+//! live, one spine killed mid-run, C4P static traffic engineering vs
+//! dynamic load balance.
+//!
+//! Paper shape (128-GPU testbed): static TE degrades to a 185.76 Gbps mean
+//! because hash-threshold rerouting piles orphaned flows onto a neighbour
+//! port; dynamic load balance recovers to 301.46 against a 7/8 ideal of
+//! 315. This binary reruns that comparison three orders of magnitude
+//! larger.
+//!
+//! `--json-out BENCH_fig12.json` writes the machine-readable document
+//! (schema `c4-bench-v1`); `--check-against <baseline.json>` compares
+//! `total_wall_ms` against a checked-in baseline and exits non-zero past
+//! 2× — the CI perf gate, same pattern as `bench_c4p` and `bench_drain`.
+//! `--threads N|max` overrides the `C4_THREADS` selection.
+
+use c4::scenarios::fig12;
+use c4_bench::{banner, check_wall_regression, parse_cli, pct, read_json, write_json};
+
+/// Allowed wall-clock growth over the checked-in baseline before the gate
+/// trips.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn main() {
+    let cli = parse_cli(6);
+    let mut cfg = fig12::FaultScaleConfig::scale_4096(cli.seed, cli.iters);
+    cfg.parallel = cli.parallel();
+    banner(
+        "Fig 12 at 4096 GPUs — spine kill mid-run, static TE vs dynamic LB",
+        "static: 185.76 Gbps post-failure; dynamic: 301.46 vs 7/8 ideal 315",
+    );
+    eprintln!("threads: {}", cfg.parallel.threads());
+
+    // Read the baseline before any write: CI points --check-against and
+    // --json-out at the same path.
+    let baseline = cli
+        .check_against
+        .as_deref()
+        .map(|path| read_json(path).unwrap_or_else(|e| panic!("baseline: {e}")));
+
+    let sweep = fig12::run_scale_sweep(&cfg);
+    // Stdout carries only seed-deterministic simulation results (identical
+    // at any thread count); wall clocks go to stderr and the JSON document.
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "mode", "pre (Gbps)", "post (Gbps)", "ideal post"
+    );
+    for r in [&sweep.static_mode, &sweep.dynamic_mode] {
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>12.1}",
+            if r.dynamic { "dynamic" } else { "static" },
+            r.pre_mean,
+            r.post_mean,
+            r.ideal_post,
+        );
+    }
+    println!(
+        "dynamic-over-static post-failure gain: {}",
+        pct(sweep.dynamic_mode.post_mean / sweep.static_mode.post_mean.max(1e-9) - 1.0)
+    );
+    eprintln!("total wall: {:.1} ms", sweep.total_wall_ms);
+
+    let doc = sweep.to_json();
+    if let Some(path) = cli.json_out.as_deref() {
+        write_json(path, &doc);
+        eprintln!("wrote {path}");
+    }
+    if let Some(baseline) = baseline {
+        match check_wall_regression(&doc, &baseline, REGRESSION_FACTOR) {
+            Ok(msg) => eprintln!("perf gate: {msg}"),
+            Err(msg) => {
+                eprintln!("perf gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -40,5 +40,5 @@ pub use detectors::{detect_hang, detect_noncomm_slow, DetectorConfig, Syndrome};
 pub use master::{C4dMaster, Diagnosis};
 pub use matrix::{DelayMatrix, MatrixFinding};
 pub use rca::{analyze as analyze_root_cause, Hypothesis, RcaReport};
-pub use smoothing::LoadSmoother;
+pub use smoothing::{raw_straggler, LoadSmoother};
 pub use steering::{JobSteering, ReplacementPlan, SteeringConfig, SteeringError};

@@ -10,6 +10,30 @@
 
 use std::collections::VecDeque;
 
+/// The straggler test on a snapshot of per-rank loads: returns
+/// `(rank, ratio_over_median)` when the worst load exceeds the median by
+/// `factor`. This is what an **unsmoothed** detector runs on raw per-step
+/// samples — under EP token routing it fires on every hot-expert step,
+/// which is exactly the false-positive mode [`LoadSmoother`] exists to
+/// suppress (the smoother runs the same test on windowed means).
+pub fn raw_straggler(loads: &[f64], factor: f64) -> Option<(usize, f64)> {
+    if loads.is_empty() {
+        return None;
+    }
+    let mut sorted = loads.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = sorted[(sorted.len() - 1) / 2];
+    if median <= 0.0 {
+        return None;
+    }
+    let (rank, &worst) = loads
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))?;
+    let ratio = worst / median;
+    (ratio >= factor).then_some((rank, ratio))
+}
+
 /// Sliding-window per-rank load averaging.
 #[derive(Debug, Clone)]
 pub struct LoadSmoother {
@@ -49,6 +73,25 @@ impl LoadSmoother {
         q.push_back(load);
     }
 
+    /// Pushes one step's load sample for **every** rank at once (the
+    /// detection loop's per-iteration feed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not have exactly one sample per tracked rank.
+    pub fn push_step(&mut self, loads: &[f64]) {
+        assert_eq!(
+            loads.len(),
+            self.nranks(),
+            "one load sample per rank: got {} for {} ranks",
+            loads.len(),
+            self.nranks()
+        );
+        for (rank, &load) in loads.iter().enumerate() {
+            self.push(rank, load);
+        }
+    }
+
     /// Windowed mean load of a rank; `None` until the window is full (so
     /// transient spikes cannot trigger detection early).
     pub fn smoothed(&self, rank: usize) -> Option<f64> {
@@ -64,22 +107,7 @@ impl LoadSmoother {
     /// median by `factor`. Returns `None` until every rank's window is full.
     pub fn detect_straggler(&self, factor: f64) -> Option<(usize, f64)> {
         let means: Option<Vec<f64>> = (0..self.nranks()).map(|r| self.smoothed(r)).collect();
-        let means = means?;
-        if means.is_empty() {
-            return None;
-        }
-        let mut sorted = means.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let median = sorted[(sorted.len() - 1) / 2];
-        if median <= 0.0 {
-            return None;
-        }
-        let (rank, &worst) = means
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))?;
-        let ratio = worst / median;
-        (ratio >= factor).then_some((rank, ratio))
+        raw_straggler(&means?, factor)
     }
 }
 
@@ -143,5 +171,52 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         let _ = LoadSmoother::new(1, 0);
+    }
+
+    #[test]
+    fn partial_window_yields_none_per_rank() {
+        // smoothed() is per-rank: a rank whose window filled reports a mean
+        // while a lagging rank still reports None, and detection stays off
+        // until ALL windows are full.
+        let mut s = LoadSmoother::new(2, 3);
+        for _ in 0..3 {
+            s.push(0, 2.0);
+        }
+        s.push(1, 9.0);
+        assert_eq!(s.smoothed(0), Some(2.0));
+        assert_eq!(s.smoothed(1), None);
+        assert!(s.detect_straggler(1.1).is_none());
+    }
+
+    #[test]
+    fn window_of_one_degenerates_to_raw() {
+        // window=1 keeps only the latest sample: smoothing is a no-op and
+        // the smoothed test equals the raw test on the current step.
+        let mut s = LoadSmoother::new(3, 1);
+        s.push_step(&[1.0, 1.0, 4.0]);
+        assert_eq!(s.smoothed(2), Some(4.0));
+        assert_eq!(
+            s.detect_straggler(2.0),
+            raw_straggler(&[1.0, 1.0, 4.0], 2.0)
+        );
+        // The next step fully replaces the last — no memory.
+        s.push_step(&[1.0, 1.0, 1.0]);
+        assert!(s.detect_straggler(2.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one load sample per rank")]
+    fn rank_count_mismatch_panics() {
+        let mut s = LoadSmoother::new(4, 2);
+        s.push_step(&[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn raw_straggler_edge_cases() {
+        assert_eq!(raw_straggler(&[], 1.5), None);
+        assert_eq!(raw_straggler(&[0.0, 0.0], 1.5), None, "zero median");
+        let (rank, ratio) = raw_straggler(&[1.0, 3.0, 1.0], 1.5).unwrap();
+        assert_eq!(rank, 1);
+        assert!((ratio - 3.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,248 @@
+//! All-to-all transfer plans: the Expert-Parallel token exchange.
+//!
+//! Unlike the ring schedule, an all-to-all is a *personalized* exchange:
+//! every rank sends a distinct shard to every other rank, so the flow set
+//! is the complete directed graph over the communicator — `R × (R−1)`
+//! ordered pairs, one QP each. Per-pair byte shares come from an
+//! [`EpSkew`]: uniform by default, or biased toward a *hot expert* rank
+//! (token routing concentrates on popular experts), while each source
+//! always sends exactly its full message `S` — skew redistributes bytes,
+//! it never creates or destroys them.
+
+use c4_topology::{GpuId, Topology};
+
+use crate::comm::Communicator;
+
+/// Ranks per all-to-all communicator the pair channel encoding supports
+/// (src and dst rank each occupy one byte of the 16-bit channel).
+pub const MAX_A2A_RANKS: usize = 256;
+
+/// Hot-expert byte skew of an all-to-all exchange.
+///
+/// Destination rank `hot_rank` receives `factor ×` the weight of every
+/// other destination; `share` renormalizes per source so the per-source
+/// total stays exactly `1.0` whatever the skew. The default is uniform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpSkew {
+    /// The over-popular expert's rank; `None` = uniform routing.
+    pub hot_rank: Option<u32>,
+    /// Weight multiplier of the hot rank relative to the others (≥ 0).
+    pub factor: f64,
+}
+
+impl Default for EpSkew {
+    fn default() -> Self {
+        EpSkew {
+            hot_rank: None,
+            factor: 1.0,
+        }
+    }
+}
+
+impl EpSkew {
+    /// A skew concentrating `factor ×` weight on `hot_rank`.
+    pub fn hot(hot_rank: u32, factor: f64) -> Self {
+        EpSkew {
+            hot_rank: Some(hot_rank),
+            factor,
+        }
+    }
+
+    /// Destination weight of rank `dst`.
+    fn weight(&self, dst: u32) -> f64 {
+        match self.hot_rank {
+            Some(h) if h == dst => self.factor.max(0.0),
+            _ => 1.0,
+        }
+    }
+
+    /// Fraction of source `src`'s message sent to destination `dst`
+    /// (`src != dst`), renormalized over the source's `R−1` destinations so
+    /// `Σ_{dst≠src} share(src, dst) = 1` for every source — total bytes are
+    /// conserved under any skew.
+    pub fn share(&self, src: u32, dst: u32, nranks: usize) -> f64 {
+        debug_assert_ne!(src, dst, "all-to-all has no self edge");
+        if nranks <= 1 {
+            return 0.0;
+        }
+        let total: f64 = (0..nranks as u32)
+            .filter(|&d| d != src)
+            .map(|d| self.weight(d))
+            .sum();
+        if total <= 0.0 {
+            // Degenerate skew (factor 0 with only the hot destination):
+            // fall back to uniform.
+            return 1.0 / (nranks - 1) as f64;
+        }
+        self.weight(dst) / total
+    }
+}
+
+/// One ordered rank pair of the exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairEdge {
+    /// Sending rank.
+    pub src_rank: u32,
+    /// Receiving rank.
+    pub dst_rank: u32,
+    /// Sending GPU.
+    pub src_gpu: GpuId,
+    /// Receiving GPU.
+    pub dst_gpu: GpuId,
+}
+
+/// The complete flow plan of an all-to-all: every ordered rank pair once,
+/// split into same-node (NVLink) and cross-node (fabric) edges.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AllToAllPlan {
+    /// Pairs whose ranks share a node (routed over NVLink).
+    pub intra: Vec<PairEdge>,
+    /// Pairs crossing a node boundary (routed by the path selector).
+    pub inter: Vec<PairEdge>,
+}
+
+/// Packs an ordered rank pair into the 16-bit flow channel
+/// (`src_rank` high byte, `dst_rank` low byte), so the engine can recover
+/// the pair — and its skewed byte share — from a cached flow key without
+/// rescanning the communicator.
+pub fn pair_channel(src_rank: u32, dst_rank: u32) -> u16 {
+    ((src_rank as u16) << 8) | (dst_rank as u16 & 0xFF)
+}
+
+/// Unpacks [`pair_channel`].
+pub fn channel_pair(channel: u16) -> (u32, u32) {
+    ((channel >> 8) as u32, (channel & 0xFF) as u32)
+}
+
+impl AllToAllPlan {
+    /// Builds the pairwise plan for a communicator, in `(src, dst)`
+    /// lexicographic rank order (the canonical selector call order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the communicator exceeds [`MAX_A2A_RANKS`] ranks — EP
+    /// groups are expert-count sized, far below the channel encoding's
+    /// 256-rank ceiling.
+    pub fn build(topo: &Topology, comm: &Communicator) -> AllToAllPlan {
+        let n = comm.nranks();
+        assert!(
+            n <= MAX_A2A_RANKS,
+            "all-to-all supports at most {MAX_A2A_RANKS} ranks, got {n}"
+        );
+        let mut plan = AllToAllPlan::default();
+        let nodes: Vec<_> = comm.devices().iter().map(|&g| topo.gpu(g).node).collect();
+        for src_rank in 0..n as u32 {
+            for dst_rank in 0..n as u32 {
+                if src_rank == dst_rank {
+                    continue;
+                }
+                let edge = PairEdge {
+                    src_rank,
+                    dst_rank,
+                    src_gpu: comm.device(src_rank),
+                    dst_gpu: comm.device(dst_rank),
+                };
+                if nodes[src_rank as usize] == nodes[dst_rank as usize] {
+                    plan.intra.push(edge);
+                } else {
+                    plan.inter.push(edge);
+                }
+            }
+        }
+        plan
+    }
+
+    /// Total flows (one per ordered pair; all-to-all pins one QP per pair).
+    pub fn flow_count(&self) -> usize {
+        self.intra.len() + self.inter.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4_topology::{ClosConfig, NodeId, Topology};
+
+    fn topo() -> Topology {
+        Topology::build(&ClosConfig::testbed_128())
+    }
+
+    /// One GPU per node, same local index — the EP-group shape.
+    fn rail_comm(t: &Topology, nodes: usize, local: usize) -> Communicator {
+        let devices: Vec<GpuId> = (0..nodes)
+            .map(|n| t.gpu_at(NodeId::from_index(n), local))
+            .collect();
+        Communicator::new(9, devices, t).unwrap()
+    }
+
+    #[test]
+    fn every_ordered_pair_appears_exactly_once() {
+        let t = topo();
+        let comm = rail_comm(&t, 5, 0);
+        let plan = AllToAllPlan::build(&t, &comm);
+        assert_eq!(plan.flow_count(), 5 * 4);
+        assert!(plan.intra.is_empty(), "one GPU per node → all inter");
+        let mut seen = std::collections::HashSet::new();
+        for e in &plan.inter {
+            assert!(seen.insert((e.src_rank, e.dst_rank)));
+            assert_ne!(e.src_rank, e.dst_rank);
+        }
+    }
+
+    #[test]
+    fn same_node_pairs_are_intra() {
+        let t = topo();
+        // Two GPUs on node 0, one on node 1.
+        let devices = vec![
+            t.gpu_at(NodeId::from_index(0), 0),
+            t.gpu_at(NodeId::from_index(0), 1),
+            t.gpu_at(NodeId::from_index(1), 0),
+        ];
+        let comm = Communicator::new(3, devices, &t).unwrap();
+        let plan = AllToAllPlan::build(&t, &comm);
+        assert_eq!(plan.intra.len(), 2); // 0↔1 both directions
+        assert_eq!(plan.inter.len(), 4); // {0,1}↔2 both directions
+    }
+
+    #[test]
+    fn shares_sum_to_one_per_source() {
+        for skew in [EpSkew::default(), EpSkew::hot(2, 4.0), EpSkew::hot(0, 0.0)] {
+            for n in [2usize, 3, 8] {
+                for src in 0..n as u32 {
+                    let total: f64 = (0..n as u32)
+                        .filter(|&d| d != src)
+                        .map(|d| skew.share(src, d, n))
+                        .sum();
+                    assert!(
+                        (total - 1.0).abs() < 1e-12,
+                        "src {src} of {n} under {skew:?}: {total}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_rank_draws_factor_times_the_bytes() {
+        let skew = EpSkew::hot(1, 3.0);
+        let hot = skew.share(0, 1, 4);
+        let cold = skew.share(0, 2, 4);
+        assert!((hot / cold - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_channel_round_trips() {
+        for (s, d) in [(0u32, 1u32), (7, 0), (255, 254), (12, 200)] {
+            assert_eq!(channel_pair(pair_channel(s, d)), (s, d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn oversized_comm_panics() {
+        let t = Topology::build(&ClosConfig::pod_grouped(64, 8));
+        let devices: Vec<GpuId> = t.gpus().iter().take(257).map(|g| g.id).collect();
+        let comm = Communicator::new(1, devices, &t).unwrap();
+        let _ = AllToAllPlan::build(&t, &comm);
+    }
+}

@@ -21,6 +21,7 @@ use c4_telemetry::{
 };
 use c4_topology::{LinkId, Topology};
 
+use crate::alltoall::{channel_pair, pair_channel, AllToAllPlan};
 use crate::comm::{CommConfig, Communicator};
 use crate::plan::{bus_factor, RingPlan};
 use crate::result::CollectiveResult;
@@ -86,12 +87,16 @@ struct PlanSpec {
 }
 
 /// Identity of a cached plan. Message size/kind/dtype are deliberately
-/// absent: they scale bytes, not routes.
+/// absent: they scale bytes, not routes — an all-to-all's EP skew likewise
+/// rotates per iteration without re-planning, so only the *shape class*
+/// (pairwise vs ring) is part of the key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
     comm: u64,
     incarnation: u32,
     qps: u16,
+    /// True for the pairwise all-to-all shape, false for the ring family.
+    alltoall: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -179,11 +184,19 @@ enum PlanSource {
     Owned(usize),
 }
 
+/// The route structure a cache-missed request is waiting to assemble.
+enum PendingShape {
+    /// Ring family (allreduce/allgather/…): intra chains + rail streams.
+    Ring(RingPlan),
+    /// Pairwise all-to-all: one flow per ordered rank pair.
+    A2a(AllToAllPlan),
+}
+
 /// A cache-missed request awaiting plan construction.
 struct PendingPlan {
     source_idx: usize,
     qps: u16,
-    ring: RingPlan,
+    shape: PendingShape,
     parallel: ParallelPolicy,
     key_start: usize,
 }
@@ -202,6 +215,23 @@ fn boundary_keys(ring: &RingPlan, comm: &Communicator, qps: u16, out: &mut Vec<F
                 incarnation: comm.incarnation(),
             });
         }
+    }
+}
+
+/// Builds the inter-node flow keys of one all-to-all plan in the canonical
+/// `(src, dst)` pair order. The channel encodes the rank pair
+/// ([`pair_channel`]) so the byte-share of a cached flow is recoverable
+/// without the communicator; all-to-all pins one QP per pair.
+fn a2a_keys(plan: &AllToAllPlan, comm: &Communicator, out: &mut Vec<FlowKey>) {
+    for e in &plan.inter {
+        out.push(FlowKey {
+            src_gpu: e.src_gpu,
+            dst_gpu: e.dst_gpu,
+            comm: comm.id(),
+            channel: pair_channel(e.src_rank, e.dst_rank),
+            qp: 0,
+            incarnation: comm.incarnation(),
+        });
     }
 }
 
@@ -266,6 +296,54 @@ fn assemble_plan(
     PlanSpec { intra, streams }
 }
 
+/// Assembles one all-to-all plan: same-node pairs over NVLink, cross-node
+/// pairs through the selector's choices — each a single-QP "stream" so the
+/// byte-application layer treats pairs uniformly. Route assembly fans out
+/// like the ring path (bit-identical at any thread count).
+fn assemble_a2a_plan(
+    topo: &Topology,
+    a2a: &AllToAllPlan,
+    comm: &Communicator,
+    keys: &[FlowKey],
+    choices: &[PathChoice],
+    parallel: ParallelPolicy,
+) -> PlanSpec {
+    let parallel = if a2a.flow_count() < PARALLEL_MIN_ROUTES {
+        ParallelPolicy::SERIAL
+    } else {
+        parallel
+    };
+
+    let intra: Vec<(FlowKey, Vec<LinkId>)> = scoped_map(parallel, &a2a.intra, |e| {
+        let key = FlowKey {
+            src_gpu: e.src_gpu,
+            dst_gpu: e.dst_gpu,
+            comm: comm.id(),
+            channel: pair_channel(e.src_rank, e.dst_rank),
+            qp: 0,
+            incarnation: comm.incarnation(),
+        };
+        (key, topo.intra_node_route(e.src_gpu, e.dst_gpu))
+    });
+
+    let pairs: Vec<(&FlowKey, &PathChoice)> = keys.iter().zip(choices).collect();
+    let streams: Vec<Vec<(FlowKey, Vec<LinkId>)>> =
+        scoped_map(parallel, &pairs, |&(&k, choice)| {
+            let src_port = topo.port_of_gpu(k.src_gpu, choice.src_side);
+            let dst_port = topo.port_of_gpu(k.dst_gpu, choice.dst_side);
+            let route = topo.inter_node_route(
+                k.src_gpu,
+                src_port,
+                choice.fabric.as_ref(),
+                dst_port,
+                k.dst_gpu,
+            );
+            vec![(k, route)]
+        });
+
+    PlanSpec { intra, streams }
+}
+
 /// Resolves every request's route plan: cache hits are served directly;
 /// **all** cache misses are planned together — their flow keys concatenate
 /// in request order and go through one [`PathSelector::select_batch`] call,
@@ -289,11 +367,19 @@ fn plan_requests(
 
     for req in reqs {
         let comm = req.comm;
-        let qps = req.config.qps_per_stream.max(1);
+        let alltoall = req.kind == CollKind::AllToAll;
+        // All-to-all pins one QP per ordered pair; the ring family splits
+        // each rail stream over the configured QP count.
+        let qps = if alltoall {
+            1
+        } else {
+            req.config.qps_per_stream.max(1)
+        };
         let key = PlanKey {
             comm: comm.id(),
             incarnation: comm.incarnation(),
             qps,
+            alltoall,
         };
         let usable = match (cache.as_deref(), token) {
             (Some(c), Some(token)) => c
@@ -319,13 +405,20 @@ fn plan_requests(
         if cacheable {
             pending_keys.push(key);
         }
-        let ring = RingPlan::build(topo, comm);
         let key_start = all_keys.len();
-        boundary_keys(&ring, comm, qps, &mut all_keys);
+        let shape = if alltoall {
+            let a2a = AllToAllPlan::build(topo, comm);
+            a2a_keys(&a2a, comm, &mut all_keys);
+            PendingShape::A2a(a2a)
+        } else {
+            let ring = RingPlan::build(topo, comm);
+            boundary_keys(&ring, comm, qps, &mut all_keys);
+            PendingShape::Ring(ring)
+        };
         pending.push(PendingPlan {
             source_idx: sources.len(),
             qps,
-            ring,
+            shape,
             parallel: req.drain.parallel,
             key_start,
         });
@@ -346,21 +439,32 @@ fn plan_requests(
             .get(i + 1)
             .map(|n| n.key_start)
             .unwrap_or(all_keys.len());
-        let plan = assemble_plan(
-            topo,
-            &p.ring,
-            req.comm,
-            p.qps,
-            &all_keys[p.key_start..key_end],
-            &choices[p.key_start..key_end],
-            p.parallel,
-        );
+        let plan = match &p.shape {
+            PendingShape::Ring(ring) => assemble_plan(
+                topo,
+                ring,
+                req.comm,
+                p.qps,
+                &all_keys[p.key_start..key_end],
+                &choices[p.key_start..key_end],
+                p.parallel,
+            ),
+            PendingShape::A2a(a2a) => assemble_a2a_plan(
+                topo,
+                a2a,
+                req.comm,
+                &all_keys[p.key_start..key_end],
+                &choices[p.key_start..key_end],
+                p.parallel,
+            ),
+        };
         match (cache.as_deref_mut(), token) {
             (Some(c), Some(token)) => {
                 let key = PlanKey {
                     comm: req.comm.id(),
                     incarnation: req.comm.incarnation(),
                     qps: p.qps,
+                    alltoall: matches!(p.shape, PendingShape::A2a(_)),
                 };
                 c.entries.insert(
                     key.clone(),
@@ -415,6 +519,36 @@ fn build_request(
 
     let flow_count = plan.intra.len() + plan.streams.iter().map(Vec::len).sum::<usize>();
     let mut specs: Vec<FlowSpec> = Vec::with_capacity(flow_count);
+
+    if req.kind == CollKind::AllToAll {
+        // Pairwise exchange: every flow (NVLink or fabric) carries its
+        // rank pair's skewed share of the source's message. The pair is
+        // decoded from the channel, so cached plans stay byte-independent
+        // and the skew can rotate per iteration.
+        let skew = req.config.ep_skew;
+        let pair_bytes = |key: &FlowKey| {
+            let (src, dst) = channel_pair(key.channel);
+            message_bytes.scaled(skew.share(src, dst, nranks))
+        };
+        for (key, route) in &plan.intra {
+            specs.push(FlowSpec::new(*key, pair_bytes(key), route.clone()));
+        }
+        let intra_count = specs.len();
+        for stream in &plan.streams {
+            for (key, route) in stream {
+                specs.push(FlowSpec::new(*key, pair_bytes(key), route.clone()));
+            }
+        }
+        return BuiltRequest {
+            specs,
+            intra_count,
+            message_bytes,
+            edge_bytes,
+            started,
+            min_ready,
+        };
+    }
+
     for (key, route) in &plan.intra {
         specs.push(FlowSpec::new(*key, edge_bytes, route.clone()));
     }

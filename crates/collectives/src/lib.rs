@@ -28,11 +28,13 @@
 //! and `busbw = B / T` — which reproduces, in one formula, the NVLink cap,
 //! the dual-port imbalance of Fig 9, and the inter-job collisions of Fig 10.
 
+pub mod alltoall;
 pub mod comm;
 pub mod engine;
 pub mod plan;
 pub mod result;
 
+pub use alltoall::{channel_pair, pair_channel, AllToAllPlan, EpSkew, PairEdge};
 pub use comm::{CommConfig, Communicator};
 pub use engine::{
     run_collective, run_concurrent, run_concurrent_cached, run_tree_collective, CollectiveRequest,

@@ -26,6 +26,7 @@ pub fn bus_factor(kind: CollKind, nranks: usize) -> f64 {
         CollKind::AllGather | CollKind::ReduceScatter => (n - 1.0) / n,
         CollKind::Broadcast => 1.0,
         CollKind::SendRecv => 1.0,
+        CollKind::AllToAll => (n - 1.0) / n,
     }
 }
 

@@ -23,9 +23,9 @@ pub use c4_telemetry::{
 };
 
 pub use c4_collectives::{
-    bus_factor, run_collective, run_concurrent, run_concurrent_cached, run_tree_collective,
-    BoundaryStream, CollectiveRequest, CollectiveResult, CommConfig, Communicator, PlanCache,
-    QpWeightFn, RingPlan, TreePlan,
+    bus_factor, channel_pair, pair_channel, run_collective, run_concurrent, run_concurrent_cached,
+    run_tree_collective, AllToAllPlan, BoundaryStream, CollectiveRequest, CollectiveResult,
+    CommConfig, Communicator, EpSkew, PairEdge, PlanCache, QpWeightFn, RingPlan, TreePlan,
 };
 
 pub use c4_faults::{
@@ -34,14 +34,15 @@ pub use c4_faults::{
 };
 
 pub use c4_diagnosis::{
-    analyze_root_cause, detect_hang, detect_noncomm_slow, C4dMaster, DelayMatrix, DetectorConfig,
-    Diagnosis, Hypothesis, JobSteering, LoadSmoother, MatrixFinding, RcaReport, ReplacementPlan,
-    SteeringConfig, SteeringError, Syndrome,
+    analyze_root_cause, detect_hang, detect_noncomm_slow, raw_straggler, C4dMaster, DelayMatrix,
+    DetectorConfig, Diagnosis, Hypothesis, JobSteering, LoadSmoother, MatrixFinding, RcaReport,
+    ReplacementPlan, SteeringConfig, SteeringError, Syndrome,
 };
 
 pub use c4_traffic::{C4pConfig, C4pMaster, PathCatalog, PathLoadLedger};
 
 pub use c4_trainsim::{
-    simulate_operation, CrashRecord, DetectionModel, DiagnosisModel, IterationReport, JobSpec,
-    OperationConfig, OperationReport, ParallelLayout, RecoveryConfig, TrainingJob,
+    simulate_operation, CrashRecord, DetectionModel, DiagnosisModel, HybridIterationReport,
+    HybridJob, HybridSpec, IterationReport, JobSpec, OperationConfig, OperationReport,
+    ParallelLayout, RecoveryConfig, TrainingJob,
 };

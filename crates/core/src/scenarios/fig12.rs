@@ -8,9 +8,11 @@
 //! same event at the leaf ports: static — a few ports overloaded, the rest
 //! dragged down; dynamic — all surviving ports near-evenly loaded.
 
+use std::time::Instant;
+
 use c4_collectives::{run_concurrent, CollectiveRequest, Communicator};
 use c4_netsim::{CnpModel, DrainConfig};
-use c4_simcore::DetRng;
+use c4_simcore::{DetRng, JsonValue};
 use c4_topology::{ClosConfig, GpuId, NodeId, Topology, WiringMode};
 use c4_traffic::{C4pConfig, C4pMaster};
 
@@ -178,6 +180,20 @@ pub struct FaultScaleConfig {
     pub parallel: c4_simcore::ParallelPolicy,
 }
 
+impl FaultScaleConfig {
+    /// The CI-gated point: the spine kill on the full 4096-GPU fabric,
+    /// mid-run.
+    pub fn scale_4096(seed: u64, iters: usize) -> Self {
+        FaultScaleConfig {
+            seed,
+            nodes: 512,
+            iters,
+            fail_at: iters / 2,
+            parallel: c4_simcore::ParallelPolicy::default(),
+        }
+    }
+}
+
 /// One mode's outcome in the fault-at-scale experiment.
 #[derive(Debug, Clone)]
 pub struct FaultScaleReport {
@@ -261,6 +277,75 @@ pub fn run_scale(cfg: &FaultScaleConfig, dynamic: bool) -> FaultScaleReport {
     }
 }
 
+/// Both modes of the fault-at-scale experiment, with the timing metadata
+/// the `bench_fig12` binary emits into `BENCH_fig12.json`.
+#[derive(Debug, Clone)]
+pub struct FaultScaleSweep {
+    /// Static traffic engineering (no rebalance after the kill).
+    pub static_mode: FaultScaleReport,
+    /// Dynamic load balance (rebalance after the kill).
+    pub dynamic_mode: FaultScaleReport,
+    /// Total GPUs in the fabric.
+    pub gpus: usize,
+    /// Iteration at which the spine died.
+    pub fail_at: usize,
+    /// Whole-sweep wall clock, milliseconds.
+    pub total_wall_ms: f64,
+    /// Thread budget the sweep ran under.
+    pub threads: usize,
+    /// The root seed.
+    pub seed: u64,
+    /// Iterations per mode.
+    pub iters: usize,
+}
+
+/// Runs the fault-at-scale experiment in **both** modes on the identical
+/// seed and workload, timing the whole sweep.
+pub fn run_scale_sweep(cfg: &FaultScaleConfig) -> FaultScaleSweep {
+    let start = Instant::now();
+    let static_mode = run_scale(cfg, false);
+    let dynamic_mode = run_scale(cfg, true);
+    FaultScaleSweep {
+        static_mode,
+        dynamic_mode,
+        gpus: cfg.nodes * 8,
+        fail_at: cfg.fail_at,
+        total_wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        threads: cfg.parallel.threads(),
+        seed: cfg.seed,
+        iters: cfg.iters,
+    }
+}
+
+impl FaultScaleSweep {
+    /// The sweep as the `BENCH_fig12.json` document (`c4-bench-v1`).
+    pub fn to_json(&self) -> JsonValue {
+        let mut config = JsonValue::object();
+        config
+            .push("seed", self.seed)
+            .push("iters", self.iters)
+            .push("threads", self.threads)
+            .push("gpus", self.gpus)
+            .push("fail_at", self.fail_at);
+        let mode = |r: &FaultScaleReport| {
+            let mut m = JsonValue::object();
+            m.push("dynamic", r.dynamic)
+                .push("pre_mean_gbps", r.pre_mean)
+                .push("post_mean_gbps", r.post_mean)
+                .push("ideal_post_gbps", r.ideal_post);
+            m
+        };
+        let mut doc = JsonValue::object();
+        doc.push("schema", "c4-bench-v1")
+            .push("bench", "fault_scale")
+            .push("config", config)
+            .push("static", mode(&self.static_mode))
+            .push("dynamic", mode(&self.dynamic_mode))
+            .push("total_wall_ms", self.total_wall_ms);
+        doc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +426,38 @@ mod tests {
             "dynamic {:.1} should approach the 7/8 ideal {:.1}",
             dy.post_mean,
             dy.ideal_post
+        );
+    }
+
+    #[test]
+    fn fault_scale_sweep_json_matches_schema() {
+        let cfg = FaultScaleConfig {
+            seed: 9,
+            nodes: 32,
+            iters: 4,
+            fail_at: 2,
+            parallel: c4_simcore::ParallelPolicy::default(),
+        };
+        let sweep = run_scale_sweep(&cfg);
+        assert!(!sweep.static_mode.dynamic && sweep.dynamic_mode.dynamic);
+        let doc = sweep.to_json();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("c4-bench-v1")
+        );
+        assert_eq!(
+            doc.get("bench").and_then(|v| v.as_str()),
+            Some("fault_scale")
+        );
+        let back = JsonValue::parse(&doc.pretty()).expect("round-trip");
+        assert!(back.get("total_wall_ms").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let dynamic = back.get("dynamic").unwrap();
+        assert!(
+            dynamic
+                .get("post_mean_gbps")
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                > 0.0
         );
     }
 

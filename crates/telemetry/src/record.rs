@@ -18,6 +18,9 @@ pub enum CollKind {
     Broadcast,
     /// Point-to-point send/recv (PP stage boundaries).
     SendRecv,
+    /// Personalized exchange: every rank sends a shard to every other rank
+    /// (EP token dispatch/combine).
+    AllToAll,
 }
 
 impl fmt::Display for CollKind {
@@ -28,6 +31,7 @@ impl fmt::Display for CollKind {
             CollKind::ReduceScatter => "reduce_scatter",
             CollKind::Broadcast => "broadcast",
             CollKind::SendRecv => "sendrecv",
+            CollKind::AllToAll => "alltoall",
         };
         f.write_str(s)
     }

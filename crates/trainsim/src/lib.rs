@@ -12,6 +12,10 @@
 //!   time, overlap. Presets encode the paper's evaluation jobs (GPT-22B
 //!   TP8/DP16, Llama-7B pure-DP ZeRO, GPT-175B TP8/PP8/GA16, and the
 //!   Fig 3 scaling family).
+//! * [`hybrid::HybridJob`] — the 4D-hybrid workload layer: TP all-gathers
+//!   on NVLink rails, PP stage-edge send/recv, DP cross-fabric allreduce
+//!   rings and EP all-to-alls with a hot-expert skew knob, run as four
+//!   back-to-back phases over one shared plan cache.
 //! * [`iteration::TrainingJob`] — runs BSP iterations: per-rank compute with
 //!   perturbations (stragglers, GC pauses), concurrent DP gradient
 //!   synchronization through the network simulator, exposed-communication
@@ -23,11 +27,13 @@
 //!   runs produce the Table III downtime ledger and Table I crash census.
 
 pub mod downtime;
+pub mod hybrid;
 pub mod iteration;
 pub mod job;
 pub mod recovery;
 
 pub use downtime::{simulate_operation, CrashRecord, OperationConfig, OperationReport};
+pub use hybrid::{HybridIterationReport, HybridJob, HybridPhase, HybridSpec};
 pub use iteration::{IterationReport, TrainingJob};
 pub use job::{JobSpec, ParallelLayout};
 pub use recovery::{DetectionModel, DiagnosisModel, RecoveryConfig};
