@@ -29,10 +29,18 @@ const REGRESSION_FACTOR: f64 = 2.0;
 
 fn main() {
     let cli = parse_cli(2);
-    let mut cfg = fig10::C4pScaleConfig::scale_4096(cli.seed, cli.iters);
+    // `--sweep 16k`/`--sweep 32k` select the scale extensions (their own
+    // baselines, so the 4k trajectory stays comparable across PRs).
+    let mut cfg = match cli.sweep.as_deref() {
+        None | Some("scale") => fig10::C4pScaleConfig::scale_4096(cli.seed, cli.iters),
+        Some("16k") => fig10::C4pScaleConfig::scale_16384(cli.seed, cli.iters),
+        Some("32k") => fig10::C4pScaleConfig::scale_32768(cli.seed, cli.iters),
+        Some(other) => panic!("unknown --sweep {other} (expected scale|16k|32k)"),
+    };
     cfg.parallel = cli.parallel();
+    let max_gpus = cfg.node_scales.iter().max().unwrap_or(&0) * 8;
     banner(
-        "C4P vs ECMP at cluster scale — 8 concurrent jobs, 512…4096 GPUs",
+        &format!("C4P vs ECMP at cluster scale — 8 concurrent jobs, up to {max_gpus} GPUs"),
         "Fig 10 pattern: engineered allocation beats hashing as collisions compound",
     );
     eprintln!("threads: {}", cfg.parallel.threads());

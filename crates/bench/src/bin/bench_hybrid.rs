@@ -29,10 +29,18 @@ fn main() {
     // the four noisy phase drains, and the scenario tests already pin the
     // cache-reuse behaviour — the bench measures the drains.
     let cli = parse_cli(1);
-    let mut cfg = hybrid::HybridScaleConfig::scale_4096(cli.seed, cli.iters);
+    // `--sweep 16k`/`--sweep 32k` select the scale extensions (their own
+    // baselines, so the 4k trajectory stays comparable across PRs).
+    let mut cfg = match cli.sweep.as_deref() {
+        None | Some("scale") => hybrid::HybridScaleConfig::scale_4096(cli.seed, cli.iters),
+        Some("16k") => hybrid::HybridScaleConfig::scale_16384(cli.seed, cli.iters),
+        Some("32k") => hybrid::HybridScaleConfig::scale_32768(cli.seed, cli.iters),
+        Some(other) => panic!("unknown --sweep {other} (expected scale|16k|32k)"),
+    };
     cfg.parallel = cli.parallel();
+    let max_gpus = cfg.node_scales.iter().max().unwrap_or(&0) * 8;
     banner(
-        "4D-hybrid workload at 4096 GPUs — TP/PP/DP/EP phases, ECMP vs C4P",
+        &format!("4D-hybrid workload at {max_gpus} GPUs — TP/PP/DP/EP phases, ECMP vs C4P"),
         "asymmetric bursty traffic through batched planning; EP smoothing study",
     );
     eprintln!("threads: {}", cfg.parallel.threads());

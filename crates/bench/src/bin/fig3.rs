@@ -26,7 +26,9 @@ fn main() {
     let mut cfg = match cli.sweep.as_deref() {
         None | Some("paper") => fig3::Fig3Config::paper(cli.seed, cli.iters),
         Some("scale") => fig3::Fig3Config::scale_4096(cli.seed, cli.iters),
-        Some(other) => panic!("unknown --sweep {other} (expected paper|scale)"),
+        Some("16k") => fig3::Fig3Config::scale_16384(cli.seed, cli.iters),
+        Some("32k") => fig3::Fig3Config::scale_32768(cli.seed, cli.iters),
+        Some(other) => panic!("unknown --sweep {other} (expected paper|scale|16k|32k)"),
     };
     cfg.parallel = cli.parallel();
     banner(

@@ -172,26 +172,14 @@ pub fn detect_noncomm_slow(
         }
         means.push(samples.iter().sum::<f64>() / samples.len() as f64);
     }
-    let mut sorted = means.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let median = sorted[(sorted.len() - 1) / 2];
-    if median <= 0.0 {
-        return None;
-    }
-    let (straggler, &worst) = means
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))?;
-    let ratio = worst / median;
-    if ratio >= cfg.straggler_factor {
-        Some(Syndrome::NonCommSlow {
-            comm: comm.comm,
-            straggler: straggler as u32,
-            ratio,
-        })
-    } else {
-        None
-    }
+    // The shared straggler test handles non-finite means (NaN / the INFINITY
+    // "nothing observed" sentinel) by excluding them instead of panicking.
+    let (straggler, ratio) = crate::smoothing::raw_straggler(&means, cfg.straggler_factor)?;
+    Some(Syndrome::NonCommSlow {
+        comm: comm.comm,
+        straggler: straggler as u32,
+        ratio,
+    })
 }
 
 #[cfg(test)]

@@ -129,7 +129,7 @@ impl DelayMatrix {
         if present.is_empty() {
             return None;
         }
-        present.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        present.sort_unstable_by(f64::total_cmp);
         Some(present[present.len() / 2])
     }
 
@@ -207,7 +207,10 @@ impl DelayMatrix {
                 }
             }
         }
-        findings.sort_by(|a, b| b.ratio().partial_cmp(&a.ratio()).expect("finite ratios"));
+        // `total_cmp` keeps the sort total even if a ratio goes non-finite
+        // (e.g. a pathological baseline): ordering degrades gracefully
+        // instead of panicking the whole analysis.
+        findings.sort_unstable_by(|a, b| b.ratio().total_cmp(&a.ratio()));
         findings
     }
 

@@ -16,20 +16,31 @@ use std::collections::VecDeque;
 /// samples — under EP token routing it fires on every hot-expert step,
 /// which is exactly the false-positive mode [`LoadSmoother`] exists to
 /// suppress (the smoother runs the same test on windowed means).
+/// This is also the **single shared implementation** of the straggler test —
+/// `detect_noncomm_slow` in `detectors.rs` runs it on per-rank mean compute
+/// times (the two used to carry duplicated `partial_cmp(..).expect("finite")`
+/// sorts that panicked on non-finite input).
+///
+/// Sentinel handling is explicit: non-finite samples — NaN or the INFINITY
+/// "nothing observed" sentinel a never-started rank reports — carry no load
+/// information. They are excluded from both the median and the worst-rank
+/// scan instead of panicking the sort; if no finite sample remains the test
+/// abstains with `None`.
 pub fn raw_straggler(loads: &[f64], factor: f64) -> Option<(usize, f64)> {
-    if loads.is_empty() {
+    let mut finite: Vec<f64> = loads.iter().copied().filter(|l| l.is_finite()).collect();
+    if finite.is_empty() {
         return None;
     }
-    let mut sorted = loads.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let median = sorted[(sorted.len() - 1) / 2];
+    finite.sort_unstable_by(f64::total_cmp);
+    let median = finite[(finite.len() - 1) / 2];
     if median <= 0.0 {
         return None;
     }
     let (rank, &worst) = loads
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))?;
+        .filter(|(_, l)| l.is_finite())
+        .max_by(|a, b| a.1.total_cmp(b.1))?;
     let ratio = worst / median;
     (ratio >= factor).then_some((rank, ratio))
 }
@@ -218,5 +229,32 @@ mod tests {
         let (rank, ratio) = raw_straggler(&[1.0, 3.0, 1.0], 1.5).unwrap();
         assert_eq!(rank, 1);
         assert!((ratio - 3.0).abs() < 1e-12);
+    }
+
+    /// Regression: the old helper `sort_by(..partial_cmp..).expect("finite")`
+    /// panicked on NaN or the INFINITY "nothing observed" sentinel. The
+    /// shared implementation must exclude non-finite samples and abstain
+    /// when nothing finite remains.
+    #[test]
+    fn non_finite_samples_are_excluded_not_panicked() {
+        // All non-finite → abstain.
+        assert_eq!(raw_straggler(&[f64::NAN, f64::NAN], 1.5), None);
+        assert_eq!(raw_straggler(&[f64::INFINITY], 1.5), None);
+        assert_eq!(raw_straggler(&[f64::NEG_INFINITY, f64::NAN], 1.5), None);
+
+        // An INFINITY sentinel rank neither wins nor skews the median: the
+        // finite ranks [1.0, 3.0] decide, and the straggler is rank 2.
+        let (rank, ratio) = raw_straggler(&[1.0, f64::INFINITY, 3.0], 1.5).unwrap();
+        assert_eq!(rank, 2);
+        assert!((ratio - 3.0).abs() < 1e-12);
+
+        // NaN samples are likewise invisible to the test.
+        let (rank, ratio) = raw_straggler(&[f64::NAN, 2.0, 1.0], 1.5).unwrap();
+        assert_eq!(rank, 1);
+        assert!((ratio - 2.0).abs() < 1e-12);
+
+        // A non-finite-only load set mixed with zeros still abstains on the
+        // zero median rather than dividing by it.
+        assert_eq!(raw_straggler(&[0.0, f64::INFINITY], 1.5), None);
     }
 }

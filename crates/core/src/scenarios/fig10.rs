@@ -237,6 +237,32 @@ impl C4pScaleConfig {
         }
     }
 
+    /// The 16k extension: 8192- and 16384-GPU cells at the `pod_grouped`
+    /// 2:1 default, DCQCN noise and CNP live — the regime where the SoA
+    /// waterfill kernel and the pod-level split path earn their keep.
+    /// (Gated separately from the 4k sweep so that baseline stays
+    /// comparable across PRs.)
+    pub fn scale_16384(seed: u64, iters: usize) -> Self {
+        C4pScaleConfig {
+            seed,
+            iters,
+            node_scales: vec![1024, 2048],
+            oversub: vec![2.0],
+            parallel: ParallelPolicy::default(),
+        }
+    }
+
+    /// The 32k extension: the 32768-GPU cell at 2:1.
+    pub fn scale_32768(seed: u64, iters: usize) -> Self {
+        C4pScaleConfig {
+            seed,
+            iters,
+            node_scales: vec![4096],
+            oversub: vec![2.0],
+            parallel: ParallelPolicy::default(),
+        }
+    }
+
     /// The drain-focused sweep behind `BENCH_drain.json`: the full
     /// 4096-GPU fabric at every oversubscription ratio (the noisy
     /// worst-case cells the event-driven drain engine exists for).

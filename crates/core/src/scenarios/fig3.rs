@@ -96,6 +96,32 @@ impl Fig3Config {
             parallel: ParallelPolicy::default(),
         }
     }
+
+    /// The 16k extension: 512…16384 GPUs on a rail-dense 2048-node fabric
+    /// ([`ClosConfig::pod_grouped_railed`], 2:1 oversubscription). The
+    /// 64-node anchor point defines the linear-scaling ideal so the loss
+    /// column stays comparable with the 4k sweep.
+    pub fn scale_16384(seed: u64, iters: usize) -> Self {
+        Fig3Config {
+            seed,
+            iters,
+            scales: vec![64, 512, 1024, 2048],
+            clos: ClosConfig::pod_grouped_railed(2048, 8),
+            parallel: ParallelPolicy::default(),
+        }
+    }
+
+    /// The 32k extension: up to 32768 GPUs on a rail-dense 4096-node
+    /// fabric, same anchor-point convention as [`Fig3Config::scale_16384`].
+    pub fn scale_32768(seed: u64, iters: usize) -> Self {
+        Fig3Config {
+            seed,
+            iters,
+            scales: vec![64, 2048, 4096],
+            clos: ClosConfig::pod_grouped_railed(4096, 8),
+            parallel: ParallelPolicy::default(),
+        }
+    }
 }
 
 /// Runs the paper's 16…512 GPU sweep (compatibility wrapper over

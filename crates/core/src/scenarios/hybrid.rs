@@ -61,6 +61,30 @@ impl HybridScaleConfig {
             parallel: ParallelPolicy::default(),
         }
     }
+
+    /// The 16k extension: the same TP8/PP8/EP8 MoE job at 8192 and 16384
+    /// GPUs (gated separately from the 4k sweep so that baseline stays
+    /// comparable across PRs).
+    pub fn scale_16384(seed: u64, iters: usize) -> Self {
+        HybridScaleConfig {
+            seed,
+            iters,
+            node_scales: vec![1024, 2048],
+            spec: HybridSpec::moe(8, 8, 8),
+            parallel: ParallelPolicy::default(),
+        }
+    }
+
+    /// The 32k extension: the 32768-GPU cell.
+    pub fn scale_32768(seed: u64, iters: usize) -> Self {
+        HybridScaleConfig {
+            seed,
+            iters,
+            node_scales: vec![4096],
+            spec: HybridSpec::moe(8, 8, 8),
+            parallel: ParallelPolicy::default(),
+        }
+    }
 }
 
 /// One scale point: both selectors on the identical 4-phase workload.

@@ -504,10 +504,21 @@ pub fn drain(
         if let Some(deadline) = cfg.deadline {
             dt = dt.min((deadline - now).as_secs_f64());
         }
-        if !any_moving && (!noisy || cfg.deadline.is_none()) {
-            // Nothing can make progress and no deadline to wait out: the
-            // remaining flows are permanently stalled.
-            break;
+        if !any_moving {
+            // Every remaining flow is at (effectively) zero rate. Whether
+            // that is permanent is decided by the *unperturbed* base
+            // allocation: noise only multiplies it by a factor ≤ 1, so a
+            // base rate at or below the stall floor can never be revived by
+            // a re-draw — but a base rate just above the floor can be
+            // noise-scaled under it for one epoch and resume at the next
+            // draw. Only when no base rate clears the floor do we end the
+            // drain with a stalled report (waiting out a deadline
+            // epoch-by-epoch would spin through millions of no-op events);
+            // otherwise step to the epoch boundary and re-draw.
+            let revivable = noisy && active.iter().any(|&f| base_rates[f] > STALL_RATE);
+            if !revivable {
+                break;
+            }
         }
         if !dt.is_finite() || dt <= 0.0 {
             break;
@@ -722,6 +733,10 @@ pub fn drain_reference(
             .map(|r| cnp_model.flow_score(r, &link_load, &capacity, &link_flows))
             .collect();
 
+        // Whether any *base* allocation clears the stall floor — recorded
+        // before the noise re-solve overwrites `rates`, because the stall
+        // decision below must look through the per-epoch noise draw.
+        let base_moving = rates.iter().any(|&r| r > STALL_RATE);
         if cfg.rate_noise > 0.0 {
             let caps: Vec<f64> = rates
                 .iter()
@@ -757,8 +772,16 @@ pub fn drain_reference(
         if let Some(deadline) = cfg.deadline {
             dt = dt.min((deadline - now).as_secs_f64());
         }
-        if !any_moving && (!noisy || cfg.deadline.is_none()) {
-            break;
+        if !any_moving {
+            // All-stalled: permanent only if no *base* rate clears the stall
+            // floor — noise multiplies the allocation by a factor ≤ 1, so a
+            // zero base rate stays zero, but a base rate just above the
+            // floor can dip under it for one epoch and resume at the next
+            // draw. Mirrors the event-driven loop's termination exactly.
+            let revivable = noisy && base_moving;
+            if !revivable {
+                break;
+            }
         }
         if !dt.is_finite() || dt <= 0.0 {
             break;
@@ -975,6 +998,60 @@ mod tests {
         let mut rng = DetRng::seed_from(4);
         let report = drain(&t, &[spec], &DrainConfig::default(), &mut rng);
         assert!(!report.all_completed());
+    }
+
+    /// Regression (PR 1 open item): a fully dead port used to hang a *noisy*
+    /// drain. With `rate_noise`/CNP enabled the loop clamped `dt` to the
+    /// epoch and kept spinning even though every remaining flow sat at zero
+    /// rate — noise multiplies the allocation by a factor ≤ 1, so a stalled
+    /// flow can never revive. Without a deadline that spun forever; with a
+    /// far deadline it stepped hundreds of millions of no-op epochs. Both
+    /// must now end at the stall instant with a stalled report.
+    #[test]
+    fn noisy_stalled_drain_ends_without_deadline() {
+        let mut t = topo();
+        let route = simple_route(&t);
+        t.link_mut(route[1]).set_up(false);
+        let spec = FlowSpec::new(key(0, 8, 0), ByteSize::from_mib(64), route);
+        let cfg = DrainConfig {
+            rate_noise: 0.10,
+            cnp: Some(CnpModel::default()),
+            ..DrainConfig::default() // NO deadline
+        };
+        let mut rng = DetRng::seed_from(4);
+        let report = drain(&t, std::slice::from_ref(&spec), &cfg, &mut rng);
+        assert!(!report.all_completed());
+        assert_eq!(report.stalled(), vec![0]);
+        assert_eq!(report.end, SimTime::ZERO);
+
+        // The reference implementation terminates identically.
+        let mut rng = DetRng::seed_from(4);
+        let reference = drain_reference(&t, &[spec], &cfg, &mut rng);
+        assert!(!reference.all_completed());
+        assert_eq!(reference.end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn noisy_stalled_drain_ends_at_stall_instant_not_deadline() {
+        // A month-scale deadline at a 10 ms epoch is ~2.6e8 events — the
+        // pre-fix loop would walk every one of them. The drain must instead
+        // report the stall the moment no flow can move.
+        let mut t = topo();
+        let route = simple_route(&t);
+        t.link_mut(route[1]).set_up(false);
+        let spec = FlowSpec::new(key(0, 8, 0), ByteSize::from_mib(64), route);
+        let cfg = DrainConfig {
+            rate_noise: 0.10,
+            cnp: Some(CnpModel::default()),
+            deadline: Some(SimTime::from_secs(30 * 24 * 3600)),
+            ..DrainConfig::default()
+        };
+        let mut rng = DetRng::seed_from(4);
+        let report = drain(&t, &[spec], &cfg, &mut rng);
+        assert!(!report.all_completed());
+        assert_eq!(report.stalled(), vec![0]);
+        assert_eq!(report.end, SimTime::ZERO);
+        assert_eq!(report.outcomes[0].mean_rate, Bandwidth::ZERO);
     }
 
     #[test]

@@ -34,6 +34,50 @@ const PARALLEL_MIN_FLOWS: usize = 192;
 /// (represented as `f64::MAX / 4` to avoid arithmetic overflow downstream).
 const UNBOUNDED: f64 = f64::MAX / 4.0;
 
+/// Flow routes in struct-of-arrays (CSR) form: `links[offsets[f]..offsets[f+1]]`
+/// is flow `f`'s sorted, deduplicated link list.
+///
+/// At 16k–32k GPUs a drain holds hundreds of thousands of routes; storing
+/// them as one contiguous pair of arrays (instead of a `Vec<Vec<u32>>` with
+/// one heap allocation per flow) lets the waterfill kernel and the dirty-
+/// component re-accumulation stream link ids sequentially, and makes
+/// cloning/rebuilding a component's route table two `memcpy`s.
+#[derive(Debug, Clone)]
+struct RouteTable {
+    /// `len + 1` offsets into `links`.
+    offsets: Vec<u32>,
+    /// Concatenated per-flow link lists.
+    links: Vec<u32>,
+}
+
+impl Default for RouteTable {
+    fn default() -> Self {
+        RouteTable {
+            offsets: vec![0],
+            links: Vec::new(),
+        }
+    }
+}
+
+impl RouteTable {
+    /// Number of flows (routes) stored.
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Appends one flow's link list.
+    fn push(&mut self, route: &[u32]) {
+        self.links.extend_from_slice(route);
+        self.offsets.push(self.links.len() as u32);
+    }
+
+    /// Flow `f`'s link list.
+    #[inline]
+    fn route(&self, f: usize) -> &[u32] {
+        &self.links[self.offsets[f] as usize..self.offsets[f + 1] as usize]
+    }
+}
+
 /// Progressive-filling kernel shared by [`solve`] and [`MaxMinState`].
 ///
 /// * `capacity[l]` — dense link capacities (negative treated as 0).
@@ -198,7 +242,7 @@ impl Ord for LinkEvent {
 /// `O(eps)` freeze-threshold differences (the reference freezes flows an
 /// `eps` early); the differential harness bounds the divergence at 1e-9
 /// relative.
-fn waterfill_event(capacity: &[f64], links_of: &[Vec<u32>], caps: &[f64], rates: &mut [f64]) {
+fn waterfill_event(capacity: &[f64], links_of: &RouteTable, caps: &[f64], rates: &mut [f64]) {
     let nf = links_of.len();
     debug_assert_eq!(caps.len(), nf);
     debug_assert_eq!(rates.len(), nf);
@@ -210,7 +254,8 @@ fn waterfill_event(capacity: &[f64], links_of: &[Vec<u32>], caps: &[f64], rates:
     let mut active_count = vec![0u32; nl];
     let mut active = vec![false; nf];
     let mut n_active = 0usize;
-    for (f, ls) in links_of.iter().enumerate() {
+    for f in 0..nf {
+        let ls = links_of.route(f);
         if ls.is_empty() {
             rates[f] = if caps[f].is_finite() {
                 caps[f].max(0.0)
@@ -229,12 +274,26 @@ fn waterfill_event(capacity: &[f64], links_of: &[Vec<u32>], caps: &[f64], rates:
         return;
     }
 
-    // Per-link flow lists (only links with active flows).
-    let mut flows_of_link: Vec<Vec<u32>> = vec![Vec::new(); nl];
-    for (f, ls) in links_of.iter().enumerate() {
-        if active[f] {
-            for &l in ls {
-                flows_of_link[l as usize].push(f as u32);
+    // Per-link flow lists in CSR form (counting sort over the route table:
+    // two contiguous passes, zero per-link allocations).
+    let mut fol_offsets = vec![0u32; nl + 1];
+    for (f, &is_active) in active.iter().enumerate() {
+        if is_active {
+            for &l in links_of.route(f) {
+                fol_offsets[l as usize + 1] += 1;
+            }
+        }
+    }
+    for l in 0..nl {
+        fol_offsets[l + 1] += fol_offsets[l];
+    }
+    let mut fol_flows = vec![0u32; fol_offsets[nl] as usize];
+    let mut cursor: Vec<u32> = fol_offsets[..nl].to_vec();
+    for (f, &is_active) in active.iter().enumerate() {
+        if is_active {
+            for &l in links_of.route(f) {
+                fol_flows[cursor[l as usize] as usize] = f as u32;
+                cursor[l as usize] += 1;
             }
         }
     }
@@ -323,7 +382,7 @@ fn waterfill_event(capacity: &[f64], links_of: &[Vec<u32>], caps: &[f64], rates:
                 active[f] = false;
                 n_active -= 1;
                 rates[f] = caps[f].max(0.0);
-                for &l in &links_of[f] {
+                for &l in links_of.route(f) {
                     release_link(
                         l as usize,
                         level,
@@ -351,16 +410,19 @@ fn waterfill_event(capacity: &[f64], links_of: &[Vec<u32>], caps: &[f64], rates:
             // flows freeze there.
             level = link_level;
             heap.pop();
-            let frozen = std::mem::take(&mut flows_of_link[l0 as usize]);
-            for &f in &frozen {
-                let f = f as usize;
+            let (lo, hi) = (
+                fol_offsets[l0 as usize] as usize,
+                fol_offsets[l0 as usize + 1] as usize,
+            );
+            for &fid in &fol_flows[lo..hi] {
+                let f = fid as usize;
                 if !active[f] {
                     continue;
                 }
                 active[f] = false;
                 n_active -= 1;
                 rates[f] = level;
-                for &l in &links_of[f] {
+                for &l in links_of.route(f) {
                     release_link(
                         l as usize,
                         level,
@@ -500,19 +562,29 @@ pub enum SolveScope {
     Full,
 }
 
-/// One connected component of the flow–link sharing graph.
+/// One connected component of the flow–link sharing graph — the "pod" unit
+/// of the hierarchical solve. All per-flow data is struct-of-arrays: the
+/// flow ids, the CSR route table and the (caller-built) cap/rate slices are
+/// parallel arrays, so a component re-solve streams contiguously.
 #[derive(Debug, Clone, Default)]
 struct Component {
-    /// Flow ids in this component (alive at partition time).
+    /// Flow ids in this component (alive at partition time), ascending.
     flows: Vec<u32>,
     /// Links referenced by those flows (original link-table indices).
     links: Vec<u32>,
     /// Per-flow routes in component-local dense indices (into `links`),
-    /// parallel to `flows`. Built once per partition so a component re-solve
-    /// allocates nothing route-shaped.
-    local_routes: Vec<Vec<u32>>,
+    /// parallel to `flows`, flattened CSR. Built once per partition so a
+    /// component re-solve allocates nothing route-shaped.
+    local_routes: RouteTable,
     /// Flows of this component still alive.
     alive_count: usize,
+}
+
+impl Component {
+    /// Flows removed since this component was (re)built.
+    fn dead_count(&self) -> usize {
+        self.flows.len() - self.alive_count
+    }
 }
 
 /// Persistent max-min problem with incremental re-solving.
@@ -529,10 +601,17 @@ struct Component {
 /// floating-point association and the reference's `eps` freeze threshold
 /// (≪ 1e-9 relative; `tests/maxmin_differential.rs` enforces this).
 ///
-/// Fallback rule: when the dirty components cover more than half the live
-/// flows — or flows were added since the last partition — the state
-/// re-partitions and re-solves every component (which also splits
-/// components that flow removals have disconnected).
+/// **Hierarchical re-partitioning.** The component tables are maintained at
+/// two levels. Flow *additions* (which may merge components) trigger the
+/// spine-level path: one global union-find re-partition plus a full
+/// re-solve. Flow *removals* never merge components, so they are handled at
+/// the pod level: when a dirty component's dead mass reaches its live mass,
+/// just that component is rebuilt in place from its own live flows —
+/// splitting pieces that removals disconnected and dropping dead flows from
+/// its tables — under `SolveScope::Components`. Quiescent components are
+/// never touched, scanned, or reallocated, which is what keeps 16k–32k-GPU
+/// drains (hundreds of thousands of flows) event-cost-proportional to the
+/// traffic that actually changed.
 ///
 /// **Parallelism.** Components are independent sub-problems, so a batch of
 /// re-solves (dirty components, or all components after a full
@@ -549,8 +628,9 @@ struct Component {
 #[derive(Debug, Clone)]
 pub struct MaxMinState {
     capacity: Vec<f64>,
-    /// Normalized (sorted, deduped) route per flow, original link indices.
-    routes: Vec<Vec<u32>>,
+    /// Normalized (sorted, deduped) route per flow, original link indices,
+    /// flattened CSR (struct-of-arrays).
+    routes: RouteTable,
     /// Requested cap per flow (`INFINITY` = uncapped).
     caps: Vec<f64>,
     alive: Vec<bool>,
@@ -566,12 +646,6 @@ pub struct MaxMinState {
     dirty_list: Vec<u32>,
     /// Flows added since the partition was built force a full re-solve.
     partition_stale: bool,
-    /// Flows removed since the partition was built. When the dead mass
-    /// reaches the live mass, the next refresh re-partitions — dropping
-    /// dead flows from the component tables and splitting components that
-    /// removals have disconnected — so long drains keep their re-solve
-    /// cost proportional to the *surviving* flows.
-    dead_since_partition: usize,
     /// What the last [`refresh`](MaxMinState::refresh) re-solved.
     last_scope: SolveScope,
     /// Component ids re-solved by the last refresh (when `last_scope` is
@@ -589,7 +663,7 @@ impl MaxMinState {
     pub fn new(capacity: &[f64]) -> Self {
         MaxMinState {
             capacity: capacity.to_vec(),
-            routes: Vec::new(),
+            routes: RouteTable::default(),
             caps: Vec::new(),
             alive: Vec::new(),
             n_alive: 0,
@@ -600,7 +674,6 @@ impl MaxMinState {
             dirty: Vec::new(),
             dirty_list: Vec::new(),
             partition_stale: true,
-            dead_since_partition: 0,
             last_scope: SolveScope::Unchanged,
             last_resolved: Vec::new(),
             parallel: ParallelPolicy::default(),
@@ -661,7 +734,7 @@ impl MaxMinState {
         } else {
             0.0
         });
-        self.routes.push(ls);
+        self.routes.push(&ls);
         self.caps.push(cap);
         self.alive.push(true);
         self.comp_of_flow.push(u32::MAX);
@@ -680,7 +753,6 @@ impl MaxMinState {
         }
         self.alive[f] = false;
         self.n_alive -= 1;
-        self.dead_since_partition += 1;
         self.rates[f] = 0.0;
         let c = self.comp_of_flow[f];
         if c != u32::MAX {
@@ -760,9 +832,29 @@ impl MaxMinState {
             for &c in &dirty {
                 self.dirty[c as usize] = false;
             }
-            self.solve_components(&dirty);
-            self.component_solves += dirty.len() as u64;
-            self.last_resolved = dirty;
+            // Pod-level incremental re-partition: a dirty component whose
+            // dead mass reached its live mass is rebuilt in place from its
+            // own live flows (splitting pieces that removals disconnected
+            // and dropping dead flows from its tables) before solving.
+            // Removals never merge components, so this is exact — and it
+            // happens entirely under `SolveScope::Components`, so quiescent
+            // components are never touched even while long drains churn.
+            let mut resolved: Vec<u32> = Vec::with_capacity(dirty.len());
+            for &c in &dirty {
+                let comp = &self.comps[c as usize];
+                if comp.alive_count > 0 && comp.dead_count() >= comp.alive_count {
+                    self.split_component(c, &mut resolved);
+                } else {
+                    resolved.push(c);
+                }
+            }
+            // New piece ids append past the existing table, so ascending
+            // order (the drain's per-link re-accumulation contract) needs
+            // one sort.
+            resolved.sort_unstable();
+            self.solve_components(&resolved);
+            self.component_solves += resolved.len() as u64;
+            self.last_resolved = resolved;
             self.last_scope = SolveScope::Components;
         } else {
             self.last_scope = SolveScope::Unchanged;
@@ -828,20 +920,11 @@ impl MaxMinState {
     }
 
     fn needs_full_solve(&self) -> bool {
-        if self.partition_stale {
-            return true;
-        }
-        if self.dirty_list.is_empty() {
-            return false;
-        }
-        // Re-partition once the dead mass reaches the live mass: removals
-        // both bloat the component tables (dead flows still cost kernel
-        // setup every re-solve) and may have disconnected components. The
-        // rebuild is O(live routes) and amortizes to O(1) per removal.
-        // Max-min allocations are independent of partition granularity —
-        // a component solved whole is bit-identical to its disconnected
-        // pieces solved separately — so only wall clock moves.
-        self.dead_since_partition >= self.n_alive.max(1)
+        // Only flow *additions* force the global path: a new flow may merge
+        // components, which the pod-level splitter cannot express. Removals
+        // are handled incrementally at partition granularity by
+        // [`split_component`](Self::split_component) during refresh.
+        self.partition_stale
     }
 
     /// Masked cap table: removed flows get cap 0, pinning them to rate 0
@@ -867,7 +950,7 @@ impl MaxMinState {
         for f in 0..self.routes.len() {
             self.rates[f] = if !self.alive[f] {
                 0.0
-            } else if self.routes[f].is_empty() {
+            } else if self.routes.route(f).is_empty() {
                 // Unconstrained flow: its cap (or "infinity").
                 if self.caps[f].is_finite() {
                     self.caps[f].max(0.0)
@@ -933,12 +1016,16 @@ impl MaxMinState {
 
     /// Rebuilds the flow–link connected components via union-find over
     /// links, using only live flows (so removals split components here).
+    /// This is the spine-level (global) path, taken only when flows were
+    /// added; removals re-partition pod-locally via
+    /// [`split_component`](Self::split_component).
     fn rebuild_partition(&mut self) {
         let nl = self.capacity.len();
         // Union-find over links (shared helper — C4P's batch partitioner
         // uses the same structure).
         let mut uf = UnionFind::new(nl);
-        for (f, r) in self.routes.iter().enumerate() {
+        for f in 0..self.routes.len() {
+            let r = self.routes.route(f);
             if !self.alive[f] || r.is_empty() {
                 continue;
             }
@@ -953,10 +1040,10 @@ impl MaxMinState {
         let mut comp_of_root: Vec<u32> = vec![u32::MAX; nl];
         for f in 0..self.routes.len() {
             self.comp_of_flow[f] = u32::MAX;
-            if !self.alive[f] || self.routes[f].is_empty() {
+            if !self.alive[f] || self.routes.route(f).is_empty() {
                 continue;
             }
-            let root = uf.find(self.routes[f][0]);
+            let root = uf.find(self.routes.route(f)[0]);
             let c = if comp_of_root[root as usize] == u32::MAX {
                 let c = self.comps.len() as u32;
                 comp_of_root[root as usize] = c;
@@ -970,12 +1057,14 @@ impl MaxMinState {
             comp.flows.push(f as u32);
             comp.alive_count += 1;
         }
-        // Component link sets + local dense routes.
+        // Component link sets + local dense routes (flattened CSR).
         let mut local_of_link: Vec<u32> = vec![u32::MAX; nl];
+        let routes = &self.routes;
         for comp in &mut self.comps {
             for &f in &comp.flows {
-                let mut local: Vec<u32> = Vec::with_capacity(self.routes[f as usize].len());
-                for &l in &self.routes[f as usize] {
+                let r = routes.route(f as usize);
+                let mut local: Vec<u32> = Vec::with_capacity(r.len());
+                for &l in r {
                     if local_of_link[l as usize] == u32::MAX {
                         local_of_link[l as usize] = comp.links.len() as u32;
                         comp.links.push(l);
@@ -983,7 +1072,7 @@ impl MaxMinState {
                     local.push(local_of_link[l as usize]);
                 }
                 local.sort_unstable();
-                comp.local_routes.push(local);
+                comp.local_routes.push(&local);
             }
             for &l in &comp.links {
                 local_of_link[l as usize] = u32::MAX;
@@ -998,7 +1087,108 @@ impl MaxMinState {
         self.dirty.resize(self.comps.len(), false);
         self.dirty_list.clear();
         self.partition_stale = false;
-        self.dead_since_partition = 0;
+    }
+
+    /// Pod-level incremental re-partition: rebuilds dead-heavy component
+    /// `c` in place from its live flows only, never touching the rest of
+    /// the fabric.
+    ///
+    /// The live flows are re-grouped by a union-find over the component's
+    /// *local* link space; the first piece reuses slot `c` and further
+    /// disconnected pieces append as fresh components. Dead flows drop out
+    /// of every table (`comp_of_flow` reads `u32::MAX`), so long drains
+    /// keep their re-solve cost proportional to the surviving flows — the
+    /// rebuild is O(component routes) and amortizes to O(1) per removal.
+    /// Old links referenced by no surviving flow stay listed on the first
+    /// piece: scope-`Components` consumers must still see them once to
+    /// re-zero their derived loads, and they cost nothing in the kernel
+    /// (no route references them).
+    ///
+    /// Exactness: max-min allocations are independent of partition
+    /// granularity — a component solved whole is bit-identical to its
+    /// disconnected pieces solved separately — and removals never merge
+    /// components, so rebuilding `c` alone is safe. Ids of every piece are
+    /// pushed onto `resolved`.
+    fn split_component(&mut self, c: u32, resolved: &mut Vec<u32>) {
+        let old = std::mem::take(&mut self.comps[c as usize]);
+        let n_local = old.links.len();
+        let mut uf = UnionFind::new(n_local);
+        for (i, &f) in old.flows.iter().enumerate() {
+            if !self.alive[f as usize] {
+                continue;
+            }
+            let r = old.local_routes.route(i);
+            for &l in &r[1..] {
+                uf.union(l, r[0]);
+            }
+        }
+
+        // One pass distributes live flows to pieces and re-densifies their
+        // routes. Pieces are link-disjoint, so the first piece to claim a
+        // link owns it (`link_piece`/`link_local` never conflict).
+        let mut piece_of_root: Vec<u32> = vec![u32::MAX; n_local];
+        let mut link_piece: Vec<u32> = vec![u32::MAX; n_local];
+        let mut link_local: Vec<u32> = vec![0; n_local];
+        let mut pieces: Vec<Component> = Vec::new();
+        for (i, &f) in old.flows.iter().enumerate() {
+            if !self.alive[f as usize] {
+                self.comp_of_flow[f as usize] = u32::MAX;
+                continue;
+            }
+            let r = old.local_routes.route(i);
+            let root = uf.find(r[0]) as usize;
+            let p = if piece_of_root[root] == u32::MAX {
+                let p = pieces.len() as u32;
+                piece_of_root[root] = p;
+                pieces.push(Component::default());
+                p
+            } else {
+                piece_of_root[root]
+            };
+            let piece = &mut pieces[p as usize];
+            let mut local: Vec<u32> = Vec::with_capacity(r.len());
+            for &l in r {
+                if link_piece[l as usize] != p {
+                    link_piece[l as usize] = p;
+                    link_local[l as usize] = piece.links.len() as u32;
+                    piece.links.push(old.links[l as usize]);
+                }
+                local.push(link_local[l as usize]);
+            }
+            local.sort_unstable();
+            piece.flows.push(f);
+            piece.local_routes.push(&local);
+            piece.alive_count += 1;
+        }
+        debug_assert!(!pieces.is_empty(), "split_component needs a live flow");
+
+        // Orphan links (no surviving flow) ride on the first piece.
+        for (l, &owner) in link_piece.iter().enumerate() {
+            if owner == u32::MAX {
+                pieces[0].links.push(old.links[l]);
+            }
+        }
+
+        // Install: piece 0 reuses slot `c`, the rest append.
+        let mut ids: Vec<u32> = Vec::with_capacity(pieces.len());
+        for (k, piece) in pieces.into_iter().enumerate() {
+            let id = if k == 0 {
+                c
+            } else {
+                self.comps.push(Component::default());
+                self.dirty.push(false);
+                (self.comps.len() - 1) as u32
+            };
+            for &f in &piece.flows {
+                self.comp_of_flow[f as usize] = id;
+            }
+            for &l in &piece.links {
+                self.comp_of_link[l as usize] = id;
+            }
+            self.comps[id as usize] = piece;
+            ids.push(id);
+        }
+        resolved.extend_from_slice(&ids);
     }
 }
 
@@ -1214,28 +1404,52 @@ mod tests {
     }
 
     #[test]
-    fn dead_mass_triggers_repartition_and_prunes_components() {
-        let capacity = vec![10.0, 10.0, 10.0, 10.0];
-        let routes = vec![vec![0], vec![1], vec![2], vec![3]];
+    fn dead_mass_splits_components_without_global_repartition() {
+        // One component: flows 0/1 each own a private link, flows 2/3 bridge
+        // both links. Removing the bridges makes the dead mass reach the
+        // live mass, so the next refresh re-partitions **that component
+        // only** (pod level): the piece with flow 0 reuses the slot, the
+        // piece with flow 1 appends, no full solve runs, and the dead flows
+        // drop out of the tables.
+        let capacity = vec![10.0, 10.0, 30.0];
+        let routes = vec![vec![0], vec![1], vec![0, 1], vec![0, 1], vec![2]];
         let mut s = MaxMinState::with_flows(&capacity, &routes, None);
         let _ = s.rates();
+        assert_eq!(s.component_count(), 2);
         let full_before = s.full_solves();
-        // One removal: 1 dead vs 3 alive → incremental component re-solve.
-        s.remove_flow(0);
+        // One removal: 1 dead vs 3 alive in the component → plain re-solve.
+        s.remove_flow(2);
         assert_eq!(s.refresh(), SolveScope::Components);
         assert_eq!(s.resolved_components(), &[0]);
-        assert_eq!(s.full_solves(), full_before);
-        // Second removal: 2 dead vs 2 alive → re-partition, which drops the
-        // dead flows from the component tables entirely.
-        s.remove_flow(1);
-        assert_eq!(s.refresh(), SolveScope::Full);
-        assert_eq!(s.full_solves(), full_before + 1);
-        assert_eq!(s.component_count(), 2);
-        let survivors: usize = (0..s.component_count())
-            .map(|c| s.component_flows(c as u32).len())
-            .sum();
-        assert_eq!(survivors, 2, "re-partition prunes dead flows");
-        assert!(close(s.rates()[2], 10.0) && close(s.rates()[3], 10.0));
+        assert_eq!(s.component_flows(0).len(), 4, "tables not yet pruned");
+        // Second removal: 2 dead vs 2 alive → pod-level split in place.
+        s.remove_flow(3);
+        assert_eq!(s.refresh(), SolveScope::Components);
+        assert_eq!(s.resolved_components(), &[0, 2], "slot reuse + append");
+        assert_eq!(s.full_solves(), full_before, "no global re-partition");
+        assert_eq!(s.component_count(), 3);
+        assert_eq!(s.component_flows(0), &[0], "dead flows pruned");
+        assert_eq!(s.component_flows(2), &[1]);
+        let r = s.rates();
+        assert!(close(r[0], 10.0) && close(r[1], 10.0) && close(r[4], 30.0));
+        assert_eq!(r[2], 0.0);
+        assert_eq!(r[3], 0.0);
+    }
+
+    #[test]
+    fn fully_dead_component_becomes_quiescent_husk() {
+        let capacity = vec![10.0, 20.0];
+        let routes = vec![vec![0], vec![1]];
+        let mut s = MaxMinState::with_flows(&capacity, &routes, None);
+        let _ = s.rates();
+        s.remove_flow(0);
+        // The husk re-solves once (its link loads must be re-derivable by
+        // scope-Components consumers) and then never dirties again.
+        assert_eq!(s.refresh(), SolveScope::Components);
+        assert_eq!(s.resolved_components(), &[0]);
+        assert_eq!(s.refresh(), SolveScope::Unchanged);
+        assert_eq!(s.rates()[0], 0.0);
+        assert!(close(s.rates()[1], 20.0));
     }
 
     #[test]

@@ -137,7 +137,7 @@ impl JsonValue {
     pub fn parse(text: &str) -> Result<JsonValue, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -255,7 +255,14 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+/// Deepest container nesting `parse` accepts. Recursive descent allocates a
+/// stack frame per `[`/`{`, so unbounded input depth is a stack overflow —
+/// an abort, not an `Err` — and the CI perf gate parses checked-in
+/// `BENCH_*.json` files. Real documents here nest a handful of levels; 128
+/// is far above anything legitimate and far below frame-count danger.
+const MAX_PARSE_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
@@ -264,6 +271,16 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
         Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
         Some(b'[') => {
+            // `depth` counts enclosing containers (the root parses at 0), so
+            // this container is nesting level `depth + 1`: rejecting at
+            // `depth >= MAX_PARSE_DEPTH` makes MAX_PARSE_DEPTH the deepest
+            // accepted level, exactly as documented on the constant. Scalars
+            // don't recurse, so only container arms check.
+            if depth >= MAX_PARSE_DEPTH {
+                return Err(format!(
+                    "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {pos}"
+                ));
+            }
             *pos += 1;
             let mut items = Vec::new();
             skip_ws(bytes, pos);
@@ -272,7 +289,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
                 return Ok(JsonValue::Array(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -285,6 +302,11 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
             }
         }
         Some(b'{') => {
+            if depth >= MAX_PARSE_DEPTH {
+                return Err(format!(
+                    "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {pos}"
+                ));
+            }
             *pos += 1;
             let mut entries = Vec::new();
             skip_ws(bytes, pos);
@@ -297,7 +319,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                entries.push((key, parse_value(bytes, pos)?));
+                entries.push((key, parse_value(bytes, pos, depth + 1)?));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -439,6 +461,31 @@ mod tests {
         assert!(JsonValue::parse("nul").is_err());
         assert!(JsonValue::parse("{} trailing").is_err());
         assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    /// Regression: the recursive-descent parser had no depth guard, so a
+    /// deeply nested document (e.g. a malicious or corrupted `BENCH_*.json`
+    /// handed to the CI gate) overflowed the stack — an abort the caller
+    /// could never catch. Depth past [`MAX_PARSE_DEPTH`] must be a plain
+    /// `Err`, while legitimate nesting keeps parsing.
+    #[test]
+    fn deeply_nested_input_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = JsonValue::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "unexpected error: {err}");
+
+        let deep_obj = "{\"k\":".repeat(100_000) + "1" + &"}".repeat(100_000);
+        assert!(JsonValue::parse(&deep_obj).is_err());
+
+        // At and under the cap, nesting still parses fine — including a
+        // scalar inside the deepest accepted container (the guard counts
+        // containers, not values).
+        let ok = "[".repeat(MAX_PARSE_DEPTH) + "1" + &"]".repeat(MAX_PARSE_DEPTH);
+        assert!(JsonValue::parse(&ok).is_ok());
+        // One past the cap is the first rejected depth.
+        let over = "[".repeat(MAX_PARSE_DEPTH + 1) + &"]".repeat(MAX_PARSE_DEPTH + 1);
+        let err = JsonValue::parse(&over).unwrap_err();
+        assert!(err.contains("nesting deeper"), "unexpected error: {err}");
     }
 
     #[test]

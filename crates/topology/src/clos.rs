@@ -403,6 +403,23 @@ mod tests {
     }
 
     #[test]
+    fn pod_grouped_railed_scales_to_16k_and_32k_gpus() {
+        // The 16384- and 32768-GPU cells of the scale sweep: the leaf tier
+        // stays pinned at 8 rails × 8 groups while the trunks keep doubling,
+        // so the 2:1 oversubscription and full leaf wiring hold through the
+        // next two octaves past the 4096-GPU testbed extension.
+        for (nodes, trunks) in [(2048usize, 8u8), (4096, 16)] {
+            let cfg = ClosConfig::pod_grouped_railed(nodes, 8);
+            cfg.validate().unwrap();
+            assert_eq!(cfg.total_gpus(), nodes * 8, "{nodes} nodes");
+            assert_eq!(cfg.num_leaves, 8 * 16, "{nodes} nodes");
+            assert_eq!(cfg.uplinks_per_leaf_spine, trunks, "{nodes} nodes");
+            assert!((cfg.oversubscription() - 2.0).abs() < 1e-9);
+            assert_eq!(cfg.leaf_pairs_per_group(), cfg.nics_per_node);
+        }
+    }
+
+    #[test]
     fn validation_rejects_bad_configs() {
         let mut cfg = ClosConfig::tiny(2);
         cfg.num_leaves = 3;

@@ -1,0 +1,79 @@
+//! Regression for the PR 1 open item: a fully dead NIC port must not hang
+//! `drain()` when no deadline is set.
+//!
+//! `workspace_smoke::dead_port_hangs_ecmp_and_c4d_diagnoses_it` sidesteps the
+//! hang via an explicit deadline; these tests pin the fix proper. Once every
+//! remaining flow sits at zero rate, no noise draw can revive it (noise only
+//! multiplies the max-min allocation by a factor ≤ 1), so the drain ends with
+//! a stalled report instead of spinning — whether the loop is noisy or not,
+//! and whether a deadline exists or not.
+
+use c4::prelude::*;
+
+fn run_dead_port(drain: DrainConfig) -> CollectiveResult {
+    let mut topo = Topology::build(&ClosConfig::tiny(2));
+    let devices: Vec<GpuId> = topo.gpus().iter().map(|g| g.id).collect();
+    let comm = Communicator::new(1, devices, &topo).expect("valid communicator");
+
+    let victim_gpu = topo.gpu_at(NodeId::from_index(0), 0);
+    for side in PortSide::BOTH {
+        Degradation::nic_half_down(topo.port_of_gpu(victim_gpu, side)).apply(&mut topo);
+    }
+
+    let mut selector = EcmpSelector::new(42);
+    let mut rng = DetRng::seed_from(7);
+    let req = CollectiveRequest {
+        comm: &comm,
+        seq: 1,
+        kind: CollKind::AllReduce,
+        dtype: DataType::Bf16,
+        count: 64 * 1024 * 1024,
+        config: CommConfig::default(),
+        start: SimTime::ZERO,
+        rank_ready: None,
+        drain,
+    };
+    run_collective(&topo, &req, &mut selector, None, &mut rng, None)
+}
+
+#[test]
+fn dead_port_without_deadline_returns_stalled() {
+    let hung = run_dead_port(DrainConfig::default());
+    assert!(hung.hung(), "dead port must surface as a hung collective");
+    assert!(!hung.report.stalled().is_empty());
+}
+
+#[test]
+fn noisy_dead_port_without_deadline_returns_stalled() {
+    let hung = run_dead_port(DrainConfig {
+        rate_noise: 0.10,
+        cnp: Some(CnpModel::default()),
+        ..DrainConfig::default()
+    });
+    assert!(
+        hung.hung(),
+        "noisy dead port must surface as a hung collective"
+    );
+    assert!(!hung.report.stalled().is_empty());
+}
+
+#[test]
+fn noisy_dead_port_ends_at_stall_instant_not_deadline() {
+    // Pre-fix, a noisy all-stalled drain stepped 10 ms epochs all the way to
+    // the deadline — a month-scale horizon is ~2.6e8 no-op events, an
+    // effective hang. The report must end when the last flow stalls, far
+    // before the deadline.
+    let deadline = SimTime::from_secs(30 * 24 * 3600);
+    let hung = run_dead_port(DrainConfig {
+        rate_noise: 0.10,
+        cnp: Some(CnpModel::default()),
+        deadline: Some(deadline),
+        ..DrainConfig::default()
+    });
+    assert!(hung.hung());
+    assert!(
+        hung.report.end < deadline,
+        "drain must end at the stall instant, got {:?}",
+        hung.report.end
+    );
+}

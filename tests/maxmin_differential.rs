@@ -664,6 +664,128 @@ proptest! {
     }
 }
 
+/// Builds a flow population spread over every leaf group of a 16k-shaped
+/// railed fabric: cross-group QP pairs in identical-size batches plus a
+/// sprinkle of odd sizes and zero-byte flows, so the spine trunks form the
+/// giant component and completions land in same-instant batches.
+fn railed_16k_specs(topo: &Topology, seed: u64, streams: usize) -> Vec<FlowSpec> {
+    let mut sel = EcmpSelector::new(seed ^ 0x16_000);
+    let mut rng = DetRng::seed_from(seed);
+    let nodes = topo.num_nodes();
+    let mut specs = Vec::new();
+    for s in 0..streams {
+        // Source and destination stride through all 8 groups (node blocks),
+        // so streams cross the spine layer in every direction.
+        let src = topo.gpu_at(NodeId::from_index((s * 131) % nodes), s % 8);
+        let dst_node = (s * 257 + nodes / 2) % nodes;
+        let dst = topo.gpu_at(
+            NodeId::from_index(if dst_node == (s * 131) % nodes {
+                (dst_node + 1) % nodes
+            } else {
+                dst_node
+            }),
+            (s / 3) % 8,
+        );
+        let bytes = match s % 7 {
+            0..=4 => ByteSize::from_mib(64),
+            5 => ByteSize::from_mib(24 + (rng.index(8) as u64)),
+            _ => ByteSize::ZERO,
+        };
+        for qp in 0..2u16 {
+            let key = FlowKey {
+                src_gpu: src,
+                dst_gpu: dst,
+                comm: 1 + (s % 8) as u64,
+                channel: s as u16,
+                qp,
+                incarnation: 0,
+            };
+            let choice = sel.select(topo, &key);
+            let sp = topo.port_of_gpu(src, choice.src_side);
+            let dp = topo.port_of_gpu(dst, choice.dst_side);
+            let route = topo.inter_node_route(src, sp, choice.fabric.as_ref(), dp, dst);
+            specs.push(FlowSpec::new(key, bytes, route));
+        }
+    }
+    specs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The hierarchical/SoA solve path at the 16k shape: drains on the
+    /// 16384-GPU `pod_grouped_railed` fabric (128 rail-dense leaves, wide
+    /// spine trunks) with noise epochs, same-size completion batches and
+    /// killed links — completions trigger the pod-level component splits
+    /// and dead links produce quiescent husks. Incremental == reference at
+    /// 1e-9 with identical RNG consumption; 1/2/4-thread bit-identity.
+    #[test]
+    fn drain_agrees_on_16k_shaped_railed_fabric(
+        seed in 0u64..1_000_000,
+        streams in 12usize..40,
+        noise_kind in 0usize..3,
+        kill_links in 0usize..3,
+    ) {
+        let mut topo = Topology::build(&ClosConfig::pod_grouped_railed(2048, 8));
+        let specs = railed_16k_specs(&topo, seed, streams);
+        prop_assume!(!specs.is_empty());
+
+        // Kill links flows actually cross: stalled flows turn their
+        // components fully dead (husks) while survivors re-partition.
+        let mut rng = DetRng::seed_from(seed ^ 0xDEAD);
+        for k in 0..kill_links {
+            let victim = &specs[rng.index(specs.len())];
+            if victim.route.is_empty() {
+                continue;
+            }
+            let l = victim.route[rng.index(victim.route.len())];
+            if k % 2 == 0 {
+                topo.link_mut(l).set_up(false);
+            } else {
+                topo.link_mut(l).set_degradation(0.25);
+            }
+        }
+
+        let cfg = DrainConfig {
+            start: SimTime::ZERO,
+            deadline: None,
+            epoch: SimDuration::from_micros(400),
+            rate_noise: [0.04, 0.10, 0.25][noise_kind],
+            cnp: Some(CnpModel::paper_default()),
+            parallel: ParallelPolicy::SERIAL,
+        };
+        let mut rng_a = DetRng::seed_from(seed ^ 0x16AA);
+        let mut rng_b = DetRng::seed_from(seed ^ 0x16AA);
+        let inc = drain(&topo, &specs, &cfg, &mut rng_a);
+        let reference = drain_reference(&topo, &specs, &cfg, &mut rng_b);
+        assert_reports_agree(&inc, &reference, "16k-shaped drain");
+        let next_after_serial = rng_a.uniform();
+        assert_eq!(
+            next_after_serial.to_bits(),
+            rng_b.uniform().to_bits(),
+            "16k-shaped drain must match the reference's RNG position"
+        );
+        for threads in [2usize, 4] {
+            let par_cfg = DrainConfig {
+                parallel: ParallelPolicy::with_threads(threads),
+                ..cfg.clone()
+            };
+            let mut rng_p = DetRng::seed_from(seed ^ 0x16AA);
+            let par = drain(&topo, &specs, &par_cfg, &mut rng_p);
+            assert_reports_identical(
+                &par,
+                &inc,
+                &format!("16k-shaped {threads}-thread drain"),
+            );
+            assert_eq!(
+                rng_p.uniform().to_bits(),
+                next_after_serial.to_bits(),
+                "thread count must not change RNG consumption at the 16k shape"
+            );
+        }
+    }
+}
+
 /// A deterministic end-to-end spot check through the collective engine: the
 /// engine's own drains (which now run incrementally) reproduce the
 /// reference solver's allocation for a full allreduce flow set.
