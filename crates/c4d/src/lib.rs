@@ -28,6 +28,13 @@
 //! [`smoothing`] implements the paper's stated future-work extension:
 //! windowed averaging of per-rank load so Expert-Parallel imbalance is not
 //! misdiagnosed as a slow node (§V).
+//!
+//! [`streaming`] re-plumbs the detectors as incremental consumers of the
+//! telemetry pipeline (`c4_telemetry::pipeline`): bounded per-rank /
+//! per-connection state fed one event at a time, with verdicts pinned
+//! bit-identical to the batch reference implementations above.
+
+#![warn(missing_docs)]
 
 pub mod detectors;
 pub mod master;
@@ -35,6 +42,7 @@ pub mod matrix;
 pub mod rca;
 pub mod smoothing;
 pub mod steering;
+pub mod streaming;
 
 pub use detectors::{detect_hang, detect_noncomm_slow, DetectorConfig, Syndrome};
 pub use master::{C4dMaster, Diagnosis};
@@ -42,3 +50,6 @@ pub use matrix::{DelayMatrix, MatrixFinding};
 pub use rca::{analyze as analyze_root_cause, Hypothesis, RcaReport};
 pub use smoothing::{raw_straggler, LoadSmoother};
 pub use steering::{JobSteering, ReplacementPlan, SteeringConfig, SteeringError};
+pub use streaming::{
+    CollHealthDetector, StepVerdict, StreamSmoother, StreamVerdict, StreamingC4dMaster,
+};

@@ -57,44 +57,16 @@ impl C4dMaster {
         comm: &CommRecord,
         snapshots: &[TelemetrySnapshot],
     ) -> Vec<Diagnosis> {
-        let mut out = Vec::new();
-
-        // Hang syndromes (critical).
-        if let Some(syndrome) = detect_hang(now, comm, snapshots, &self.cfg) {
-            let (kind, rank) = match &syndrome {
-                Syndrome::NonCommHang { missing_ranks, .. } => {
-                    (EventKind::NonCommHang, missing_ranks.first().copied())
-                }
-                Syndrome::CommHang { stuck_ranks, .. } => {
-                    (EventKind::CommHang, stuck_ranks.first().copied())
-                }
-                _ => unreachable!("detect_hang returns hang syndromes"),
-            };
-            // For a comm hang every rank is stuck; the suspect is found via
-            // transport records (the rank whose connections stopped
-            // completing first). For a non-comm hang the missing rank is it.
-            let suspect_rank = match &syndrome {
-                Syndrome::NonCommHang { missing_ranks, .. } => missing_ranks.first().copied(),
-                Syndrome::CommHang { .. } => stalled_rank_from_transport(comm, snapshots).or(rank),
-                _ => None,
-            };
-            let suspect = suspect_rank.map(|r| topo.gpu(comm.devices[r as usize]).node);
-            self.log.push(C4Event {
-                time: now,
-                severity: Severity::Critical,
-                kind,
-                node: suspect,
-                gpu: suspect_rank.map(|r| comm.devices[r as usize]),
-                link: None,
-                detail: format!("comm {} syndrome {:?}", comm.comm, kind),
-            });
-            out.push(Diagnosis {
-                at: now,
-                syndrome,
-                suspect,
-                critical: true,
-            });
-        }
+        // Hang syndromes (critical). For a comm hang the transport-level
+        // stalled rank refines the suspect inside `emit_diagnoses`.
+        let hang = detect_hang(now, comm, snapshots, &self.cfg).map(|syndrome| {
+            let stalled = matches!(syndrome, Syndrome::CommHang { .. })
+                .then(|| {
+                    stalled_rank_from_conns(comm, snapshots.iter().flat_map(|s| s.conns.iter()))
+                })
+                .flatten();
+            (syndrome, stalled)
+        });
 
         // Communication slow (warning): delay-matrix localization.
         let matrix = DelayMatrix::from_conn_records(
@@ -102,60 +74,122 @@ impl C4dMaster {
             snapshots.iter().flat_map(|s| s.conns.iter()),
         );
         let findings = matrix.analyze(self.cfg.slow_factor, self.cfg.row_col_fraction);
-        if !findings.is_empty() {
-            let suspect = match findings[0] {
-                MatrixFinding::TxSlow { rank, .. } | MatrixFinding::RxSlow { rank, .. } => {
-                    Some(topo.gpu(comm.devices[rank as usize]).node)
-                }
-                MatrixFinding::ConnectionSlow { .. } => None,
-            };
-            self.log.push(C4Event {
-                time: now,
-                severity: Severity::Warning,
-                kind: EventKind::CommSlow,
-                node: suspect,
-                gpu: None,
-                link: None,
-                detail: format!("comm {}: {:?}", comm.comm, findings[0]),
-            });
-            out.push(Diagnosis {
-                at: now,
-                syndrome: Syndrome::CommSlow {
-                    comm: comm.comm,
-                    findings,
-                },
-                suspect,
-                critical: false,
-            });
-        }
 
         // Non-communication slow (warning): straggler rank.
-        if let Some(syndrome) = detect_noncomm_slow(comm, snapshots, &self.cfg) {
-            let suspect = match &syndrome {
-                Syndrome::NonCommSlow { straggler, .. } => {
-                    Some(topo.gpu(comm.devices[*straggler as usize]).node)
-                }
-                _ => None,
-            };
-            self.log.push(C4Event {
-                time: now,
-                severity: Severity::Warning,
-                kind: EventKind::NonCommSlow,
-                node: suspect,
-                gpu: None,
-                link: None,
-                detail: format!("comm {} straggler", comm.comm),
-            });
-            out.push(Diagnosis {
-                at: now,
-                syndrome,
-                suspect,
-                critical: false,
-            });
-        }
+        let noncomm = detect_noncomm_slow(comm, snapshots, &self.cfg);
 
-        out
+        emit_diagnoses(now, topo, comm, hang, findings, noncomm, &mut self.log)
     }
+}
+
+/// Turns detector outputs into diagnoses + C4 events — the single shared
+/// emission path of the batch [`C4dMaster::scan`] and the streaming
+/// [`crate::streaming::StreamingC4dMaster::scan`]. Both paths computing
+/// identical detector outputs therefore produce structurally identical
+/// diagnoses and event-log entries (the property the stream==batch
+/// differential pins).
+///
+/// `hang` carries the hang syndrome plus the transport-level stalled rank
+/// (used to refine the comm-hang suspect; ignored for non-comm hangs).
+pub(crate) fn emit_diagnoses(
+    now: SimTime,
+    topo: &Topology,
+    comm: &CommRecord,
+    hang: Option<(Syndrome, Option<u32>)>,
+    findings: Vec<MatrixFinding>,
+    noncomm: Option<Syndrome>,
+    log: &mut EventLog,
+) -> Vec<Diagnosis> {
+    let mut out = Vec::new();
+
+    if let Some((syndrome, stalled)) = hang {
+        let (kind, rank) = match &syndrome {
+            Syndrome::NonCommHang { missing_ranks, .. } => {
+                (EventKind::NonCommHang, missing_ranks.first().copied())
+            }
+            Syndrome::CommHang { stuck_ranks, .. } => {
+                (EventKind::CommHang, stuck_ranks.first().copied())
+            }
+            _ => unreachable!("hang input carries hang syndromes"),
+        };
+        // For a comm hang every rank is stuck; the suspect is found via
+        // transport records (the rank whose connections stopped
+        // completing first). For a non-comm hang the missing rank is it.
+        let suspect_rank = match &syndrome {
+            Syndrome::NonCommHang { missing_ranks, .. } => missing_ranks.first().copied(),
+            Syndrome::CommHang { .. } => stalled.or(rank),
+            _ => None,
+        };
+        let suspect = suspect_rank.map(|r| topo.gpu(comm.devices[r as usize]).node);
+        log.push(C4Event {
+            time: now,
+            severity: Severity::Critical,
+            kind,
+            node: suspect,
+            gpu: suspect_rank.map(|r| comm.devices[r as usize]),
+            link: None,
+            detail: format!("comm {} syndrome {:?}", comm.comm, kind),
+        });
+        out.push(Diagnosis {
+            at: now,
+            syndrome,
+            suspect,
+            critical: true,
+        });
+    }
+
+    if !findings.is_empty() {
+        let suspect = match findings[0] {
+            MatrixFinding::TxSlow { rank, .. } | MatrixFinding::RxSlow { rank, .. } => {
+                Some(topo.gpu(comm.devices[rank as usize]).node)
+            }
+            MatrixFinding::ConnectionSlow { .. } => None,
+        };
+        log.push(C4Event {
+            time: now,
+            severity: Severity::Warning,
+            kind: EventKind::CommSlow,
+            node: suspect,
+            gpu: None,
+            link: None,
+            detail: format!("comm {}: {:?}", comm.comm, findings[0]),
+        });
+        out.push(Diagnosis {
+            at: now,
+            syndrome: Syndrome::CommSlow {
+                comm: comm.comm,
+                findings,
+            },
+            suspect,
+            critical: false,
+        });
+    }
+
+    if let Some(syndrome) = noncomm {
+        let suspect = match &syndrome {
+            Syndrome::NonCommSlow { straggler, .. } => {
+                Some(topo.gpu(comm.devices[*straggler as usize]).node)
+            }
+            _ => None,
+        };
+        log.push(C4Event {
+            time: now,
+            severity: Severity::Warning,
+            kind: EventKind::NonCommSlow,
+            node: suspect,
+            gpu: None,
+            link: None,
+            detail: format!("comm {} straggler", comm.comm),
+        });
+        out.push(Diagnosis {
+            at: now,
+            syndrome,
+            suspect,
+            critical: false,
+        });
+    }
+
+    out
 }
 
 /// For a communication hang, the suspect is the rank whose transport went
@@ -163,23 +197,28 @@ impl C4dMaster {
 /// sends targeting it stopped completing. A rank that merely sends into a
 /// dead peer keeps receiving normally, which disambiguates the two ends of
 /// a dead connection.
-fn stalled_rank_from_transport(comm: &CommRecord, snapshots: &[TelemetrySnapshot]) -> Option<u32> {
+///
+/// Shared by the batch path (which flattens snapshot connection lists) and
+/// the streaming path (which iterates its connection store): `last_tx` /
+/// `last_rx` are maxima, so any iteration order yields the same result.
+pub(crate) fn stalled_rank_from_conns<'a>(
+    comm: &CommRecord,
+    conns: impl Iterator<Item = &'a c4_telemetry::ConnRecord>,
+) -> Option<u32> {
     let nranks = comm.nranks();
     let mut last_tx: Vec<Option<SimTime>> = vec![None; nranks];
     let mut last_rx: Vec<Option<SimTime>> = vec![None; nranks];
-    for snap in snapshots {
-        for conn in snap.conns.iter().filter(|c| c.key.comm == comm.comm) {
-            let Some(done) = conn.last_completion else {
-                continue;
-            };
-            if let Some(src) = comm.rank_of(conn.key.src_gpu) {
-                let t = &mut last_tx[src];
-                *t = Some(t.map_or(done, |prev| prev.max(done)));
-            }
-            if let Some(dst) = comm.rank_of(conn.key.dst_gpu) {
-                let t = &mut last_rx[dst];
-                *t = Some(t.map_or(done, |prev| prev.max(done)));
-            }
+    for conn in conns.filter(|c| c.key.comm == comm.comm) {
+        let Some(done) = conn.last_completion else {
+            continue;
+        };
+        if let Some(src) = comm.rank_of(conn.key.src_gpu) {
+            let t = &mut last_tx[src];
+            *t = Some(t.map_or(done, |prev| prev.max(done)));
+        }
+        if let Some(dst) = comm.rank_of(conn.key.dst_gpu) {
+            let t = &mut last_rx[dst];
+            *t = Some(t.map_or(done, |prev| prev.max(done)));
         }
     }
     // Quiet time per rank: the most recent activity in either direction;

@@ -16,10 +16,16 @@ pub use c4_netsim::{
     FlowOutcome, FlowSpec, MaxMinState, PathChoice, PathSelector, RailLocalSelector,
 };
 
-pub use c4_telemetry::csv::to_csv_document;
+pub use c4_telemetry::csv::{parse_csv_document, to_csv_document, FromCsv};
+pub use c4_telemetry::pipeline::{
+    events_from_snapshots, group_by_key, run_pipeline, Aggregate, Combiner, CsvEventReader,
+    CsvSink, EventSink, EventSource, MemorySource, SummarySink, TimeAxis, WindowPane, WindowSpec,
+    WindowSummaryRecord, WindowedAggregate,
+};
 pub use c4_telemetry::{
     AlgoKind, C4Event, ClusterSummary, CollKind, CollRecord, CommRecord, ConnKey, ConnRecord,
-    DataType, EventKind, EventLog, RankRecord, Severity, TelemetrySnapshot, ToCsv, WorkerTelemetry,
+    DataType, EventKind, EventLog, LoadSample, RankRecord, Severity, TelemetryEvent,
+    TelemetrySnapshot, ToCsv, WorkerTelemetry,
 };
 
 pub use c4_collectives::{
@@ -34,9 +40,10 @@ pub use c4_faults::{
 };
 
 pub use c4_diagnosis::{
-    analyze_root_cause, detect_hang, detect_noncomm_slow, raw_straggler, C4dMaster, DelayMatrix,
-    DetectorConfig, Diagnosis, Hypothesis, JobSteering, LoadSmoother, MatrixFinding, RcaReport,
-    ReplacementPlan, SteeringConfig, SteeringError, Syndrome,
+    analyze_root_cause, detect_hang, detect_noncomm_slow, raw_straggler, C4dMaster,
+    CollHealthDetector, DelayMatrix, DetectorConfig, Diagnosis, Hypothesis, JobSteering,
+    LoadSmoother, MatrixFinding, RcaReport, ReplacementPlan, SteeringConfig, SteeringError,
+    StepVerdict, StreamSmoother, StreamVerdict, StreamingC4dMaster, Syndrome,
 };
 
 pub use c4_traffic::{C4pConfig, C4pMaster, PathCatalog, PathLoadLedger};

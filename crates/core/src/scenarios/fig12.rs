@@ -11,9 +11,15 @@
 use std::time::Instant;
 
 use c4_collectives::{run_concurrent, CollectiveRequest, Communicator};
+use c4_diagnosis::{C4dMaster, DetectorConfig, Diagnosis, StreamingC4dMaster};
 use c4_netsim::{CnpModel, DrainConfig};
-use c4_simcore::{DetRng, JsonValue};
-use c4_topology::{ClosConfig, GpuId, NodeId, Topology, WiringMode};
+use c4_simcore::{DetRng, JsonValue, SimTime};
+use c4_telemetry::pipeline::{run_pipeline, CsvEventReader, CsvSink, EventSink, MemorySource};
+use c4_telemetry::{
+    AlgoKind, CollKind, CollRecord, CommRecord, ConnKey, DataType, TelemetrySnapshot,
+    WorkerTelemetry,
+};
+use c4_topology::{ClosConfig, GpuId, NodeId, PortId, Topology, WiringMode};
 use c4_traffic::{C4pConfig, C4pMaster};
 
 use crate::scenarios::benchmark_request;
@@ -50,8 +56,125 @@ pub struct Fig12Report {
     pub port_series: Vec<(f64, Vec<f64>)>,
 }
 
+/// Per-rank telemetry captured from **job 0** of a Fig 12 run, re-based
+/// onto one monotone clock (each iteration's collectives start at
+/// `SimTime::ZERO` inside the engine; the capture shifts them by the
+/// accumulated iteration wall so the stream is a valid time series).
+///
+/// This is the recorded-scenario traffic the stream==batch detection
+/// differential runs on: [`run_detection`] feeds the same snapshots to the
+/// matrix-based [`C4dMaster`] and, as an event stream, to the incremental
+/// [`StreamingC4dMaster`] — live and replayed from CSV.
+#[derive(Debug, Clone)]
+pub struct Fig12Telemetry {
+    comm: CommRecord,
+    workers: Vec<WorkerTelemetry>,
+    offset_ns: u64,
+}
+
+impl Fig12Telemetry {
+    fn new(comm: CommRecord) -> Self {
+        let workers = comm
+            .devices
+            .iter()
+            .map(|&g| WorkerTelemetry::new(g))
+            .collect();
+        Fig12Telemetry {
+            comm,
+            workers,
+            offset_ns: 0,
+        }
+    }
+
+    /// The observed communicator (job 0: 16 GPUs over two nodes).
+    pub fn comm(&self) -> &CommRecord {
+        &self.comm
+    }
+
+    /// End of capture on the re-based clock — the detection scan time.
+    pub fn taken(&self) -> SimTime {
+        SimTime::from_nanos(self.offset_ns)
+    }
+
+    /// Per-rank snapshots at end of run (`snapshots[rank]` is rank
+    /// `rank`'s).
+    pub fn snapshots(&self) -> Vec<TelemetrySnapshot> {
+        let taken = self.taken();
+        self.workers.iter().map(|w| w.snapshot(taken)).collect()
+    }
+
+    /// Folds one iteration's job-0 result into the per-rank stores.
+    fn record_iteration(
+        &mut self,
+        it: u64,
+        r0: &c4_collectives::CollectiveResult,
+        iter_end: Option<SimTime>,
+    ) {
+        let off = self.offset_ns;
+        let shift = move |t: SimTime| SimTime::from_nanos(off + t.as_nanos());
+        for (rank, w) in self.workers.iter_mut().enumerate() {
+            w.record_coll(CollRecord {
+                comm: self.comm.comm,
+                seq: it,
+                rank: rank as u32,
+                kind: CollKind::AllReduce,
+                algo: AlgoKind::Ring,
+                dtype: DataType::Bf16,
+                count: 512 * 1024 * 1024,
+                start: shift(r0.started),
+                end: r0.finished.map(shift),
+            });
+        }
+        for o in &r0.qp_outcomes {
+            let Some(finish) = o.finish else { continue };
+            let Some(rank) = self.comm.rank_of(o.key.src_gpu) else {
+                continue;
+            };
+            self.workers[rank].record_message(
+                ConnKey {
+                    comm: self.comm.comm,
+                    channel: o.key.channel,
+                    qp: o.key.qp,
+                    src_gpu: o.key.src_gpu,
+                    dst_gpu: o.key.dst_gpu,
+                },
+                // Source ports are not re-derived from the path; the delay
+                // matrix keys on (src, dst) only.
+                PortId::from_index(0),
+                o.bytes.as_bytes(),
+                finish - o.start,
+                shift(finish),
+            );
+        }
+        self.offset_ns += iter_end.map(|t| t.as_nanos()).unwrap_or(0);
+    }
+}
+
 /// Runs the failure experiment in one mode.
 pub fn run(dynamic: bool, seed: u64, iters: usize, fail_at: usize) -> Fig12Report {
+    run_inner(dynamic, seed, iters, fail_at, false).0
+}
+
+/// Runs the failure experiment in one mode, capturing job 0's telemetry
+/// for the streaming-detection differential. The capture only *reads* the
+/// per-iteration results — the report is bit-identical to [`run`]'s.
+pub fn run_with_telemetry(
+    dynamic: bool,
+    seed: u64,
+    iters: usize,
+    fail_at: usize,
+) -> (Fig12Report, Fig12Telemetry) {
+    let (report, tele) = run_inner(dynamic, seed, iters, fail_at, true);
+    (report, tele.expect("capture requested"))
+}
+
+fn run_inner(
+    dynamic: bool,
+    seed: u64,
+    iters: usize,
+    fail_at: usize,
+    capture: bool,
+) -> (Fig12Report, Option<Fig12Telemetry>) {
     let mut topo = Topology::build(&fig12_testbed());
     let jobs: Vec<Communicator> = (0..8)
         .map(|i| {
@@ -82,6 +205,14 @@ pub fn run(dynamic: bool, seed: u64, iters: usize, fail_at: usize) -> Fig12Repor
         .map(|s| topo.fabric_up_links(0, s)[0])
         .collect();
 
+    let mut tele = capture.then(|| {
+        Fig12Telemetry::new(CommRecord {
+            comm: jobs[0].id(),
+            devices: jobs[0].devices().to_vec(),
+            created: SimTime::ZERO,
+        })
+    });
+
     let mut per_iter = Vec::with_capacity(iters);
     let mut port_series = Vec::with_capacity(iters);
     let mut clock = 0.0_f64;
@@ -111,6 +242,10 @@ pub fn run(dynamic: bool, seed: u64, iters: usize, fail_at: usize) -> Fig12Repor
             .collect();
         for r in &results {
             selector.observe(&r.qp_outcomes);
+        }
+        if let Some(t) = tele.as_mut() {
+            let iter_end = results.iter().filter_map(|r| r.finished).max();
+            t.record_iteration(it as u64, &results[0], iter_end);
         }
         clock += iter_secs;
         // Fig 13: per-uplink bandwidth this iteration.
@@ -147,14 +282,80 @@ pub fn run(dynamic: bool, seed: u64, iters: usize, fail_at: usize) -> Fig12Repor
     let pre_mean = mean_over(0..fail_at.min(iters));
     let post_mean = mean_over(fail_at.min(iters)..iters);
 
-    Fig12Report {
-        dynamic,
-        fail_at,
-        per_iter_busbw: per_iter,
-        pre_mean,
-        post_mean,
-        ideal_post: 362.0 * 7.0 / 8.0,
-        port_series,
+    (
+        Fig12Report {
+            dynamic,
+            fail_at,
+            per_iter_busbw: per_iter,
+            pre_mean,
+            post_mean,
+            ideal_post: 362.0 * 7.0 / 8.0,
+            port_series,
+        },
+        tele,
+    )
+}
+
+/// The streaming-vs-batch detection differential over one telemetry
+/// capture: every field triple must agree for the stream==batch invariant
+/// to hold.
+#[derive(Debug, Clone)]
+pub struct Fig12Detection {
+    /// Matrix-based (batch) diagnoses from [`C4dMaster::scan`].
+    pub batch: Vec<Diagnosis>,
+    /// Incremental diagnoses from the live event feed.
+    pub streamed: Vec<Diagnosis>,
+    /// Incremental diagnoses after a CSV round trip of the same feed.
+    pub replayed: Vec<Diagnosis>,
+    /// Batch master `events.csv`.
+    pub batch_log_csv: String,
+    /// Streaming master `events.csv` (live feed).
+    pub streamed_log_csv: String,
+    /// Streaming master `events.csv` (CSV replay).
+    pub replayed_log_csv: String,
+    /// The recorded event stream itself (lossless CSV transport).
+    pub events_csv: String,
+}
+
+/// Runs C4D three ways over a Fig 12 capture: the batch (whole-matrix)
+/// reference, the streaming master on the live canonical event feed, and
+/// the streaming master again on a CSV round trip of that feed. All three
+/// must produce identical diagnoses and event logs — the differential the
+/// `streaming_differential` integration test pins.
+pub fn run_detection(tele: &Fig12Telemetry) -> Fig12Detection {
+    let topo = Topology::build(&fig12_testbed());
+    let cfg = DetectorConfig::default();
+    let snaps = tele.snapshots();
+    let now = tele.taken();
+
+    let mut batch = C4dMaster::new(cfg);
+    let batch_diags = batch.scan(now, &topo, tele.comm(), &snaps);
+
+    // Live feed: the canonical event order of the snapshot set, recorded
+    // to CSV as it streams past.
+    let mut csv_sink = CsvSink::new();
+    let mut live = StreamingC4dMaster::new(cfg, tele.comm().clone());
+    let mut source = MemorySource::from_snapshots(&snaps);
+    let mut sinks: [&mut dyn EventSink; 2] = [&mut live, &mut csv_sink];
+    run_pipeline(&mut source, &mut sinks);
+    let streamed = live.scan(now, &topo);
+
+    // Replay: parse the recorded stream and drive a fresh master.
+    let events_csv = csv_sink.document();
+    let mut replay_src = CsvEventReader::from_document(&events_csv).expect("lossless transport");
+    let mut replay = StreamingC4dMaster::new(cfg, tele.comm().clone());
+    let mut replay_sinks: [&mut dyn EventSink; 1] = [&mut replay];
+    run_pipeline(&mut replay_src, &mut replay_sinks);
+    let replayed = replay.scan(now, &topo);
+
+    Fig12Detection {
+        batch: batch_diags,
+        streamed,
+        replayed,
+        batch_log_csv: batch.log().to_csv(),
+        streamed_log_csv: live.log().to_csv(),
+        replayed_log_csv: replay.log().to_csv(),
+        events_csv,
     }
 }
 
@@ -427,6 +628,32 @@ mod tests {
             dy.post_mean,
             dy.ideal_post
         );
+    }
+
+    #[test]
+    fn telemetry_capture_is_monotone_and_does_not_perturb_the_run() {
+        let (r, tele) = run_with_telemetry(false, 42, 4, 2);
+        let plain = run(false, 42, 4, 2);
+        assert_eq!(
+            r.per_iter_busbw, plain.per_iter_busbw,
+            "capture must not perturb the simulation"
+        );
+        let snaps = tele.snapshots();
+        assert_eq!(snaps.len(), 16, "one snapshot per job-0 rank");
+        for s in &snaps {
+            assert_eq!(s.colls.len(), 4, "one collective record per iteration");
+            let starts: Vec<u64> = s.colls.iter().map(|c| c.start.as_nanos()).collect();
+            assert!(
+                starts.windows(2).all(|w| w[0] < w[1]),
+                "re-based clock must be monotone: {starts:?}"
+            );
+            assert!(s.colls.iter().all(|c| c.end.is_some()), "healthy run");
+        }
+        assert!(
+            snaps.iter().any(|s| !s.conns.is_empty()),
+            "boundary flows must produce connection aggregates"
+        );
+        assert!(tele.taken() > SimTime::ZERO);
     }
 
     #[test]

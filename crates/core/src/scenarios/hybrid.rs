@@ -24,10 +24,10 @@
 use std::time::Instant;
 
 use c4_collectives::EpSkew;
-use c4_diagnosis::{raw_straggler, LoadSmoother};
+use c4_diagnosis::{raw_straggler, LoadSmoother, StepVerdict, StreamSmoother};
 use c4_netsim::{mix64, CnpModel, DrainConfig, EcmpSelector, PathSelector};
 use c4_simcore::{DetRng, JsonValue, ParallelPolicy};
-use c4_telemetry::CollKind;
+use c4_telemetry::{CollKind, TelemetryEvent};
 use c4_topology::{ClosConfig, NodeId, Topology};
 use c4_traffic::{C4pConfig, C4pMaster};
 use c4_trainsim::{HybridJob, HybridSpec};
@@ -352,6 +352,22 @@ pub struct EpImbalanceReport {
     pub detected_rank: Option<usize>,
     /// The rank the hot expert was pinned to.
     pub pinned_rank: usize,
+    /// Rotation steps the **streamed** raw detector (a window-1
+    /// [`StreamSmoother`] fed [`TelemetryEvent::Load`]s) flagged — must
+    /// equal [`raw_false_positives`](Self::raw_false_positives).
+    pub streamed_raw_false_positives: usize,
+    /// Rotation steps the streamed windowed detector flagged — must equal
+    /// [`smoothed_false_positives`](Self::smoothed_false_positives).
+    pub streamed_smoothed_false_positives: usize,
+    /// First pinned-phase step the streamed windowed detector fired — must
+    /// equal [`smoothed_detect_step`](Self::smoothed_detect_step).
+    pub streamed_detect_step: Option<usize>,
+    /// The rank the streamed windowed detector flagged.
+    pub streamed_detected_rank: Option<usize>,
+    /// The recorded EP load stream (first EP group, canonical rank order) —
+    /// the input both streamed detectors consumed, kept for CSV-replay
+    /// differentials.
+    pub load_events: Vec<TelemetryEvent>,
 }
 
 /// Runs the EP-imbalance study: real all-to-all traffic on a hybrid job
@@ -385,11 +401,27 @@ pub fn run_ep_imbalance(cfg: &EpImbalanceConfig) -> EpImbalanceReport {
     let mut raw_fp = 0usize;
     let mut smoothed_fp = 0usize;
     let mut rotation: Vec<usize> = Vec::new();
-    let mut step_loads = |job: &mut HybridJob, hot: usize, rng: &mut DetRng| -> Vec<f64> {
+    // The live telemetry stream: per-step Load events for the first EP
+    // group, in the canonical rank order the batch loads vector uses.
+    let mut events: Vec<TelemetryEvent> = Vec::new();
+    let mut step_no: u64 = 0;
+    let mut step_loads = |job: &mut HybridJob,
+                          hot: usize,
+                          rng: &mut DetRng,
+                          events: &mut Vec<TelemetryEvent>,
+                          step: u64|
+     -> Vec<f64> {
         job.set_ep_skew(EpSkew::hot(hot as u32, cfg.hot_factor));
         let r = job.run_iteration(&topo, &mut selector, None, rng);
         // Expert load signal: bytes received by each rank of the first EP
         // group (all groups share the skew; one suffices).
+        let first = job.ep_comms()[0].id();
+        events.extend(
+            job.ep_load_samples(&r, step)
+                .into_iter()
+                .filter(|s| s.comm == first)
+                .map(TelemetryEvent::Load),
+        );
         r.ep_recv_bytes[0].iter().map(|&b| b as f64).collect()
     };
 
@@ -399,7 +431,8 @@ pub fn run_ep_imbalance(cfg: &EpImbalanceConfig) -> EpImbalanceReport {
             rng.shuffle(&mut rotation);
         }
         let hot = rotation.pop().expect("refilled above");
-        let loads = step_loads(&mut job, hot, &mut rng);
+        let loads = step_loads(&mut job, hot, &mut rng, &mut events, step_no);
+        step_no += 1;
         if raw_straggler(&loads, cfg.factor).is_some() {
             raw_fp += 1;
         }
@@ -414,7 +447,8 @@ pub fn run_ep_imbalance(cfg: &EpImbalanceConfig) -> EpImbalanceReport {
     let mut detect = None;
     let mut detected_rank = None;
     for step in 0..cfg.pinned_steps {
-        let loads = step_loads(&mut job, pinned_rank, &mut rng);
+        let loads = step_loads(&mut job, pinned_rank, &mut rng, &mut events, step_no);
+        step_no += 1;
         smoother.push_step(&loads);
         if detect.is_none() {
             if let Some((rank, _)) = smoother.detect_straggler(cfg.factor) {
@@ -424,6 +458,25 @@ pub fn run_ep_imbalance(cfg: &EpImbalanceConfig) -> EpImbalanceReport {
         }
     }
 
+    // The streaming twins consume the recorded event stream: a window-1
+    // smoother is exactly the raw per-step test, the window-W smoother the
+    // batch `LoadSmoother` — both must reproduce the batch verdicts.
+    let (raw_verdicts, smooth_verdicts) = stream_ep_verdicts(&events, ep, cfg);
+    let rotate = cfg.rotate_steps as u64;
+    let streamed_raw_fp = raw_verdicts
+        .iter()
+        .filter(|v| v.step < rotate && v.verdict.is_some())
+        .count();
+    let streamed_smoothed_fp = smooth_verdicts
+        .iter()
+        .filter(|v| v.step < rotate && v.verdict.is_some())
+        .count();
+    let first_hit = smooth_verdicts
+        .iter()
+        .find(|v| v.step >= rotate && v.verdict.is_some());
+    let streamed_detect_step = first_hit.map(|v| (v.step - rotate) as usize);
+    let streamed_detected_rank = first_hit.and_then(|v| v.verdict.map(|(r, _)| r));
+
     EpImbalanceReport {
         rotate_steps: cfg.rotate_steps,
         pinned_steps: cfg.pinned_steps,
@@ -432,7 +485,33 @@ pub fn run_ep_imbalance(cfg: &EpImbalanceConfig) -> EpImbalanceReport {
         smoothed_detect_step: detect,
         detected_rank,
         pinned_rank,
+        streamed_raw_false_positives: streamed_raw_fp,
+        streamed_smoothed_false_positives: streamed_smoothed_fp,
+        streamed_detect_step,
+        streamed_detected_rank,
+        load_events: events,
     }
+}
+
+/// Drives the streamed raw (window 1) and windowed EP detectors over a load
+/// event stream, returning their per-step verdicts. Public so the CSV-replay
+/// differential can re-run detection on a parsed copy of the stream.
+pub fn stream_ep_verdicts(
+    events: &[TelemetryEvent],
+    ep: usize,
+    cfg: &EpImbalanceConfig,
+) -> (Vec<StepVerdict>, Vec<StepVerdict>) {
+    let mut raw = StreamSmoother::new(ep, 1, cfg.factor);
+    let mut smooth = StreamSmoother::new(ep, cfg.window, cfg.factor);
+    let mut raw_verdicts = Vec::new();
+    let mut smooth_verdicts = Vec::new();
+    for e in events {
+        raw_verdicts.extend(raw.feed(e));
+        smooth_verdicts.extend(smooth.feed(e));
+    }
+    raw_verdicts.extend(raw.flush());
+    smooth_verdicts.extend(smooth.flush());
+    (raw_verdicts, smooth_verdicts)
 }
 
 impl EpImbalanceReport {
@@ -560,5 +639,15 @@ mod tests {
             "detection within the window of the onset, got step {step}"
         );
         assert_eq!(r.detected_rank, Some(r.pinned_rank));
+        // The streaming twins, fed the recorded event stream, reproduce the
+        // batch verdicts exactly.
+        assert_eq!(r.streamed_raw_false_positives, r.raw_false_positives);
+        assert_eq!(
+            r.streamed_smoothed_false_positives,
+            r.smoothed_false_positives
+        );
+        assert_eq!(r.streamed_detect_step, r.smoothed_detect_step);
+        assert_eq!(r.streamed_detected_rank, r.detected_rank);
+        assert!(!r.load_events.is_empty(), "stream must carry load events");
     }
 }

@@ -1,8 +1,66 @@
 //! CSV serialization of the four statistics streams, matching the per-worker
 //! artifact set of the paper's Fig 5 (`comm-stats.csv`, `coll-stats.csv`,
-//! `rank-stats.csv`, `conn-stats.csv`).
+//! `rank-stats.csv`, `conn-stats.csv`) — and, since the pipeline landed,
+//! the **parse** direction as well.
+//!
+//! Round-trip contract: for every record type `T` here,
+//! `T::from_csv_row(&t.to_csv_row()) == Ok(t)` exactly. Times and durations
+//! are emitted with full nanosecond precision via integer math (never
+//! through `f64`), so a CSV-replayed telemetry stream drives the detectors
+//! to **bit-identical** verdicts (see `c4_diagnosis::streaming`). Derived
+//! columns (`duration_ms`, `effective_gbps`) are recomputed on parse and
+//! ignored as input.
+//!
+//! Quoting follows RFC 4180: fields containing commas, quotes or newlines
+//! are wrapped in double quotes with embedded quotes doubled;
+//! [`split_records`] understands newlines inside quoted fields so free-text
+//! columns (the event log's `detail`) survive verbatim.
 
-use crate::record::{CollRecord, CommRecord, ConnRecord, RankRecord};
+use std::fmt;
+
+use c4_simcore::{SimDuration, SimTime};
+use c4_topology::GpuId;
+
+use crate::record::{CollRecord, CommRecord, ConnKey, ConnRecord, RankRecord};
+
+/// A CSV parse failure: which record (1-based, counting the header as
+/// record 0) and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based record index within the document; 0 when unknown (single-row
+    /// parses).
+    pub record: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl CsvError {
+    /// Creates an error with no record position.
+    pub fn new(message: impl Into<String>) -> Self {
+        CsvError {
+            record: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a record index (document-level parses).
+    pub fn at(mut self, record: usize) -> Self {
+        self.record = record;
+        self
+    }
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.record > 0 {
+            write!(f, "csv record {}: {}", self.record, self.message)
+        } else {
+            write!(f, "csv: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
 
 /// Types that serialize to one CSV row (plus a static header).
 pub trait ToCsv {
@@ -12,6 +70,193 @@ pub trait ToCsv {
     fn to_csv_row(&self) -> String;
 }
 
+/// Types that parse back from one CSV row — the inverse of [`ToCsv`].
+pub trait FromCsv: Sized {
+    /// Parses one CSV row (no trailing newline). Derived columns are
+    /// ignored; every stored field must round-trip exactly.
+    fn from_csv_row(row: &str) -> Result<Self, CsvError>;
+}
+
+// ---------------------------------------------------------------------------
+// Lossless numeric formatting (integer math only — never through f64)
+// ---------------------------------------------------------------------------
+
+/// Formats an instant as decimal seconds with full nanosecond precision
+/// (`"1.000000001"`), by integer math only.
+pub fn format_secs(t: SimTime) -> String {
+    let n = t.as_nanos();
+    format!("{}.{:09}", n / 1_000_000_000, n % 1_000_000_000)
+}
+
+/// Parses decimal seconds back to an instant, exactly inverting
+/// [`format_secs`]. Fractions shorter than 9 digits are zero-padded;
+/// digits beyond nanosecond precision are rejected unless zero.
+pub fn parse_secs(s: &str) -> Result<SimTime, CsvError> {
+    Ok(SimTime::from_nanos(parse_scaled(s, 9)?))
+}
+
+/// Formats a span as decimal milliseconds with full nanosecond precision
+/// (`"0.000001"` = 1 ns), by integer math only.
+pub fn format_dur_ms(d: SimDuration) -> String {
+    let n = d.as_nanos();
+    format!("{}.{:06}", n / 1_000_000, n % 1_000_000)
+}
+
+/// Parses decimal milliseconds back to a span, exactly inverting
+/// [`format_dur_ms`].
+pub fn parse_dur_ms(s: &str) -> Result<SimDuration, CsvError> {
+    Ok(SimDuration::from_nanos(parse_scaled(s, 6)?))
+}
+
+/// Parses `"<int>.<frac>"` into `int * 10^frac_digits + frac` with the
+/// fraction right-padded to `frac_digits`. Extra fraction digits must be
+/// zero (nothing real is lost), otherwise the value is rejected rather than
+/// silently rounded.
+fn parse_scaled(s: &str, frac_digits: u32) -> Result<u64, CsvError> {
+    let (int_part, frac_part) = match s.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (s, ""),
+    };
+    let int: u64 = int_part
+        .parse()
+        .map_err(|_| CsvError::new(format!("bad integer part in {s:?}")))?;
+    let mut frac: u64 = 0;
+    for (i, c) in frac_part.chars().enumerate() {
+        let d = c
+            .to_digit(10)
+            .ok_or_else(|| CsvError::new(format!("bad fraction in {s:?}")))? as u64;
+        if (i as u32) < frac_digits {
+            frac = frac * 10 + d;
+        } else if d != 0 {
+            return Err(CsvError::new(format!(
+                "{s:?} carries sub-precision digits that would be lost"
+            )));
+        }
+    }
+    let seen = (frac_part.len() as u32).min(frac_digits);
+    frac *= 10u64.pow(frac_digits - seen);
+    let scale = 10u64.pow(frac_digits);
+    int.checked_mul(scale)
+        .and_then(|v| v.checked_add(frac))
+        .ok_or_else(|| CsvError::new(format!("{s:?} overflows the time range")))
+}
+
+// ---------------------------------------------------------------------------
+// RFC 4180 quoting
+// ---------------------------------------------------------------------------
+
+/// Quotes a field for CSV if it contains a comma, quote, CR or LF; embedded
+/// quotes are doubled. Other fields pass through verbatim.
+pub fn quote_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_string()
+    }
+}
+
+/// Splits one CSV record into fields, honouring RFC 4180 quoting (doubled
+/// quotes inside quoted fields, commas and newlines inside quotes kept).
+pub fn split_fields(row: &str) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = row.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => in_quotes = true,
+                '"' => return Err(CsvError::new("quote inside unquoted field")),
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::new("unterminated quoted field"));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Splits a CSV document into records, keeping newlines that occur inside
+/// quoted fields. Trailing empty records are dropped.
+pub fn split_records(doc: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in doc.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            '\n' if !in_quotes => {
+                let rec = std::mem::take(&mut cur);
+                records.push(rec.strip_suffix('\r').map(str::to_string).unwrap_or(rec));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        records.push(cur.strip_suffix('\r').map(str::to_string).unwrap_or(cur));
+    }
+    while records.last().is_some_and(|r| r.is_empty()) {
+        records.pop();
+    }
+    records
+}
+
+/// Parses one typed field, wrapping the error with the column name.
+pub(crate) fn parse_field<T: std::str::FromStr>(
+    fields: &[String],
+    i: usize,
+    name: &str,
+) -> Result<T, CsvError>
+where
+    T::Err: fmt::Display,
+{
+    let raw = fields
+        .get(i)
+        .ok_or_else(|| CsvError::new(format!("missing column {name}")))?;
+    raw.parse()
+        .map_err(|e| CsvError::new(format!("column {name}: {e} (got {raw:?})")))
+}
+
+fn expect_columns(fields: &[String], n: usize, what: &str) -> Result<(), CsvError> {
+    if fields.len() != n {
+        return Err(CsvError::new(format!(
+            "{what} rows carry {n} columns, got {}",
+            fields.len()
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Record impls
+// ---------------------------------------------------------------------------
+
 impl ToCsv for CommRecord {
     fn csv_header() -> &'static str {
         "comm,nranks,devices,created_s"
@@ -20,12 +265,44 @@ impl ToCsv for CommRecord {
     fn to_csv_row(&self) -> String {
         let devices: Vec<String> = self.devices.iter().map(|d| d.index().to_string()).collect();
         format!(
-            "{},{},{},{:.6}",
+            "{},{},{},{}",
             self.comm,
             self.nranks(),
             devices.join("|"),
-            self.created.as_secs_f64()
+            format_secs(self.created)
         )
+    }
+}
+
+impl FromCsv for CommRecord {
+    fn from_csv_row(row: &str) -> Result<Self, CsvError> {
+        let fields = split_fields(row)?;
+        expect_columns(&fields, 4, "comm-stats")?;
+        let devices: Vec<GpuId> = if fields[2].is_empty() {
+            Vec::new()
+        } else {
+            fields[2]
+                .split('|')
+                .map(|d| {
+                    d.parse::<usize>()
+                        .map(GpuId::from_index)
+                        .map_err(|e| CsvError::new(format!("column devices: {e} (got {d:?})")))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let nranks: usize = parse_field(&fields, 1, "nranks")?;
+        if nranks != devices.len() {
+            return Err(CsvError::new(format!(
+                "nranks {} disagrees with {} listed devices",
+                nranks,
+                devices.len()
+            )));
+        }
+        Ok(CommRecord {
+            comm: parse_field(&fields, 0, "comm")?,
+            devices,
+            created: parse_secs(&fields[3])?,
+        })
     }
 }
 
@@ -36,14 +313,11 @@ impl ToCsv for CollRecord {
 
     fn to_csv_row(&self) -> String {
         let (end, dur) = match self.end {
-            Some(e) => (
-                format!("{:.6}", e.as_secs_f64()),
-                format!("{:.3}", (e - self.start).as_millis_f64()),
-            ),
-            None => ("".to_string(), "".to_string()),
+            Some(e) => (format_secs(e), format_dur_ms(e - self.start)),
+            None => (String::new(), String::new()),
         };
         format!(
-            "{},{},{},{},{},{},{},{:.6},{},{}",
+            "{},{},{},{},{},{},{},{},{},{}",
             self.comm,
             self.seq,
             self.rank,
@@ -51,10 +325,34 @@ impl ToCsv for CollRecord {
             self.algo,
             self.dtype,
             self.count,
-            self.start.as_secs_f64(),
+            format_secs(self.start),
             end,
             dur
         )
+    }
+}
+
+impl FromCsv for CollRecord {
+    fn from_csv_row(row: &str) -> Result<Self, CsvError> {
+        let fields = split_fields(row)?;
+        expect_columns(&fields, 10, "coll-stats")?;
+        // `duration_ms` (column 9) is derived from start/end; ignored.
+        let end = if fields[8].is_empty() {
+            None
+        } else {
+            Some(parse_secs(&fields[8])?)
+        };
+        Ok(CollRecord {
+            comm: parse_field(&fields, 0, "comm")?,
+            seq: parse_field(&fields, 1, "seq")?,
+            rank: parse_field(&fields, 2, "rank")?,
+            kind: parse_field(&fields, 3, "op")?,
+            algo: parse_field(&fields, 4, "algo")?,
+            dtype: parse_field(&fields, 5, "dtype")?,
+            count: parse_field(&fields, 6, "count")?,
+            start: parse_secs(&fields[7])?,
+            end,
+        })
     }
 }
 
@@ -64,12 +362,9 @@ impl ToCsv for ConnRecord {
     }
 
     fn to_csv_row(&self) -> String {
-        let last = self
-            .last_completion
-            .map(|t| format!("{:.6}", t.as_secs_f64()))
-            .unwrap_or_default();
+        let last = self.last_completion.map(format_secs).unwrap_or_default();
         format!(
-            "{},{},{},{},{},{},{},{},{:.3},{},{:.3}",
+            "{},{},{},{},{},{},{},{},{},{},{:.3}",
             self.key.comm,
             self.key.channel,
             self.key.qp,
@@ -78,10 +373,37 @@ impl ToCsv for ConnRecord {
             self.src_port.index(),
             self.messages,
             self.bytes,
-            self.busy.as_millis_f64(),
+            format_dur_ms(self.busy),
             last,
             self.effective_gbps()
         )
+    }
+}
+
+impl FromCsv for ConnRecord {
+    fn from_csv_row(row: &str) -> Result<Self, CsvError> {
+        let fields = split_fields(row)?;
+        expect_columns(&fields, 11, "conn-stats")?;
+        // `effective_gbps` (column 10) is derived from bytes/busy; ignored.
+        let last_completion = if fields[9].is_empty() {
+            None
+        } else {
+            Some(parse_secs(&fields[9])?)
+        };
+        Ok(ConnRecord {
+            key: ConnKey {
+                comm: parse_field(&fields, 0, "comm")?,
+                channel: parse_field(&fields, 1, "channel")?,
+                qp: parse_field(&fields, 2, "qp")?,
+                src_gpu: GpuId::from_index(parse_field(&fields, 3, "src_gpu")?),
+                dst_gpu: GpuId::from_index(parse_field(&fields, 4, "dst_gpu")?),
+            },
+            src_port: c4_topology::PortId::from_index(parse_field(&fields, 5, "src_port")?),
+            messages: parse_field(&fields, 6, "messages")?,
+            bytes: parse_field(&fields, 7, "bytes")?,
+            busy: parse_dur_ms(&fields[8])?,
+            last_completion,
+        })
     }
 }
 
@@ -92,14 +414,29 @@ impl ToCsv for RankRecord {
 
     fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{:.3},{:.3},{:.6}",
+            "{},{},{},{},{},{}",
             self.comm,
             self.rank,
             self.step,
-            self.compute.as_millis_f64(),
-            self.ready_delay.as_millis_f64(),
-            self.arrived.as_secs_f64()
+            format_dur_ms(self.compute),
+            format_dur_ms(self.ready_delay),
+            format_secs(self.arrived)
         )
+    }
+}
+
+impl FromCsv for RankRecord {
+    fn from_csv_row(row: &str) -> Result<Self, CsvError> {
+        let fields = split_fields(row)?;
+        expect_columns(&fields, 6, "rank-stats")?;
+        Ok(RankRecord {
+            comm: parse_field(&fields, 0, "comm")?,
+            rank: parse_field(&fields, 1, "rank")?,
+            step: parse_field(&fields, 2, "step")?,
+            compute: parse_dur_ms(&fields[3])?,
+            ready_delay: parse_dur_ms(&fields[4])?,
+            arrived: parse_secs(&fields[5])?,
+        })
     }
 }
 
@@ -114,12 +451,31 @@ pub fn to_csv_document<T: ToCsv>(records: &[T]) -> String {
     out
 }
 
+/// Parses a full CSV document (header + rows) back into records — the
+/// inverse of [`to_csv_document`]. The header must match `T`'s exactly.
+pub fn parse_csv_document<T: ToCsv + FromCsv>(doc: &str) -> Result<Vec<T>, CsvError> {
+    let records = split_records(doc);
+    let Some((header, rows)) = records.split_first() else {
+        return Err(CsvError::new("empty document (missing header)"));
+    };
+    if header != T::csv_header() {
+        return Err(CsvError::new(format!(
+            "header {:?} does not match expected {:?}",
+            header,
+            T::csv_header()
+        )));
+    }
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| T::from_csv_row(row).map_err(|e| e.at(i + 1)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{AlgoKind, CollKind, ConnKey, DataType};
-    use c4_simcore::{SimDuration, SimTime};
-    use c4_topology::{GpuId, PortId};
+    use crate::record::{AlgoKind, CollKind, DataType};
+    use c4_topology::PortId;
 
     #[test]
     fn comm_csv_round_trip_shape() {
@@ -128,8 +484,9 @@ mod tests {
             devices: vec![GpuId::from_index(0), GpuId::from_index(4)],
             created: SimTime::from_secs(1),
         };
-        assert_eq!(rec.to_csv_row(), "12,2,0|4,1.000000");
+        assert_eq!(rec.to_csv_row(), "12,2,0|4,1.000000000");
         assert!(CommRecord::csv_header().starts_with("comm,"));
+        assert_eq!(CommRecord::from_csv_row(&rec.to_csv_row()), Ok(rec));
     }
 
     #[test]
@@ -150,11 +507,13 @@ mod tests {
             row.ends_with(",,"),
             "in-flight op has empty end columns: {row}"
         );
+        assert_eq!(CollRecord::from_csv_row(&row), Ok(rec));
         let done = CollRecord {
             end: Some(SimTime::from_secs(3)),
             ..rec
         };
-        assert!(done.to_csv_row().ends_with("3.000000,1000.000"));
+        assert!(done.to_csv_row().ends_with("3.000000000,1000.000000"));
+        assert_eq!(CollRecord::from_csv_row(&done.to_csv_row()), Ok(done));
     }
 
     #[test]
@@ -170,6 +529,7 @@ mod tests {
         rec.record_message(100, SimDuration::from_millis(1), SimTime::from_secs(1));
         let row = rec.to_csv_row();
         assert!(row.contains(",11,"), "src_port column missing: {row}");
+        assert_eq!(ConnRecord::from_csv_row(&row), Ok(rec));
     }
 
     #[test]
@@ -187,5 +547,78 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], RankRecord::csv_header());
         assert_eq!(lines[1], lines[2]);
+        assert_eq!(parse_csv_document::<RankRecord>(&doc), Ok(vec![rec, rec]));
+    }
+
+    #[test]
+    fn nanosecond_precision_survives_the_round_trip() {
+        // The old `{:.6}`-seconds formatting lost sub-microsecond detail;
+        // integer-decimal formatting must not.
+        let rec = RankRecord {
+            comm: 1,
+            rank: 0,
+            step: 0,
+            compute: SimDuration::from_nanos(1),
+            ready_delay: SimDuration::from_nanos(999_999_999_999_999),
+            arrived: SimTime::from_nanos(123_456_789_012_345_678),
+        };
+        let back = RankRecord::from_csv_row(&rec.to_csv_row()).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(format_dur_ms(SimDuration::from_nanos(1)), "0.000001");
+        assert_eq!(
+            parse_secs("1.5").unwrap(),
+            SimTime::from_nanos(1_500_000_000)
+        );
+        assert!(
+            parse_secs("1.0000000005").is_err(),
+            "sub-ns digits rejected"
+        );
+        assert_eq!(parse_secs("1.0000000000").unwrap(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn quoting_round_trips_awkward_fields() {
+        for s in [
+            "plain",
+            "",
+            "with,comma",
+            "with \"quotes\"",
+            "line\nbreak",
+            "\"",
+            ",,\"\n\"",
+        ] {
+            let quoted = quote_field(s);
+            let fields = split_fields(&quoted).unwrap();
+            assert_eq!(fields, vec![s.to_string()], "field {s:?}");
+        }
+        assert_eq!(
+            split_fields("a,\"b,c\",d").unwrap(),
+            vec!["a".to_string(), "b,c".into(), "d".into()]
+        );
+        assert!(split_fields("a\"b").is_err(), "stray quote rejected");
+        assert!(split_fields("\"open").is_err(), "unterminated rejected");
+    }
+
+    #[test]
+    fn split_records_keeps_quoted_newlines() {
+        let doc = "h\na,\"x\ny\"\r\nb,z\n";
+        assert_eq!(
+            split_records(doc),
+            vec!["h".to_string(), "a,\"x\ny\"".into(), "b,z".into()]
+        );
+    }
+
+    #[test]
+    fn document_parse_rejects_wrong_header_and_bad_rows() {
+        assert!(parse_csv_document::<RankRecord>("").is_err());
+        assert!(parse_csv_document::<RankRecord>("wrong,header\n").is_err());
+        let doc = format!("{}\n1,2,3\n", RankRecord::csv_header());
+        let err = parse_csv_document::<RankRecord>(&doc).unwrap_err();
+        assert_eq!(err.record, 1);
+    }
+
+    #[test]
+    fn comm_nranks_consistency_is_checked() {
+        assert!(CommRecord::from_csv_row("1,3,0|4,1.000000000").is_err());
     }
 }

@@ -27,6 +27,19 @@ impl fmt::Display for Severity {
     }
 }
 
+impl std::str::FromStr for Severity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "INFO" => Severity::Info,
+            "WARN" => Severity::Warning,
+            "CRIT" => Severity::Critical,
+            other => return Err(format!("unknown severity {other:?}")),
+        })
+    }
+}
+
 /// What a C4 event refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
@@ -61,6 +74,24 @@ impl fmt::Display for EventKind {
             EventKind::Rebalanced => "rebalanced",
         };
         f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for EventKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "comm_hang" => EventKind::CommHang,
+            "noncomm_hang" => EventKind::NonCommHang,
+            "comm_slow" => EventKind::CommSlow,
+            "noncomm_slow" => EventKind::NonCommSlow,
+            "node_isolated" => EventKind::NodeIsolated,
+            "job_restart" => EventKind::JobRestart,
+            "link_eliminated" => EventKind::LinkEliminated,
+            "rebalanced" => EventKind::Rebalanced,
+            other => return Err(format!("unknown event kind {other:?}")),
+        })
     }
 }
 
@@ -144,22 +175,77 @@ impl EventLog {
         self.events.is_empty()
     }
 
-    /// Renders the log as an `events.csv` document.
+    /// Renders the log as an `events.csv` document. Round-trips exactly
+    /// through [`EventLog::parse_csv`]: times carry full nanosecond
+    /// precision and the free-form `detail` field is RFC 4180-quoted
+    /// verbatim (commas, quotes and newlines survive).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("time_s,severity,kind,node,gpu,link,detail\n");
-        for e in &self.events {
-            out.push_str(&format!(
-                "{:.6},{},{},{},{},{},{}\n",
-                e.time.as_secs_f64(),
-                e.severity,
-                e.kind,
-                e.node.map(|n| n.index().to_string()).unwrap_or_default(),
-                e.gpu.map(|g| g.index().to_string()).unwrap_or_default(),
-                e.link.map(|l| l.index().to_string()).unwrap_or_default(),
-                e.detail.replace(',', ";"),
-            ));
+        crate::csv::to_csv_document(&self.events)
+    }
+
+    /// Parses an `events.csv` document back into a log — the exact inverse
+    /// of [`EventLog::to_csv`].
+    pub fn parse_csv(doc: &str) -> Result<Self, crate::csv::CsvError> {
+        Ok(EventLog {
+            events: crate::csv::parse_csv_document(doc)?,
+        })
+    }
+}
+
+impl crate::csv::ToCsv for C4Event {
+    fn csv_header() -> &'static str {
+        "time_s,severity,kind,node,gpu,link,detail"
+    }
+
+    fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{}",
+            crate::csv::format_secs(self.time),
+            self.severity,
+            self.kind,
+            self.node.map(|n| n.index().to_string()).unwrap_or_default(),
+            self.gpu.map(|g| g.index().to_string()).unwrap_or_default(),
+            self.link.map(|l| l.index().to_string()).unwrap_or_default(),
+            crate::csv::quote_field(&self.detail),
+        )
+    }
+}
+
+impl crate::csv::FromCsv for C4Event {
+    fn from_csv_row(row: &str) -> Result<Self, crate::csv::CsvError> {
+        use crate::csv::CsvError;
+        let fields = crate::csv::split_fields(row)?;
+        if fields.len() != 7 {
+            return Err(CsvError::new(format!(
+                "events rows carry 7 columns, got {}",
+                fields.len()
+            )));
         }
-        out
+        fn opt_id<T>(
+            raw: &str,
+            make: impl Fn(usize) -> T,
+            name: &str,
+        ) -> Result<Option<T>, CsvError> {
+            if raw.is_empty() {
+                return Ok(None);
+            }
+            raw.parse::<usize>()
+                .map(|i| Some(make(i)))
+                .map_err(|e| CsvError::new(format!("column {name}: {e} (got {raw:?})")))
+        }
+        Ok(C4Event {
+            time: crate::csv::parse_secs(&fields[0])?,
+            severity: fields[1]
+                .parse()
+                .map_err(|e| CsvError::new(format!("column severity: {e}")))?,
+            kind: fields[2]
+                .parse()
+                .map_err(|e| CsvError::new(format!("column kind: {e}")))?,
+            node: opt_id(&fields[3], NodeId::from_index, "node")?,
+            gpu: opt_id(&fields[4], GpuId::from_index, "gpu")?,
+            link: opt_id(&fields[5], LinkId::from_index, "link")?,
+            detail: fields[6].clone(),
+        })
     }
 }
 
@@ -192,14 +278,30 @@ mod tests {
     }
 
     #[test]
-    fn csv_escapes_commas_in_detail() {
+    fn csv_quotes_commas_in_detail_and_round_trips() {
         let mut log = EventLog::new();
         log.push(sample(EventKind::NodeIsolated, Severity::Critical));
         let csv = log.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[1].split(',').count(), 7, "row: {}", lines[1]);
-        assert!(lines[1].contains("ecc error; repeated"));
+        assert!(
+            lines[1].ends_with("\"ecc error, repeated\""),
+            "detail is quoted verbatim, not mangled: {}",
+            lines[1]
+        );
+        let back = EventLog::parse_csv(&csv).unwrap();
+        assert_eq!(back.events(), log.events());
+    }
+
+    #[test]
+    fn csv_round_trips_newlines_and_quotes_in_detail() {
+        let mut log = EventLog::new();
+        let mut e = sample(EventKind::CommSlow, Severity::Warning);
+        e.detail = "line one\nline \"two\", with comma".into();
+        log.push(e);
+        log.push(sample(EventKind::JobRestart, Severity::Info));
+        let back = EventLog::parse_csv(&log.to_csv()).unwrap();
+        assert_eq!(back.events(), log.events());
     }
 
     #[test]

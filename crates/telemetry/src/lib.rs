@@ -18,17 +18,28 @@
 //!
 //! Workers accumulate records in a [`WorkerTelemetry`] store (the paper's
 //! per-worker CSV set); the C4a agent ships them to the C4D master as a
-//! [`TelemetrySnapshot`]. CSV export is provided for each record type so the
-//! on-disk artifacts of Fig 5 can be regenerated verbatim.
+//! [`TelemetrySnapshot`]. CSV export **and parsing** are provided for each
+//! record type — emit→parse is lossless (nanosecond-exact times, RFC 4180
+//! quoting) so the on-disk artifacts of Fig 5 can be regenerated verbatim
+//! and replayed.
+//!
+//! The [`pipeline`] module turns these records into a streaming dataflow:
+//! sources (scenario feed, CSV replay) → keyed windows + combiners → sinks
+//! (detector feeds, CSV export, summaries). See its docs for the
+//! stream==batch equality rules.
+
+#![warn(missing_docs)]
 
 pub mod csv;
 pub mod event;
+pub mod pipeline;
 pub mod record;
 pub mod summary;
 pub mod worker;
 
-pub use csv::ToCsv;
+pub use csv::{FromCsv, ToCsv};
 pub use event::{C4Event, EventKind, EventLog, Severity};
+pub use pipeline::{LoadSample, TelemetryEvent};
 pub use record::{
     AlgoKind, CollKind, CollRecord, CommRecord, ConnKey, ConnRecord, DataType, RankRecord,
 };

@@ -37,6 +37,22 @@ impl fmt::Display for CollKind {
     }
 }
 
+impl std::str::FromStr for CollKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "allreduce" => CollKind::AllReduce,
+            "allgather" => CollKind::AllGather,
+            "reduce_scatter" => CollKind::ReduceScatter,
+            "broadcast" => CollKind::Broadcast,
+            "sendrecv" => CollKind::SendRecv,
+            "alltoall" => CollKind::AllToAll,
+            other => return Err(format!("unknown collective kind {other:?}")),
+        })
+    }
+}
+
 /// Communication algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgoKind {
@@ -51,6 +67,18 @@ impl fmt::Display for AlgoKind {
         f.write_str(match self {
             AlgoKind::Ring => "ring",
             AlgoKind::Tree => "tree",
+        })
+    }
+}
+
+impl std::str::FromStr for AlgoKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "ring" => AlgoKind::Ring,
+            "tree" => AlgoKind::Tree,
+            other => return Err(format!("unknown algorithm {other:?}")),
         })
     }
 }
@@ -82,6 +110,19 @@ impl fmt::Display for DataType {
             DataType::F32 => "f32",
             DataType::F16 => "f16",
             DataType::Bf16 => "bf16",
+        })
+    }
+}
+
+impl std::str::FromStr for DataType {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "f32" => DataType::F32,
+            "f16" => DataType::F16,
+            "bf16" => DataType::Bf16,
+            other => return Err(format!("unknown data type {other:?}")),
         })
     }
 }
@@ -329,5 +370,26 @@ mod tests {
         assert_eq!(AlgoKind::Ring.to_string(), "ring");
         assert_eq!(DataType::Bf16.to_string(), "bf16");
         assert_eq!(DataType::F32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn enum_names_parse_back() {
+        for kind in [
+            CollKind::AllReduce,
+            CollKind::AllGather,
+            CollKind::ReduceScatter,
+            CollKind::Broadcast,
+            CollKind::SendRecv,
+            CollKind::AllToAll,
+        ] {
+            assert_eq!(kind.to_string().parse(), Ok(kind));
+        }
+        for algo in [AlgoKind::Ring, AlgoKind::Tree] {
+            assert_eq!(algo.to_string().parse(), Ok(algo));
+        }
+        for dt in [DataType::F32, DataType::F16, DataType::Bf16] {
+            assert_eq!(dt.to_string().parse(), Ok(dt));
+        }
+        assert!("nccl".parse::<CollKind>().is_err());
     }
 }

@@ -24,7 +24,7 @@ use c4_collectives::{
 };
 use c4_netsim::{DrainConfig, PathSelector};
 use c4_simcore::{DetRng, SimDuration, SimTime};
-use c4_telemetry::DataType;
+use c4_telemetry::{DataType, LoadSample};
 use c4_topology::{NodeId, Topology};
 
 /// Shape and message sizes of a 4D-hybrid job.
@@ -311,6 +311,31 @@ impl HybridJob {
         self.spec.ep_skew = skew;
     }
 
+    /// Flattens one iteration's per-expert received bytes into telemetry
+    /// [`LoadSample`]s — one per (EP communicator, rank), stamped with the
+    /// job clock after that iteration and `step` as the logical step. This
+    /// is the source feeding the streaming EP-imbalance detectors
+    /// (`c4_diagnosis::StreamSmoother`); samples are emitted
+    /// communicator-major, rank-ascending — the canonical order windowed
+    /// aggregation folds them in.
+    pub fn ep_load_samples(&self, report: &HybridIterationReport, step: u64) -> Vec<LoadSample> {
+        let at = self.now;
+        self.ep_comms
+            .iter()
+            .zip(&report.ep_recv_bytes)
+            .flat_map(|(comm, recv)| {
+                let id = comm.id();
+                recv.iter().enumerate().map(move |(rank, &b)| LoadSample {
+                    comm: id,
+                    rank: rank as u32,
+                    step,
+                    at,
+                    value: b as f64,
+                })
+            })
+            .collect()
+    }
+
     /// Runs one iteration: the four phases back to back (TP all-gather,
     /// PP send/recv, EP all-to-all, DP allreduce), each a single shared
     /// drain over its family's collectives.
@@ -553,6 +578,23 @@ mod tests {
                 "total {total} vs {expect}"
             );
         }
+    }
+
+    #[test]
+    fn ep_load_samples_flatten_received_bytes_in_canonical_order() {
+        let t = topo();
+        let mut job = HybridJob::new(&t, HybridSpec::moe(8, 2, 4), nodes(16), 1).unwrap();
+        let mut sel = RailLocalSelector::new();
+        let mut rng = DetRng::seed_from(2);
+        let r = job.run_iteration(&t, &mut sel, None, &mut rng);
+        let samples = job.ep_load_samples(&r, 0);
+        assert_eq!(samples.len(), job.ep_comms().len() * 4);
+        // Communicator-major, rank-ascending; values mirror ep_recv_bytes.
+        let first = job.ep_comms()[0].id();
+        assert!(samples[..4].iter().all(|s| s.comm == first));
+        assert_eq!(samples[1].rank, 1);
+        assert_eq!(samples[0].value, r.ep_recv_bytes[0][0] as f64);
+        assert!(samples.iter().all(|s| s.at == job.now() && s.step == 0));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! The stream == batch differential: the streaming detection path must be a
+//! drop-in for the matrix reference on real scenario traffic.
+//!
+//! Pins, exactly:
+//!
+//! * Fig 12 traffic (spine kill mid-run): the batch `C4dMaster`, the
+//!   streaming master on the live canonical event feed, and the streaming
+//!   master on a CSV round trip of that feed produce identical diagnoses
+//!   and identical `events.csv` logs;
+//! * hybrid EP-imbalance traffic: the streamed window-1 and window-W
+//!   detectors reproduce the batch `raw_straggler` / `LoadSmoother`
+//!   verdicts field-for-field, and replaying the recorded load stream
+//!   through fresh detectors reproduces every verdict **bit-identically**
+//!   (f64 ratios compared by `to_bits`);
+//! * the event-stream CSV itself is lossless — parsing the recorded
+//!   document yields the original event vector.
+
+use c4::prelude::*;
+use c4::scenarios::fig12;
+use c4::scenarios::hybrid::{run_ep_imbalance, stream_ep_verdicts, EpImbalanceConfig};
+
+/// Fig 12 spine-kill traffic: batch scan == live stream == CSV replay,
+/// diagnoses and event logs both.
+#[test]
+fn fig12_stream_matches_batch_and_replay() {
+    let (_report, tele) = fig12::run_with_telemetry(false, 42, 4, 2);
+    let d = fig12::run_detection(&tele);
+
+    assert_eq!(
+        d.streamed, d.batch,
+        "live stream must match the matrix scan"
+    );
+    assert_eq!(
+        d.replayed, d.streamed,
+        "CSV replay must match the live feed"
+    );
+    assert_eq!(d.streamed_log_csv, d.batch_log_csv, "event logs must agree");
+    assert_eq!(d.replayed_log_csv, d.streamed_log_csv);
+    assert!(!d.events_csv.is_empty(), "the capture must record traffic");
+
+    // The recorded stream is losslessly transportable on its own.
+    let events: Vec<TelemetryEvent> = parse_csv_document(&d.events_csv).expect("lossless CSV");
+    assert_eq!(to_csv_document(&events), d.events_csv);
+}
+
+/// Hybrid EP-imbalance traffic: streamed detectors equal the batch study,
+/// and a CSV replay of the recorded load stream reproduces every verdict
+/// bit-for-bit.
+#[test]
+fn hybrid_ep_stream_matches_batch_and_replays_bitwise() {
+    let cfg = EpImbalanceConfig {
+        seed: 2,
+        nodes: 32,
+        rotate_steps: 10,
+        pinned_steps: 6,
+        window: 8,
+        factor: 2.0,
+        hot_factor: 4.0,
+    };
+    let r = run_ep_imbalance(&cfg);
+
+    // Stream == batch, field for field (the scenario computes both).
+    assert_eq!(r.streamed_raw_false_positives, r.raw_false_positives);
+    assert_eq!(
+        r.streamed_smoothed_false_positives,
+        r.smoothed_false_positives
+    );
+    assert_eq!(r.streamed_detect_step, r.smoothed_detect_step);
+    assert_eq!(r.streamed_detected_rank, r.detected_rank);
+
+    // Replay: CSV round trip the load stream and re-run both detectors.
+    let doc = to_csv_document(&r.load_events);
+    let replayed: Vec<TelemetryEvent> = parse_csv_document(&doc).expect("lossless CSV");
+    assert_eq!(replayed, r.load_events, "load stream survives transport");
+
+    let ep = 1 + r
+        .load_events
+        .iter()
+        .map(|e| match e {
+            TelemetryEvent::Load(l) => l.rank as usize,
+            other => panic!("EP stream carries only load samples, got {other:?}"),
+        })
+        .max()
+        .expect("non-empty stream");
+    let bits = |verdicts: &[StepVerdict]| -> Vec<(u64, Option<(usize, u64)>)> {
+        verdicts
+            .iter()
+            .map(|v| {
+                (
+                    v.step,
+                    v.verdict.map(|(rank, ratio)| (rank, ratio.to_bits())),
+                )
+            })
+            .collect()
+    };
+    let (live_raw, live_smooth) = stream_ep_verdicts(&r.load_events, ep, &cfg);
+    let (replay_raw, replay_smooth) = stream_ep_verdicts(&replayed, ep, &cfg);
+    assert_eq!(bits(&replay_raw), bits(&live_raw), "raw verdicts bitwise");
+    assert_eq!(
+        bits(&replay_smooth),
+        bits(&live_smooth),
+        "smoothed verdicts bitwise"
+    );
+}
