@@ -229,7 +229,12 @@ pub(crate) fn stalled_rank_from_conns<'a>(
             (Some(a), Some(b)) => a.max(b),
             (Some(a), None) => a,
             (None, Some(b)) => b,
-            (None, None) => continue,
+            // A rank with no recorded completions in either direction has
+            // been silent for the comm's whole observed lifetime — that is
+            // the strongest hang signal, not a reason to skip it (a dead
+            // node produces exactly this shape: its flows never finish, so
+            // it never shows up in completion records at all).
+            (None, None) => comm.created,
         };
         best = Some(match best {
             Some((r, bt)) if bt <= quiet => (r, bt),

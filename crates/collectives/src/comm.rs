@@ -161,6 +161,18 @@ impl Communicator {
         self.incarnation += 1;
     }
 
+    /// Sets the restart epoch and returns `self` (builder style).
+    ///
+    /// Used when a communicator is rebuilt over a *new* device set after
+    /// steering swapped hardware: the rebuilt communicator keeps the same
+    /// id but must carry `old incarnation + 1` so cached plans keyed on
+    /// the previous incarnation can never be reused.
+    #[must_use]
+    pub fn with_incarnation(mut self, incarnation: u32) -> Self {
+        self.incarnation = incarnation;
+        self
+    }
+
     /// True when all members live on one node (pure-NVLink communicator).
     pub fn is_single_node(&self) -> bool {
         self.nodes.len() == 1

@@ -175,6 +175,62 @@ impl PlanCache {
     pub fn invalidate_comm(&mut self, comm: u64) {
         self.entries.retain(|k, _| k.comm != comm);
     }
+
+    /// Surgically re-validates cached plans after a topology mutation.
+    ///
+    /// [`Topology::version`] is a *global* counter: isolating one node
+    /// bumps it and every cached entry — including plans of jobs nowhere
+    /// near the fault — would miss on its next lookup. `rebase` restores
+    /// the hits of the unaffected plans: entries whose routes touch any of
+    /// the `affected` links are dropped, every other stale entry is
+    /// re-stamped to the topology's current version and keeps serving
+    /// hits. Returns the number of entries dropped.
+    ///
+    /// The caller must pass the union of **all** links whose state changed
+    /// since the cache last matched the topology version (a fleet
+    /// controller calls this after every batch of fault/repair events).
+    /// Passing an incomplete set cannot route traffic through a dead link
+    /// — a wrongly re-stamped entry is simply a plan the selector would no
+    /// longer pick, not an invalid route — but for *down* links the set
+    /// must be complete or [`PlanCache::any_route_through`] audits will
+    /// flag the stale route.
+    pub fn rebase(&mut self, topo: &Topology, affected: &[LinkId]) -> usize {
+        let version = topo.version();
+        let before = self.entries.len();
+        self.entries.retain(|_, entry| {
+            if entry.topo_version == version {
+                return true;
+            }
+            if plan_routes_through(&entry.plan, affected) {
+                return false;
+            }
+            entry.topo_version = version;
+            true
+        });
+        before - self.entries.len()
+    }
+
+    /// True when any cached plan routes through one of `links`.
+    ///
+    /// Audit hook for the fleet controller's zero-stale-route invariant:
+    /// after isolating a node and rebasing, no cache may still hold a plan
+    /// through the victim's host links.
+    pub fn any_route_through(&self, links: &[LinkId]) -> bool {
+        self.entries
+            .values()
+            .any(|e| plan_routes_through(&e.plan, links))
+    }
+}
+
+/// True when any route of `plan` (intra edges or boundary streams) uses
+/// one of `links`.
+fn plan_routes_through(plan: &PlanSpec, links: &[LinkId]) -> bool {
+    let touches = |route: &[LinkId]| route.iter().any(|l| links.contains(l));
+    plan.intra.iter().any(|(_, route)| touches(route))
+        || plan
+            .streams
+            .iter()
+            .any(|stream| stream.iter().any(|(_, route)| touches(route)))
 }
 
 /// Where a request's plan lives after [`plan_requests`]: in the cache (by

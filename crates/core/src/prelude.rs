@@ -48,6 +48,11 @@ pub use c4_diagnosis::{
 
 pub use c4_traffic::{C4pConfig, C4pMaster, PathCatalog, PathLoadLedger};
 
+pub use c4_fleet::{
+    FaultCounts, FlapTracker, FleetConfig, FleetController, FleetReport, JobAccounting, JobOutcome,
+    JobTemplate, Reconciliation, RecoveryPolicy,
+};
+
 pub use c4_trainsim::{
     simulate_operation, CrashRecord, DetectionModel, DiagnosisModel, HybridIterationReport,
     HybridJob, HybridSpec, IterationReport, JobSpec, OperationConfig, OperationReport,

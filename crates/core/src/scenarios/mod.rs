@@ -11,6 +11,7 @@ pub mod fig14;
 pub mod fig3;
 pub mod fig7;
 pub mod fig9;
+pub mod fleet;
 pub mod hybrid;
 pub mod tables;
 

@@ -7,12 +7,51 @@ use crate::event::FaultEvent;
 use crate::kind::FaultKind;
 use crate::rates::FaultRates;
 
+/// Stream label for crash schedules.
+const STREAM_CRASH: u64 = 1;
+/// Stream label for degradation schedules.
+const STREAM_DEGRADATION: u64 = 2;
+/// Stream label for link-failure schedules.
+const STREAM_LINK: u64 = 3;
+
+/// Event-id namespace base for degradations (crashes start at 0).
+const ID_BASE_DEGRADATION: u64 = 1 << 40;
+/// Event-id namespace base for link failures.
+const ID_BASE_LINK: u64 = 2 << 40;
+
+/// Derives the generator of one scheduling call: a splitmix64-style fold
+/// of the injector seed, the fault-class stream label and the per-class
+/// call counter. Each class advances independently, so interleaving (or
+/// omitting) calls of one class never perturbs another class's schedule.
+fn stream_rng(seed: u64, stream: u64, call: u64) -> DetRng {
+    let mut x = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ call.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    DetRng::seed_from(x)
+}
+
 /// Generates fault schedules for a job of a given shape.
+///
+/// The three fault classes (crashes, degradations, link failures) draw
+/// from **disjoint random streams**: each `schedule_*` method seeds its
+/// own generator from `(seed, class, per-class call count)`, so the
+/// schedule one class produces is independent of whether — or how often —
+/// the other classes were sampled. Event ids are likewise namespaced per
+/// class (crashes from 0, degradations from `2^40`, link failures from
+/// `2^41`) and monotone within each class.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     rates: FaultRates,
-    rng: DetRng,
-    next_id: u64,
+    seed: u64,
+    crash_calls: u64,
+    degradation_calls: u64,
+    link_calls: u64,
+    next_crash_id: u64,
+    next_degradation_id: u64,
+    next_link_id: u64,
 }
 
 impl FaultInjector {
@@ -20,8 +59,13 @@ impl FaultInjector {
     pub fn new(rates: FaultRates, seed: u64) -> Self {
         FaultInjector {
             rates,
-            rng: DetRng::seed_from(seed),
-            next_id: 0,
+            seed,
+            crash_calls: 0,
+            degradation_calls: 0,
+            link_calls: 0,
+            next_crash_id: 0,
+            next_degradation_id: ID_BASE_DEGRADATION,
+            next_link_id: ID_BASE_LINK,
         }
     }
 
@@ -44,6 +88,8 @@ impl FaultInjector {
         start: SimTime,
         horizon: SimDuration,
     ) -> Vec<FaultEvent> {
+        let mut rng = stream_rng(self.seed, STREAM_CRASH, self.crash_calls);
+        self.crash_calls += 1;
         let rate_per_hour = self.rates.total_crash_rate(gpus, nodes);
         let weights = self.rates.crash_weights(gpus, nodes);
         let mut out = Vec::new();
@@ -53,16 +99,17 @@ impl FaultInjector {
         let mut t = start;
         let end = start + horizon;
         loop {
-            let gap_hours = self.rng.exponential(1.0 / rate_per_hour);
+            let gap_hours = rng.exponential(1.0 / rate_per_hour);
             t += SimDuration::from_secs_f64(gap_hours * 3600.0);
             if t >= end {
                 break;
             }
-            let kind = FaultKind::CRASH_KINDS[self
-                .rng
+            let kind = FaultKind::CRASH_KINDS[rng
                 .pick_weighted(&weights)
                 .expect("crash weights are positive")];
-            out.push(self.make_event(t, kind, nodes, gpus_per_node));
+            let id = self.next_crash_id;
+            self.next_crash_id += 1;
+            out.push(make_event(&mut rng, id, t, kind, nodes, gpus_per_node));
         }
         out
     }
@@ -77,6 +124,8 @@ impl FaultInjector {
         start: SimTime,
         horizon: SimDuration,
     ) -> Vec<FaultEvent> {
+        let mut rng = stream_rng(self.seed, STREAM_DEGRADATION, self.degradation_calls);
+        self.degradation_calls += 1;
         let g = gpus as f64;
         let n = nodes as f64;
         let kinds = [
@@ -99,12 +148,14 @@ impl FaultInjector {
             let mut t = start;
             let end = start + horizon;
             loop {
-                let gap_hours = self.rng.exponential(1.0 / rate);
+                let gap_hours = rng.exponential(1.0 / rate);
                 t += SimDuration::from_secs_f64(gap_hours * 3600.0);
                 if t >= end {
                     break;
                 }
-                out.push(self.make_event(t, kind, nodes, gpus_per_node));
+                let id = self.next_degradation_id;
+                self.next_degradation_id += 1;
+                out.push(make_event(&mut rng, id, t, kind, nodes, gpus_per_node));
             }
         }
         out.sort_by_key(|e| e.time);
@@ -118,6 +169,8 @@ impl FaultInjector {
         start: SimTime,
         horizon: SimDuration,
     ) -> Vec<FaultEvent> {
+        let mut rng = stream_rng(self.seed, STREAM_LINK, self.link_calls);
+        self.link_calls += 1;
         let rate = self.rates.link_failure_per_link_hour * links.len() as f64;
         let mut out = Vec::new();
         if rate <= 0.0 || links.is_empty() {
@@ -126,14 +179,14 @@ impl FaultInjector {
         let mut t = start;
         let end = start + horizon;
         loop {
-            let gap_hours = self.rng.exponential(1.0 / rate);
+            let gap_hours = rng.exponential(1.0 / rate);
             t += SimDuration::from_secs_f64(gap_hours * 3600.0);
             if t >= end {
                 break;
             }
-            let link = *self.rng.pick(links).expect("links not empty");
-            let id = self.next_id;
-            self.next_id += 1;
+            let link = *rng.pick(links).expect("links not empty");
+            let id = self.next_link_id;
+            self.next_link_id += 1;
             out.push(FaultEvent {
                 id,
                 time: t,
@@ -146,30 +199,30 @@ impl FaultInjector {
         }
         out
     }
+}
 
-    fn make_event(
-        &mut self,
-        time: SimTime,
-        kind: FaultKind,
-        nodes: usize,
-        gpus_per_node: usize,
-    ) -> FaultEvent {
-        let local = self.rng.chance(kind.locality_probability());
-        let node = NodeId::from_index(self.rng.index(nodes.max(1)));
-        let gpu = kind.is_gpu_scoped().then(|| {
-            GpuId::from_index(node.index() * gpus_per_node + self.rng.index(gpus_per_node.max(1)))
-        });
-        let id = self.next_id;
-        self.next_id += 1;
-        FaultEvent {
-            id,
-            time,
-            kind,
-            local,
-            node: Some(node),
-            gpu,
-            link: None,
-        }
+/// Draws the locality coin and victim node/GPU of one scheduled fault.
+fn make_event(
+    rng: &mut DetRng,
+    id: u64,
+    time: SimTime,
+    kind: FaultKind,
+    nodes: usize,
+    gpus_per_node: usize,
+) -> FaultEvent {
+    let local = rng.chance(kind.locality_probability());
+    let node = NodeId::from_index(rng.index(nodes.max(1)));
+    let gpu = kind
+        .is_gpu_scoped()
+        .then(|| GpuId::from_index(node.index() * gpus_per_node + rng.index(gpus_per_node.max(1))));
+    FaultEvent {
+        id,
+        time,
+        kind,
+        local,
+        node: Some(node),
+        gpu,
+        link: None,
     }
 }
 
@@ -253,6 +306,44 @@ mod tests {
             SimDuration::from_hours(720),
         );
         assert_eq!(ev1, ev2);
+    }
+
+    #[test]
+    fn successive_calls_draw_fresh_months() {
+        let mut inj = FaultInjector::new(FaultRates::june_2023(), 19);
+        let m1 = inj.schedule_crashes(1024, 128, 8, SimTime::ZERO, SimDuration::from_hours(720));
+        let m2 = inj.schedule_crashes(1024, 128, 8, SimTime::ZERO, SimDuration::from_hours(720));
+        assert_ne!(m1, m2, "per-class call counter must advance");
+    }
+
+    #[test]
+    fn classes_draw_disjoint_streams() {
+        // Interleaving other classes must not perturb a class's schedule.
+        let mut a = FaultInjector::new(FaultRates::june_2023(), 23);
+        let links: Vec<LinkId> = (0..64).map(LinkId::from_index).collect();
+        let horizon = SimDuration::from_hours(720);
+        let crashes_a = a.schedule_crashes(1024, 128, 8, SimTime::ZERO, horizon);
+
+        let mut b = FaultInjector::new(FaultRates::june_2023(), 23);
+        b.schedule_degradations(1024, 128, 8, SimTime::ZERO, horizon);
+        b.schedule_link_failures(&links, SimTime::ZERO, horizon);
+        let crashes_b = b.schedule_crashes(1024, 128, 8, SimTime::ZERO, horizon);
+        assert_eq!(crashes_a, crashes_b, "crash stream independent of others");
+    }
+
+    #[test]
+    fn event_ids_are_namespaced_per_class() {
+        let mut inj = FaultInjector::new(FaultRates::june_2023(), 29);
+        let links: Vec<LinkId> = (0..64).map(LinkId::from_index).collect();
+        let horizon = SimDuration::from_hours(720 * 4);
+        let crashes = inj.schedule_crashes(4096, 512, 8, SimTime::ZERO, horizon);
+        let degs = inj.schedule_degradations(4096, 512, 8, SimTime::ZERO, horizon);
+        let fails = inj.schedule_link_failures(&links, SimTime::ZERO, horizon);
+        assert!(crashes.iter().all(|e| e.id < ID_BASE_DEGRADATION));
+        assert!(degs
+            .iter()
+            .all(|e| (ID_BASE_DEGRADATION..ID_BASE_LINK).contains(&e.id)));
+        assert!(fails.iter().all(|e| e.id >= ID_BASE_LINK));
     }
 
     #[test]

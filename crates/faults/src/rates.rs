@@ -76,6 +76,27 @@ impl FaultRates {
         }
     }
 
+    /// Every rate multiplied by `factor` (clamped non-negative) — soak
+    /// acceleration: compress months of fault churn into a simulable
+    /// horizon without changing the cause mix.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        let m = factor.max(0.0);
+        FaultRates {
+            cuda_per_gpu_hour: self.cuda_per_gpu_hour * m,
+            ecc_per_gpu_hour: self.ecc_per_gpu_hour * m,
+            nvlink_per_gpu_hour: self.nvlink_per_gpu_hour * m,
+            nccl_timeout_per_node_hour: self.nccl_timeout_per_node_hour * m,
+            ack_timeout_per_node_hour: self.ack_timeout_per_node_hour * m,
+            network_per_job_hour: self.network_per_job_hour * m,
+            slow_gpu_per_gpu_hour: self.slow_gpu_per_gpu_hour * m,
+            pcie_downgrade_per_gpu_hour: self.pcie_downgrade_per_gpu_hour * m,
+            nic_half_down_per_node_hour: self.nic_half_down_per_node_hour * m,
+            gc_pause_per_node_hour: self.gc_pause_per_node_hour * m,
+            link_failure_per_link_hour: self.link_failure_per_link_hour * m,
+        }
+    }
+
     /// Total crash rate (events/hour) for a job of the given size.
     pub fn total_crash_rate(&self, gpus: usize, nodes: usize) -> f64 {
         let g = gpus as f64;

@@ -1,0 +1,39 @@
+//! Fault-churn fleet controller: a long-horizon soak harness that runs many
+//! concurrent training jobs through the **live** network stack while faults
+//! arrive, and closes the full detect → isolate → replace → restart loop.
+//!
+//! The pieces:
+//!
+//! - [`FleetController`] — the round loop. Each round applies due fault
+//!   events ([`c4_faults::FaultInjector`] schedules, disjoint per class) to
+//!   the live [`c4_topology::Topology`], runs one network-simulated BSP
+//!   iteration per job, streams its telemetry through the PR 8 detectors
+//!   ([`c4_diagnosis::StreamingC4dMaster`] for hangs,
+//!   [`c4_diagnosis::CollHealthDetector`] for windowed slowness), and acts
+//!   on verdicts through [`c4_diagnosis::JobSteering`].
+//! - [`RecoveryPolicy`] — the Chameleon-style per-job adaptation axis:
+//!   checkpoint-restart with a backup swap, degraded-continue, or whole-job
+//!   re-placement; when the backup pool is dry the controller shrinks the
+//!   job's DP width instead of crashing it.
+//! - [`FlapTracker`] — N-strikes-within-a-window escalation for transient
+//!   link flaps and NIC brown-outs: retry with backoff first, isolate only
+//!   a repeat offender.
+//! - [`FleetReport`] / [`Reconciliation`] — goodput, ETTR, and downtime
+//!   accounting, reconciled against the closed-form
+//!   [`c4_trainsim::simulate_operation`] model on a matched configuration.
+//!
+//! Every recovery path re-plans through `run_concurrent_cached`'s plan
+//! cache with surgical invalidation ([`c4_collectives::PlanCache::rebase`]),
+//! and the controller audits after every topology mutation that **no cached
+//! plan routes through a down link** ([`FleetReport::stale_plan_routes`]
+//! must end at zero).
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod controller;
+pub mod policy;
+
+pub use accounting::{FaultCounts, FleetReport, JobAccounting, JobOutcome, Reconciliation};
+pub use controller::{FleetConfig, FleetController, JobTemplate};
+pub use policy::{FlapTracker, RecoveryPolicy};

@@ -1,0 +1,193 @@
+//! Targeted recovery-path tests: each fault class is aimed at a live job
+//! and must flow detect → isolate/retry → replace/shrink → restart through
+//! the live network stack.
+
+use c4_faults::{FaultEvent, FaultKind};
+use c4_fleet::{FleetConfig, FleetController, RecoveryPolicy};
+use c4_simcore::{SimDuration, SimTime};
+
+/// A quiet config: no random faults, a couple of small jobs, short horizon.
+fn quiet(seed: u64) -> FleetConfig {
+    let mut cfg = FleetConfig::smoke(seed);
+    cfg.rate_multiplier = 0.0;
+    cfg.horizon = SimDuration::from_hours(6);
+    cfg.initial_jobs.truncate(2);
+    cfg.arrivals.clear();
+    cfg
+}
+
+fn crash_at(id: u64, secs: u64, node: c4_topology::NodeId) -> FaultEvent {
+    FaultEvent {
+        id,
+        time: SimTime::ZERO + SimDuration::from_secs(secs),
+        kind: FaultKind::CudaError,
+        node: Some(node),
+        gpu: None,
+        link: None,
+        local: true,
+    }
+}
+
+#[test]
+fn node_crash_is_detected_isolated_and_replaced() {
+    let mut ctl = FleetController::new(quiet(11));
+    let victim = ctl.job_nodes(0).expect("job 0 admitted")[1];
+    ctl.inject_event(crash_at(900_000, 300, victim));
+    let report = ctl.run();
+
+    assert_eq!(report.faults.crashes, 1);
+    assert!(
+        report.detections >= 1,
+        "hang must produce a critical diagnosis"
+    );
+    assert_eq!(report.isolations, 1, "the crashed node is isolated once");
+    assert!(report.replacements >= 1, "a backup swaps in");
+    assert_eq!(
+        report.stale_plan_routes, 0,
+        "no cached plan may route through the dead node"
+    );
+    let job0 = &report.jobs[0];
+    assert!(
+        job0.completed && !job0.failed,
+        "job survives the crash: {job0:?}"
+    );
+    assert_eq!(job0.accounting.recoveries, 1);
+    assert!(job0.accounting.downtime > SimDuration::ZERO);
+}
+
+#[test]
+fn backup_exhaustion_shrinks_dp_instead_of_crashing() {
+    let mut cfg = quiet(12);
+    cfg.backup_nodes = 1;
+    cfg.node_repair = SimDuration::ZERO; // pool never refills
+    cfg.initial_jobs.truncate(1);
+    cfg.initial_jobs[0].policy = RecoveryPolicy::CheckpointRestart;
+    assert_eq!(
+        cfg.initial_jobs[0].spec.dp, 3,
+        "3-node job so a shrink leaves 2"
+    );
+    let mut ctl = FleetController::new(cfg);
+    let nodes = ctl.job_nodes(0).expect("job 0 admitted");
+    ctl.inject_event(crash_at(900_000, 300, nodes[0]));
+    ctl.inject_event(crash_at(900_001, 2500, nodes[1]));
+    let report = ctl.run();
+
+    assert_eq!(report.isolations, 2);
+    assert_eq!(report.replacements, 1, "only one backup existed");
+    assert_eq!(report.dp_shrinks, 1, "second recovery shrinks DP");
+    assert_eq!(report.stale_plan_routes, 0);
+    let job0 = &report.jobs[0];
+    assert!(!job0.failed, "shrunk, not dead: {job0:?}");
+    assert!(job0.final_dp < 3, "DP width dropped, got {}", job0.final_dp);
+}
+
+#[test]
+fn transient_nic_fault_retries_then_recovers_on_repair() {
+    let mut cfg = quiet(13);
+    cfg.initial_jobs.truncate(1);
+    cfg.flap_strikes = 10; // never escalate in this test
+    let mut ctl = FleetController::new(cfg);
+    let victim = ctl.job_nodes(0).expect("job 0 admitted")[0];
+    ctl.inject_event(FaultEvent {
+        id: 900_002,
+        time: SimTime::ZERO + SimDuration::from_secs(300),
+        kind: FaultKind::NicHalfDown,
+        node: Some(victim),
+        gpu: None,
+        link: None,
+        local: true,
+    });
+    let report = ctl.run();
+
+    assert_eq!(report.faults.degradations, 1);
+    assert!(
+        report.retries >= 1,
+        "half-down NIC hangs flows; the job retries: {report:?}"
+    );
+    assert_eq!(report.isolations, 0, "a single flap never isolates");
+    assert_eq!(report.escalations, 0);
+    assert_eq!(report.stale_plan_routes, 0);
+    let job0 = &report.jobs[0];
+    assert!(
+        job0.completed,
+        "job finishes once the NIC repairs: {job0:?}"
+    );
+    assert!(job0.accounting.retries >= 1);
+}
+
+#[test]
+fn repeated_nic_flaps_escalate_to_isolation() {
+    let mut cfg = quiet(14);
+    cfg.initial_jobs.truncate(1);
+    cfg.flap_strikes = 2;
+    cfg.degradation_duration = SimDuration::from_secs(120);
+    cfg.retry_backoff = SimDuration::from_secs(10);
+    let mut ctl = FleetController::new(cfg);
+    let victim = ctl.job_nodes(0).expect("job 0 admitted")[0];
+    for (i, secs) in [300u64, 1500, 2700, 3900].into_iter().enumerate() {
+        ctl.inject_event(FaultEvent {
+            id: 900_010 + i as u64,
+            time: SimTime::ZERO + SimDuration::from_secs(secs),
+            kind: FaultKind::NicHalfDown,
+            node: Some(victim),
+            gpu: None,
+            link: None,
+            local: true,
+        });
+    }
+    let report = ctl.run();
+
+    assert!(
+        report.escalations >= 1,
+        "repeat offender escalates: {report:?}"
+    );
+    assert!(report.isolations >= 1, "escalation isolates the node");
+    assert_eq!(report.stale_plan_routes, 0);
+    assert!(report.jobs[0].completed);
+}
+
+#[test]
+fn fabric_link_flap_reroutes_without_isolation() {
+    let mut cfg = quiet(15);
+    cfg.initial_jobs.truncate(2);
+    let mut ctl = FleetController::new(cfg);
+    let link = ctl.topology().fabric_links()[0];
+    ctl.inject_event(FaultEvent {
+        id: 900_020,
+        time: SimTime::ZERO + SimDuration::from_secs(300),
+        kind: FaultKind::LinkFailure,
+        node: None,
+        gpu: None,
+        link: Some(link),
+        local: true,
+    });
+    let report = ctl.run();
+
+    assert_eq!(report.faults.link_failures, 1);
+    assert_eq!(
+        report.isolations, 0,
+        "ECMP routes around a down fabric link"
+    );
+    assert_eq!(
+        report.stale_plan_routes, 0,
+        "caches rebased when the link dropped"
+    );
+    assert!(report.jobs.iter().all(|j| j.completed));
+}
+
+#[test]
+fn soak_is_deterministic_per_seed() {
+    let mut cfg = FleetConfig::smoke(21);
+    cfg.horizon = SimDuration::from_hours(3);
+    let a = FleetController::new(cfg.clone()).run();
+    let b = FleetController::new(cfg).run();
+    assert_eq!(a, b, "same seed, same report");
+
+    let mut other = FleetConfig::smoke(22);
+    other.horizon = SimDuration::from_hours(3);
+    let c = FleetController::new(other).run();
+    assert_ne!(
+        a.faults, c.faults,
+        "different seed draws a different schedule"
+    );
+}

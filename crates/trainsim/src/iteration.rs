@@ -162,6 +162,57 @@ impl TrainingJob {
         }
     }
 
+    /// Advances the job's virtual clock without running an iteration.
+    ///
+    /// Fleet controllers charge recovery downtime (detection, steering
+    /// turnaround, re-init, redone work) to the job's clock this way, and
+    /// also fast-forward over analytically-extrapolated BSP iterations so
+    /// telemetry and drain deadlines of the next live iteration carry the
+    /// correct wall-clock offset.
+    pub fn advance_clock(&mut self, by: SimDuration) {
+        self.now += by;
+    }
+
+    /// Replaces the job's layout after a steering decision (node swapped
+    /// out, whole-job re-placement, or DP shrink).
+    ///
+    /// The DP communicators are rebuilt over the new layout's groups with
+    /// their **same ids** (rank membership changed, not job identity) and
+    /// a bumped incarnation, and every old plan is dropped from the cache
+    /// — so the next iteration re-plans from scratch and a cached route
+    /// through the removed node can never be served. The virtual clock,
+    /// iteration count and cache statistics survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a DP group of the new layout is invalid (empty/duplicate
+    /// devices) — the layout constructor prevents this.
+    pub fn replace_layout(&mut self, topo: &Topology, spec: JobSpec, layout: ParallelLayout) {
+        let comm_base = self.comms.first().map_or(0, |c| c.id());
+        let next_inc = self
+            .comms
+            .iter()
+            .map(|c| c.incarnation())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        for c in &self.comms {
+            self.plan_cache.invalidate_comm(c.id());
+        }
+        self.comms = layout
+            .dp_groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                Communicator::new(comm_base + i as u64, g.clone(), topo)
+                    .expect("layout produces valid groups")
+                    .with_incarnation(next_inc)
+            })
+            .collect();
+        self.spec = spec;
+        self.layout = layout;
+    }
+
     /// Runs one BSP iteration.
     ///
     /// Per-rank compute = GA × micro-batch time, stretched by matching

@@ -1,0 +1,178 @@
+//! Regression tests for surgical plan-cache invalidation under the fleet
+//! recovery loop: a node replacement bumps the job's communicator
+//! incarnations and drops exactly that job's cached plans, a rebase after
+//! a topology mutation drops only the plans routing through the changed
+//! links, and an unaffected co-tenant job keeps serving cache hits
+//! throughout — with no cached route left through an isolated node.
+
+use c4_netsim::EcmpSelector;
+use c4_simcore::DetRng;
+use c4_topology::{ClosConfig, LinkId, NodeId, Topology};
+use c4_trainsim::{JobSpec, ParallelLayout, TrainingJob};
+
+fn topo() -> Topology {
+    Topology::build(&ClosConfig::testbed_128())
+}
+
+/// A 4-node TP8/DP4 job placed on `nodes`, communicators namespaced by
+/// `comm_base` so two jobs can share one cluster.
+fn job(t: &Topology, nodes: std::ops::Range<usize>, comm_base: u64) -> TrainingJob {
+    let spec = JobSpec::gpt22b_scaling(4);
+    let nodes: Vec<NodeId> = nodes.map(NodeId::from_index).collect();
+    let layout = ParallelLayout::place(t, &spec, nodes).unwrap();
+    TrainingJob::new(t, spec, layout, comm_base)
+}
+
+/// Host-uplink/downlink + PCIe links of a node — the links a cached plan
+/// can route through on that node (mirrors the fleet controller's audit
+/// set).
+fn node_links(t: &Topology, node: NodeId) -> Vec<LinkId> {
+    let mut out = Vec::new();
+    for &nic in &t.node(node).nics {
+        for p in t.nic(nic).ports {
+            out.push(t.port(p).host_up);
+            out.push(t.port(p).host_down);
+        }
+    }
+    for &g in &t.node(node).gpus {
+        let gpu = t.gpu(g);
+        out.push(gpu.pcie_tx);
+        out.push(gpu.pcie_rx);
+    }
+    out
+}
+
+/// Warms a job's plan cache with `n` iterations.
+fn warm(j: &mut TrainingJob, t: &Topology, sel: &mut EcmpSelector, rng: &mut DetRng, n: usize) {
+    for _ in 0..n {
+        let r = j.run_iteration(t, sel, None, rng, &[], None);
+        assert!(!r.hung);
+    }
+}
+
+#[test]
+fn replacement_bumps_incarnation_and_spares_the_co_tenant_job() {
+    let mut t = topo();
+    // Two co-tenant jobs on disjoint nodes; node 8 is the spare.
+    let mut a = job(&t, 0..4, 100);
+    let mut b = job(&t, 4..8, 200);
+    let mut sel = EcmpSelector::new(5);
+    let mut rng = DetRng::seed_from(6);
+    warm(&mut a, &t, &mut sel, &mut rng, 2);
+    warm(&mut b, &t, &mut sel, &mut rng, 2);
+
+    let groups_a = a.comms().len() as u64;
+    let groups_b = b.comms().len() as u64;
+    assert_eq!(a.plan_cache().misses(), groups_a, "first iteration builds");
+    assert_eq!(a.plan_cache().hits(), groups_a, "second iteration reuses");
+    let ids_before: Vec<u64> = a.comms().iter().map(|c| c.id()).collect();
+
+    // The recovery loop: node 1 faults, steering cordons it and hands job
+    // A the spare; the job re-places its layout over the new node set.
+    let victim = NodeId::from_index(1);
+    t.set_node_healthy(victim, false);
+    let spec = a.spec().clone();
+    let replaced: Vec<NodeId> = [0usize, 8, 2, 3]
+        .iter()
+        .map(|&i| NodeId::from_index(i))
+        .collect();
+    let layout = ParallelLayout::place(&t, &spec, replaced).unwrap();
+    a.replace_layout(&t, spec, layout);
+
+    // Communicator identity survives, incarnation bumps — and every one of
+    // job A's cached plans (keyed by the old incarnation) is gone.
+    let ids_after: Vec<u64> = a.comms().iter().map(|c| c.id()).collect();
+    assert_eq!(ids_before, ids_after, "replacement keeps communicator ids");
+    assert!(a.comms().iter().all(|c| c.incarnation() == 1));
+    assert!(b.comms().iter().all(|c| c.incarnation() == 0));
+    assert!(
+        a.plan_cache().is_empty(),
+        "all of the replaced job's plans must be invalidated"
+    );
+
+    // Job B never touched node 1: a surgical rebase over the victim's
+    // links drops nothing and restores B's hits despite the global
+    // topology-version bump from the isolation.
+    let victim_links = node_links(&t, victim);
+    assert_eq!(b.plan_cache_mut().rebase(&t, &victim_links), 0);
+    assert_eq!(b.plan_cache().len() as u64, groups_b);
+    let b_hits = b.plan_cache().hits();
+    let b_misses = b.plan_cache().misses();
+    warm(&mut b, &t, &mut sel, &mut rng, 1);
+    assert_eq!(b.plan_cache().hits(), b_hits + groups_b, "B keeps hitting");
+    assert_eq!(b.plan_cache().misses(), b_misses, "B re-plans nothing");
+
+    // Job A re-plans from scratch over the repaired layout, and no fresh
+    // plan may route through the isolated node.
+    let a_misses = a.plan_cache().misses();
+    warm(&mut a, &t, &mut sel, &mut rng, 1);
+    assert_eq!(a.plan_cache().misses(), a_misses + groups_a);
+    assert!(
+        !a.plan_cache().any_route_through(&victim_links),
+        "stale route through the isolated node"
+    );
+    assert!(!b.plan_cache().any_route_through(&victim_links));
+}
+
+#[test]
+fn rebase_drops_only_the_plans_through_the_changed_links() {
+    let mut t = topo();
+    let mut a = job(&t, 0..4, 100);
+    let mut b = job(&t, 4..8, 200);
+    let mut sel = EcmpSelector::new(5);
+    let mut rng = DetRng::seed_from(6);
+    warm(&mut a, &t, &mut sel, &mut rng, 2);
+    warm(&mut b, &t, &mut sel, &mut rng, 2);
+    let groups_a = a.comms().len() as u64;
+    let groups_b = b.comms().len() as u64;
+
+    // A PCIe ×16→×4 downgrade on one GPU of node 0. Only DP group 0 has a
+    // rank on that GPU, so exactly one of job A's plans routes through its
+    // PCIe links.
+    let gpu = t.gpu(t.gpu_at(NodeId::from_index(0), 0));
+    let changed = [gpu.pcie_tx, gpu.pcie_rx];
+    for l in changed {
+        t.link_mut(l).set_degradation(0.25);
+    }
+
+    let dropped_a = a.plan_cache_mut().rebase(&t, &changed);
+    assert_eq!(dropped_a, 1, "exactly the degraded group's plan is dropped");
+    assert!(!a.plan_cache().any_route_through(&changed));
+    assert_eq!(b.plan_cache_mut().rebase(&t, &changed), 0);
+
+    // Next iteration: job A re-plans one group and reuses the rest; job B
+    // is untouched.
+    let (a_hits, a_misses) = (a.plan_cache().hits(), a.plan_cache().misses());
+    warm(&mut a, &t, &mut sel, &mut rng, 1);
+    assert_eq!(a.plan_cache().misses(), a_misses + 1, "one plan rebuilt");
+    assert_eq!(a.plan_cache().hits(), a_hits + groups_a - 1);
+
+    let (b_hits, b_misses) = (b.plan_cache().hits(), b.plan_cache().misses());
+    warm(&mut b, &t, &mut sel, &mut rng, 1);
+    assert_eq!(b.plan_cache().hits(), b_hits + groups_b);
+    assert_eq!(b.plan_cache().misses(), b_misses);
+}
+
+#[test]
+fn skipping_the_rebase_is_safe_but_loses_the_hits() {
+    // The version stamp alone already prevents stale routes: without any
+    // rebase after a mutation, every cached plan misses and is rebuilt
+    // against the current topology. `rebase` is purely a hit-restoring
+    // optimization — this pins the safety half of that contract.
+    let mut t = topo();
+    let mut b = job(&t, 4..8, 200);
+    let mut sel = EcmpSelector::new(5);
+    let mut rng = DetRng::seed_from(6);
+    warm(&mut b, &t, &mut sel, &mut rng, 2);
+    let groups = b.comms().len() as u64;
+
+    t.set_node_healthy(NodeId::from_index(1), false);
+    let (hits, misses) = (b.plan_cache().hits(), b.plan_cache().misses());
+    warm(&mut b, &t, &mut sel, &mut rng, 1);
+    assert_eq!(
+        b.plan_cache().misses(),
+        misses + groups,
+        "un-rebased plans must miss after a topology mutation"
+    );
+    assert_eq!(b.plan_cache().hits(), hits);
+}

@@ -1,0 +1,171 @@
+//! Property-based tests over the fault injector's schedule draws: time
+//! ordering, horizon bounds, seed reproducibility, and the per-class
+//! stream/id disjointness the fleet controller's merged schedule relies
+//! on.
+
+use c4::prelude::*;
+use proptest::prelude::*;
+
+/// A shaped injector input: cluster size, window, and accelerated rates.
+fn injector(seed: u64, accel: f64) -> FaultInjector {
+    FaultInjector::new(FaultRates::june_2023().scaled(accel), seed)
+}
+
+fn degradation_kinds() -> [FaultKind; 4] {
+    [
+        FaultKind::SlowGpu,
+        FaultKind::PcieDowngrade,
+        FaultKind::NicHalfDown,
+        FaultKind::GcPause,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every schedule is sorted by time and stays inside
+    /// `[start, start + horizon)`.
+    #[test]
+    fn schedules_are_sorted_and_horizon_bounded(
+        seed in 0u64..u64::MAX,
+        nodes in 4usize..64,
+        accel in 1.0_f64..2000.0,
+        start_hours in 0u64..48,
+        horizon_hours in 1u64..240,
+        n_links in 1usize..256,
+    ) {
+        let gpn = 8;
+        let start = SimTime::ZERO + SimDuration::from_hours(start_hours);
+        let horizon = SimDuration::from_hours(horizon_hours);
+        let end = start + horizon;
+        let links: Vec<LinkId> = (0..n_links).map(LinkId::from_index).collect();
+
+        let mut inj = injector(seed, accel);
+        let schedules = [
+            inj.schedule_crashes(nodes * gpn, nodes, gpn, start, horizon),
+            inj.schedule_degradations(nodes * gpn, nodes, gpn, start, horizon),
+            inj.schedule_link_failures(&links, start, horizon),
+        ];
+        for (class, events) in schedules.iter().enumerate() {
+            for w in events.windows(2) {
+                prop_assert!(
+                    w[0].time <= w[1].time,
+                    "class {} out of order: {:?} then {:?}",
+                    class, w[0].time, w[1].time
+                );
+            }
+            for e in events {
+                prop_assert!(
+                    e.time >= start && e.time < end,
+                    "class {} event at {:?} outside [{:?}, {:?})",
+                    class, e.time, start, end
+                );
+            }
+        }
+    }
+
+    /// Identical seeds reproduce identical schedules; a different seed
+    /// moves at least the event times (given enough events to compare).
+    #[test]
+    fn schedules_are_seed_reproducible(
+        seed in 0u64..u64::MAX,
+        nodes in 4usize..32,
+        horizon_hours in 24u64..240,
+    ) {
+        let gpn = 8;
+        let horizon = SimDuration::from_hours(horizon_hours);
+        let draw = |seed: u64| {
+            let mut inj = injector(seed, 500.0);
+            (
+                inj.schedule_crashes(nodes * gpn, nodes, gpn, SimTime::ZERO, horizon),
+                inj.schedule_degradations(nodes * gpn, nodes, gpn, SimTime::ZERO, horizon),
+            )
+        };
+        let (c1, d1) = draw(seed);
+        let (c2, d2) = draw(seed);
+        prop_assert_eq!(&c1, &c2, "crash schedule not reproducible");
+        prop_assert_eq!(&d1, &d2, "degradation schedule not reproducible");
+
+        let (c3, _) = draw(seed ^ 0x5DEECE66D);
+        if c1.len() > 3 && c3.len() > 3 {
+            let t1: Vec<_> = c1.iter().map(|e| e.time).collect();
+            let t3: Vec<_> = c3.iter().map(|e| e.time).collect();
+            prop_assert_ne!(t1, t3, "different seed drew the same times");
+        }
+    }
+
+    /// The three fault classes draw from disjoint random streams: the
+    /// schedule one class produces does not depend on whether the other
+    /// classes were drawn first (the fleet pre-draws all three back to
+    /// back from one injector).
+    #[test]
+    fn fault_classes_draw_from_disjoint_streams(
+        seed in 0u64..u64::MAX,
+        nodes in 4usize..32,
+        horizon_hours in 24u64..120,
+    ) {
+        let gpn = 8;
+        let horizon = SimDuration::from_hours(horizon_hours);
+        let links: Vec<LinkId> = (0..128).map(LinkId::from_index).collect();
+
+        // Interleaved: crashes and link failures drawn before degradations.
+        let mut a = injector(seed, 500.0);
+        let _ = a.schedule_crashes(nodes * gpn, nodes, gpn, SimTime::ZERO, horizon);
+        let _ = a.schedule_link_failures(&links, SimTime::ZERO, horizon);
+        let degr_after = a.schedule_degradations(nodes * gpn, nodes, gpn, SimTime::ZERO, horizon);
+
+        // Isolated: degradations drawn first from a fresh injector.
+        let mut b = injector(seed, 500.0);
+        let degr_first = b.schedule_degradations(nodes * gpn, nodes, gpn, SimTime::ZERO, horizon);
+
+        prop_assert_eq!(degr_after, degr_first, "degradation stream perturbed by other classes");
+    }
+
+    /// Event ids are namespaced per class (no collisions when the fleet
+    /// merges all three schedules), and each class only emits its own
+    /// kinds with the victim fields that kind implies.
+    #[test]
+    fn merged_schedules_have_disjoint_ids_and_consistent_kinds(
+        seed in 0u64..u64::MAX,
+        nodes in 4usize..32,
+        horizon_hours in 24u64..120,
+    ) {
+        let gpn = 8;
+        let horizon = SimDuration::from_hours(horizon_hours);
+        let links: Vec<LinkId> = (0..128).map(LinkId::from_index).collect();
+
+        let mut inj = injector(seed, 500.0);
+        let crashes = inj.schedule_crashes(nodes * gpn, nodes, gpn, SimTime::ZERO, horizon);
+        let degradations =
+            inj.schedule_degradations(nodes * gpn, nodes, gpn, SimTime::ZERO, horizon);
+        let link_failures = inj.schedule_link_failures(&links, SimTime::ZERO, horizon);
+
+        for e in &crashes {
+            prop_assert!(e.kind.is_crash(), "crash schedule drew {:?}", e.kind);
+            prop_assert!(e.node.is_some(), "crash without a victim node");
+        }
+        for e in &degradations {
+            prop_assert!(
+                degradation_kinds().contains(&e.kind),
+                "degradation schedule drew {:?}", e.kind
+            );
+            prop_assert!(e.node.is_some(), "degradation without a victim node");
+        }
+        for e in &link_failures {
+            prop_assert_eq!(e.kind, FaultKind::LinkFailure);
+            prop_assert!(e.link.is_some() && e.node.is_none());
+            prop_assert!(links.contains(&e.link.unwrap()), "victim outside candidates");
+        }
+
+        let mut ids: Vec<u64> = crashes
+            .iter()
+            .chain(&degradations)
+            .chain(&link_failures)
+            .map(|e| e.id)
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "id collision across merged fault classes");
+    }
+}
