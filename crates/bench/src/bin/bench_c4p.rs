@@ -21,7 +21,7 @@
 //! `--threads N|max` overrides the `C4_THREADS` selection.
 
 use c4::scenarios::fig10;
-use c4_bench::{banner, check_wall_regression, parse_cli, pct, read_json, write_json};
+use c4_bench::{banner, check_wall_regression, parse_cli, pct, read_json, write_csv, write_json};
 
 /// Allowed wall-clock growth over the checked-in baseline before the gate
 /// trips.
@@ -80,6 +80,39 @@ fn main() {
     let doc = sweep.to_json();
     if let Some(path) = cli.json_out.as_deref() {
         write_json(path, &doc);
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = cli.csv_out.as_deref() {
+        let rows: Vec<Vec<String>> = sweep
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.gpus.to_string(),
+                    format!("{}:1", r.oversub),
+                    format!("{:.3}", r.ecmp_gbps),
+                    format!("{:.3}", r.c4p_gbps),
+                    format!("{:.6}", r.improvement),
+                    format!("{:.3}", r.ecmp_plan_ms),
+                    format!("{:.3}", r.c4p_plan_ms),
+                    format!("{:.3}", r.wall_ms),
+                ]
+            })
+            .collect();
+        write_csv(
+            path,
+            &[
+                "gpus",
+                "oversub",
+                "ecmp_gbps",
+                "c4p_gbps",
+                "improvement",
+                "ecmp_plan_ms",
+                "c4p_plan_ms",
+                "wall_ms",
+            ],
+            &rows,
+        );
         eprintln!("wrote {path}");
     }
     if let Some(baseline) = baseline {

@@ -1,0 +1,113 @@
+//! Compares two `c4-bench-v1` documents (old vs new) and prints a per-row
+//! wall-clock delta table — the quick before/after view for perf PRs:
+//!
+//! ```text
+//! bench_delta OLD.json NEW.json
+//! ```
+//!
+//! Rows are matched positionally (sweeps are deterministic, so the row
+//! order is stable across runs of the same bench); each row prints its
+//! identifying columns (`gpus`, `oversub` when present), the old and new
+//! `wall_ms`, and the speedup `old / new`. The footer compares
+//! `total_wall_ms`. Exits non-zero on schema mismatch or unreadable files,
+//! never on a slowdown — this is a reporting tool, the CI gates live in
+//! `--check-against`.
+
+use c4::prelude::JsonValue;
+use c4_bench::read_json;
+
+fn schema_of(doc: &JsonValue, which: &str, path: &str) -> String {
+    let schema = doc
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| panic!("{which} {path}: missing schema field"));
+    assert_eq!(
+        schema, "c4-bench-v1",
+        "{which} {path}: unsupported schema {schema:?}"
+    );
+    doc.get("bench")
+        .and_then(|v| v.as_str())
+        .unwrap_or("<unnamed>")
+        .to_string()
+}
+
+fn rows_of(doc: &JsonValue) -> Vec<JsonValue> {
+    doc.get("rows")
+        .and_then(|r| r.as_array())
+        .map(|r| r.to_vec())
+        .unwrap_or_default()
+}
+
+fn row_key(row: &JsonValue) -> String {
+    let mut parts = Vec::new();
+    if let Some(g) = row.get("gpus").and_then(|v| v.as_f64()) {
+        parts.push(format!("{} GPUs", g as u64));
+    }
+    if let Some(o) = row.get("oversub").and_then(|v| v.as_f64()) {
+        parts.push(format!("{}:1", o as u64));
+    }
+    if parts.is_empty() {
+        "<row>".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (old_path, new_path) = match args.as_slice() {
+        [o, n] => (o.as_str(), n.as_str()),
+        _ => {
+            eprintln!("usage: bench_delta <old.json> <new.json>");
+            std::process::exit(2);
+        }
+    };
+    let old = read_json(old_path).unwrap_or_else(|e| panic!("old: {e}"));
+    let new = read_json(new_path).unwrap_or_else(|e| panic!("new: {e}"));
+    let old_bench = schema_of(&old, "old", old_path);
+    let new_bench = schema_of(&new, "new", new_path);
+    if old_bench != new_bench {
+        eprintln!("warning: comparing different benches ({old_bench} vs {new_bench})");
+    }
+
+    println!("bench: {new_bench}");
+    println!(
+        "{:>18} {:>14} {:>14} {:>9}",
+        "row", "old wall (ms)", "new wall (ms)", "speedup"
+    );
+    let old_rows = rows_of(&old);
+    let new_rows = rows_of(&new);
+    if old_rows.len() != new_rows.len() {
+        eprintln!(
+            "warning: row counts differ (old {}, new {}) — comparing the common prefix",
+            old_rows.len(),
+            new_rows.len()
+        );
+    }
+    for (o, n) in old_rows.iter().zip(&new_rows) {
+        let ow = o.get("wall_ms").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let nw = n.get("wall_ms").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!(
+            "{:>18} {:>14.1} {:>14.1} {:>8.2}×",
+            row_key(n),
+            ow,
+            nw,
+            ow / nw.max(1e-9)
+        );
+    }
+    let ow = old
+        .get("total_wall_ms")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("old {old_path}: missing total_wall_ms"));
+    let nw = new
+        .get("total_wall_ms")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("new {new_path}: missing total_wall_ms"));
+    println!(
+        "{:>18} {:>14.1} {:>14.1} {:>8.2}×",
+        "total",
+        ow,
+        nw,
+        ow / nw.max(1e-9)
+    );
+}

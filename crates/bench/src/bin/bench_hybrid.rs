@@ -18,7 +18,7 @@
 //! `--threads N|max` overrides the `C4_THREADS` selection.
 
 use c4::scenarios::hybrid;
-use c4_bench::{banner, check_wall_regression, parse_cli, read_json, write_json};
+use c4_bench::{banner, check_wall_regression, parse_cli, read_json, write_csv, write_json};
 
 /// Allowed wall-clock growth over the checked-in baseline before the gate
 /// trips.
@@ -93,6 +93,49 @@ fn main() {
     doc.push("ep_imbalance", study.to_json());
     if let Some(path) = cli.json_out.as_deref() {
         write_json(path, &doc);
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = cli.csv_out.as_deref() {
+        let rows: Vec<Vec<String>> = sweep
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.gpus.to_string(),
+                    format!("{:.3}", r.ecmp_iter_ms),
+                    format!("{:.3}", r.c4p_iter_ms),
+                    format!("{:.6}", r.improvement),
+                    format!("{:.3}", r.ecmp_ep_gbps),
+                    format!("{:.3}", r.c4p_ep_gbps),
+                    format!("{:.3}", r.ecmp_dp_gbps),
+                    format!("{:.3}", r.c4p_dp_gbps),
+                    format!("{:.3}", r.wall_ms),
+                    r.ecmp_solver.events.to_string(),
+                    r.ecmp_solver.sparse_solves.to_string(),
+                    r.c4p_solver.events.to_string(),
+                    r.c4p_solver.sparse_solves.to_string(),
+                ]
+            })
+            .collect();
+        write_csv(
+            path,
+            &[
+                "gpus",
+                "ecmp_iter_ms",
+                "c4p_iter_ms",
+                "improvement",
+                "ecmp_ep_gbps",
+                "c4p_ep_gbps",
+                "ecmp_dp_gbps",
+                "c4p_dp_gbps",
+                "wall_ms",
+                "ecmp_solver_events",
+                "ecmp_sparse_solves",
+                "c4p_solver_events",
+                "c4p_sparse_solves",
+            ],
+            &rows,
+        );
         eprintln!("wrote {path}");
     }
     if let Some(baseline) = baseline {

@@ -15,7 +15,7 @@
 //! regressions. `--threads N|max` overrides the `C4_THREADS` selection.
 
 use c4::scenarios::fig3;
-use c4_bench::{banner, check_wall_regression, parse_cli, pct, read_json, write_json};
+use c4_bench::{banner, check_wall_regression, parse_cli, pct, read_json, write_csv, write_json};
 
 /// Allowed wall-clock growth over the checked-in baseline before the gate
 /// trips.
@@ -87,6 +87,27 @@ fn main() {
     let doc = sweep.to_json();
     if let Some(path) = cli.json_out.as_deref() {
         write_json(path, &doc);
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = cli.csv_out.as_deref() {
+        let rows: Vec<Vec<String>> = sweep
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.gpus.to_string(),
+                    format!("{:.3}", r.actual_sps),
+                    format!("{:.3}", r.ideal_sps),
+                    format!("{:.6}", r.loss),
+                    format!("{:.3}", r.wall_ms),
+                ]
+            })
+            .collect();
+        write_csv(
+            path,
+            &["gpus", "actual_sps", "ideal_sps", "loss", "wall_ms"],
+            &rows,
+        );
         eprintln!("wrote {path}");
     }
     if let Some(baseline) = baseline {

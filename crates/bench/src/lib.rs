@@ -8,8 +8,8 @@
 use std::time::{Duration, Instant};
 
 use c4::prelude::{
-    ByteSize, DetRng, EcmpSelector, FlowKey, FlowSpec, GpuId, JsonValue, ParallelPolicy,
-    PathSelector, Topology,
+    quote_field, ByteSize, DetRng, EcmpSelector, FlowKey, FlowSpec, GpuId, JsonValue,
+    ParallelPolicy, PathSelector, Topology,
 };
 
 /// Parsed common CLI options.
@@ -25,6 +25,9 @@ pub struct Cli {
     pub sweep: Option<String>,
     /// Write the machine-readable result document here (`--json-out`).
     pub json_out: Option<String>,
+    /// Write the per-row result table as an RFC 4180 CSV file here
+    /// (`--csv-out`), quoted by the telemetry layer's rules.
+    pub csv_out: Option<String>,
     /// Compare wall clock against this baseline document and exit non-zero
     /// on regression (`--check-against`).
     pub check_against: Option<String>,
@@ -80,6 +83,7 @@ pub fn parse_cli(default_iters: usize) -> Cli {
             "--json" => cli.json = true,
             "--sweep" => cli.sweep = Some(value(&args, &mut i, "--sweep")),
             "--json-out" => cli.json_out = Some(value(&args, &mut i, "--json-out")),
+            "--csv-out" => cli.csv_out = Some(value(&args, &mut i, "--csv-out")),
             "--check-against" => {
                 cli.check_against = Some(value(&args, &mut i, "--check-against"));
             }
@@ -100,7 +104,7 @@ pub fn parse_cli(default_iters: usize) -> Cli {
                 });
             }
             other => panic!(
-                "unknown argument: {other} (expected --seed/--iters/--json/--sweep/--json-out/--check-against/--threads)"
+                "unknown argument: {other} (expected --seed/--iters/--json/--sweep/--json-out/--csv-out/--check-against/--threads)"
             ),
         }
         i += 1;
@@ -115,6 +119,48 @@ pub fn parse_cli(default_iters: usize) -> Cli {
 /// Panics when the path is unwritable — bench binaries fail loudly.
 pub fn write_json(path: &str, doc: &JsonValue) {
     std::fs::write(path, doc.pretty()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+/// Renders a header plus per-row field vectors as one RFC 4180 CSV
+/// document, quoting every field by [`quote_field`]'s rules (the same
+/// quoting the telemetry CSV codecs use, so downstream parsers shared with
+/// the event-log tooling read bench exports unchanged).
+///
+/// # Panics
+///
+/// Panics when a row's width differs from the header's — a bench-binary
+/// bug, not an input condition.
+pub fn csv_document(header: &[&str], rows: &[Vec<String>]) -> String {
+    let render = |fields: &[String]| -> String {
+        fields
+            .iter()
+            .map(|f| quote_field(f))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let head: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    let mut out = render(&head);
+    out.push('\n');
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            header.len(),
+            "CSV row width must match the header"
+        );
+        out.push_str(&render(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a `--csv-out` table (header + rows, trailing newline).
+///
+/// # Panics
+///
+/// Panics when the path is unwritable — bench binaries fail loudly.
+pub fn write_csv(path: &str, header: &[&str], rows: &[Vec<String>]) {
+    std::fs::write(path, csv_document(header, rows))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 }
 
 /// Reads and parses a `BENCH_*.json` document.
@@ -273,5 +319,23 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.3119), "31.19%");
+    }
+
+    #[test]
+    fn csv_document_quotes_by_telemetry_rules() {
+        let doc = csv_document(
+            &["gpus", "note"],
+            &[
+                vec!["512".into(), "plain".into()],
+                vec!["1024".into(), "has,comma and \"quote\"".into()],
+            ],
+        );
+        assert_eq!(
+            doc,
+            "gpus,note\n512,plain\n1024,\"has,comma and \"\"quote\"\"\"\n"
+        );
+        // Round-trips through the telemetry splitter.
+        let fields = c4::prelude::split_fields(doc.lines().nth(2).unwrap()).unwrap();
+        assert_eq!(fields, vec!["1024", "has,comma and \"quote\""]);
     }
 }

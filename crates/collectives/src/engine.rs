@@ -820,6 +820,7 @@ pub fn run_concurrent_cached(
             link_bytes: report.link_bytes.clone(),
             cnp_per_port: report.cnp_per_port.clone(),
             congested_flows: report.congested_flows,
+            solver: report.solver,
         };
         results.push(CollectiveResult {
             comm: req.comm.id(),
@@ -963,6 +964,10 @@ pub fn run_tree_collective(
     }
     let _ = down_specs;
     let end = finished.unwrap_or(up_report.end);
+    let mut solver = up_report.solver;
+    if let Some(down) = &down_report {
+        solver.merge(&down.solver);
+    }
     CollectiveResult {
         comm: comm.id(),
         seq: req.seq,
@@ -979,6 +984,7 @@ pub fn run_tree_collective(
             link_bytes,
             cnp_per_port: up_report.cnp_per_port,
             congested_flows: up_report.congested_flows,
+            solver,
         },
     }
 }

@@ -113,6 +113,7 @@ mod tests {
                 link_bytes: vec![],
                 cnp_per_port: vec![],
                 congested_flows: 0,
+                solver: Default::default(),
             },
         }
     }

@@ -12,11 +12,14 @@ pub use c4_topology::{
 
 pub use c4_netsim::maxmin;
 pub use c4_netsim::{
-    drain, drain_reference, mix64, CnpModel, DrainConfig, DrainReport, EcmpSelector, FlowKey,
-    FlowOutcome, FlowSpec, MaxMinState, PathChoice, PathSelector, RailLocalSelector,
+    drain, drain_reference, mix64, CnpModel, DrainConfig, DrainReport, DrainSolverStats,
+    EcmpSelector, FlowKey, FlowOutcome, FlowSpec, MaxMinState, PathChoice, PathSelector,
+    RailLocalSelector, SolveMode,
 };
 
-pub use c4_telemetry::csv::{parse_csv_document, to_csv_document, FromCsv};
+pub use c4_telemetry::csv::{
+    parse_csv_document, quote_field, split_fields, to_csv_document, FromCsv,
+};
 pub use c4_telemetry::pipeline::{
     events_from_snapshots, group_by_key, run_pipeline, Aggregate, Combiner, CsvEventReader,
     CsvSink, EventSink, EventSource, MemorySource, SummarySink, TimeAxis, WindowPane, WindowSpec,

@@ -25,7 +25,9 @@ use std::time::Instant;
 
 use c4_collectives::EpSkew;
 use c4_diagnosis::{raw_straggler, LoadSmoother, StepVerdict, StreamSmoother};
-use c4_netsim::{mix64, CnpModel, DrainConfig, EcmpSelector, PathSelector};
+use c4_netsim::{
+    mix64, CnpModel, DrainConfig, DrainSolverStats, EcmpSelector, PathSelector, SolveMode,
+};
 use c4_simcore::{DetRng, JsonValue, ParallelPolicy};
 use c4_telemetry::{CollKind, TelemetryEvent};
 use c4_topology::{ClosConfig, NodeId, Topology};
@@ -47,6 +49,11 @@ pub struct HybridScaleConfig {
     pub spec: HybridSpec,
     /// Thread budget (simulated results are bit-identical at any value).
     pub parallel: ParallelPolicy,
+    /// Rate solver the drains run under. The 4k sweep stays on the exact
+    /// solver (its baseline predates the two-tier mode); the 16k/32k
+    /// extensions run [`SolveMode::TwoTier`] with ε = 1% — the differential
+    /// proptests pin the rate error bound.
+    pub solve_mode: SolveMode,
 }
 
 impl HybridScaleConfig {
@@ -59,6 +66,7 @@ impl HybridScaleConfig {
             node_scales: vec![64, 128, 256, 512],
             spec: HybridSpec::moe(8, 8, 8),
             parallel: ParallelPolicy::default(),
+            solve_mode: SolveMode::Exact,
         }
     }
 
@@ -72,6 +80,7 @@ impl HybridScaleConfig {
             node_scales: vec![1024, 2048],
             spec: HybridSpec::moe(8, 8, 8),
             parallel: ParallelPolicy::default(),
+            solve_mode: SolveMode::TwoTier { epsilon: 0.01 },
         }
     }
 
@@ -83,6 +92,7 @@ impl HybridScaleConfig {
             node_scales: vec![4096],
             spec: HybridSpec::moe(8, 8, 8),
             parallel: ParallelPolicy::default(),
+            solve_mode: SolveMode::TwoTier { epsilon: 0.01 },
         }
     }
 }
@@ -116,6 +126,10 @@ pub struct HybridScaleRow {
     pub c4p_drain_ms: f64,
     /// Whole-cell wall clock, milliseconds.
     pub wall_ms: f64,
+    /// Solver counters folded over every ECMP iteration of the cell.
+    pub ecmp_solver: DrainSolverStats,
+    /// Solver counters folded over every C4P iteration of the cell.
+    pub c4p_solver: DrainSolverStats,
 }
 
 /// The full hybrid sweep plus `BENCH_hybrid.json` timing metadata.
@@ -131,6 +145,8 @@ pub struct HybridScaleSweep {
     pub seed: u64,
     /// Iterations per cell.
     pub iters: usize,
+    /// Rate solver every drain of the sweep ran under.
+    pub solve_mode: SolveMode,
 }
 
 /// Stage-major node order for `pp` stages over `nodes` stride-`pp` ids:
@@ -156,6 +172,7 @@ struct ModeStats {
     dp_gbps: f64,
     plan_ms: f64,
     drain_ms: f64,
+    solver: DrainSolverStats,
 }
 
 /// Runs one selector over `iters` hybrid iterations, rotating the hot
@@ -176,15 +193,18 @@ fn run_hybrid_mode(
         rate_noise: 0.10,
         cnp: Some(CnpModel::paper_default()),
         parallel: cfg.parallel,
+        solve_mode: cfg.solve_mode,
         ..DrainConfig::default()
     };
     let offset = rng.index(ep);
     let mut iter_secs = 0.0;
     let (mut ep_sum, mut dp_sum) = (0.0, 0.0);
+    let mut solver = DrainSolverStats::default();
     for it in 0..cfg.iters {
         job.set_ep_skew(EpSkew::hot(((offset + it) % ep) as u32, 4.0));
         let r = job.run_iteration(topo, selector, None, rng);
         assert!(!r.hung, "healthy fabric must not hang");
+        solver.merge(&r.solver);
         iter_secs += r.total.as_secs_f64();
         ep_sum += r
             .phase(CollKind::AllToAll)
@@ -204,6 +224,7 @@ fn run_hybrid_mode(
         dp_gbps: dp_sum / n,
         plan_ms,
         drain_ms: (mode_ms - plan_ms).max(0.0),
+        solver,
     }
 }
 
@@ -247,6 +268,8 @@ pub fn run_scale(cfg: &HybridScaleConfig) -> HybridScaleSweep {
             ecmp_drain_ms: e.drain_ms,
             c4p_drain_ms: c.drain_ms,
             wall_ms: row_start.elapsed().as_secs_f64() * 1e3,
+            ecmp_solver: e.solver,
+            c4p_solver: c.solver,
         });
     }
     HybridScaleSweep {
@@ -255,7 +278,26 @@ pub fn run_scale(cfg: &HybridScaleConfig) -> HybridScaleSweep {
         threads: cfg.parallel.threads(),
         seed: cfg.seed,
         iters: cfg.iters,
+        solve_mode: cfg.solve_mode,
     }
+}
+
+/// A [`DrainSolverStats`] as the nested `c4-bench-v1` solver column.
+fn solver_json(s: &DrainSolverStats) -> JsonValue {
+    let mut o = JsonValue::object();
+    o.push("events", s.events)
+        .push("flows", s.flows)
+        .push("full_solves", s.full_solves)
+        .push("component_solves", s.component_solves)
+        .push("sparse_solves", s.sparse_solves)
+        .push("spine_rounds", s.spine_rounds)
+        .push("spine_link_updates", s.spine_link_updates)
+        .push("fallback_solves", s.fallback_solves)
+        .push("batched_instants", s.batched_instants)
+        .push("batched_completions", s.batched_completions)
+        .push("components", s.components)
+        .push("arena_hwm_bytes", s.arena_hwm_bytes);
+    o
 }
 
 impl HybridScaleSweep {
@@ -265,7 +307,8 @@ impl HybridScaleSweep {
         config
             .push("seed", self.seed)
             .push("iters", self.iters)
-            .push("threads", self.threads);
+            .push("threads", self.threads)
+            .push("solve_mode", format!("{:?}", self.solve_mode));
         let rows: Vec<JsonValue> = self
             .rows
             .iter()
@@ -283,7 +326,9 @@ impl HybridScaleSweep {
                     .push("c4p_plan_ms", r.c4p_plan_ms)
                     .push("ecmp_drain_ms", r.ecmp_drain_ms)
                     .push("c4p_drain_ms", r.c4p_drain_ms)
-                    .push("wall_ms", r.wall_ms);
+                    .push("wall_ms", r.wall_ms)
+                    .push("ecmp_solver", solver_json(&r.ecmp_solver))
+                    .push("c4p_solver", solver_json(&r.c4p_solver));
                 row
             })
             .collect();
@@ -549,6 +594,7 @@ mod tests {
             node_scales: vec![64],
             spec,
             parallel: ParallelPolicy::default(),
+            solve_mode: SolveMode::Exact,
         }
     }
 

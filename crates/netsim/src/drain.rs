@@ -40,7 +40,7 @@ use c4_topology::{LinkKind, Topology};
 
 use crate::congestion::CnpModel;
 use crate::flow::{FlowOutcome, FlowSpec};
-use crate::maxmin::{self, MaxMinState, SolveScope};
+use crate::maxmin::{self, MaxMinState, SolveMode, SolveScope};
 
 /// Configuration of one drain run.
 #[derive(Debug, Clone)]
@@ -63,6 +63,11 @@ pub struct DrainConfig {
     /// config). Defaults to the `C4_THREADS` environment selection; the
     /// allocation is bit-identical at any thread count.
     pub parallel: ParallelPolicy,
+    /// Base-allocation solver strategy. [`SolveMode::Exact`] (the default)
+    /// is bit-identical to the historical behaviour; `TwoTier` trades an
+    /// ε-bounded rate error across the spine tier for sparse per-event
+    /// re-solves (see [`MaxMinState::set_solve_mode`]).
+    pub solve_mode: SolveMode,
 }
 
 impl Default for DrainConfig {
@@ -74,6 +79,7 @@ impl Default for DrainConfig {
             rate_noise: 0.0,
             cnp: None,
             parallel: ParallelPolicy::default(),
+            solve_mode: SolveMode::Exact,
         }
     }
 }
@@ -92,6 +98,69 @@ pub struct DrainReport {
     pub cnp_per_port: Vec<f64>,
     /// Number of flows that crossed at least one saturated shared link.
     pub congested_flows: usize,
+    /// Solver/engine counters for the run (replaces the old
+    /// `C4_DRAIN_STATS=1` stderr printing): how much work the event loop
+    /// actually did, observable without environment variables.
+    pub solver: DrainSolverStats,
+}
+
+/// Structured solver/engine counters carried on every [`DrainReport`].
+///
+/// All counters are additive across drains except `arena_hwm_bytes`, which
+/// is a high-water mark — [`DrainSolverStats::merge`] folds accordingly, so
+/// multi-phase callers (the collective engine, the hybrid trainer) can
+/// aggregate per-phase reports into one summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DrainSolverStats {
+    /// Events the drain loop processed (completions, epochs, deadline).
+    pub events: u64,
+    /// Flows in the drained spec set.
+    pub flows: u64,
+    /// Distinct links referenced by at least one flow (dense table size).
+    pub dense_links: u64,
+    /// Full (global) base-allocation solves.
+    pub full_solves: u64,
+    /// Dirty-component re-solves (exact mode's incremental path).
+    pub component_solves: u64,
+    /// Sparse two-tier propagations (two-tier mode's incremental path).
+    pub sparse_solves: u64,
+    /// Worklist rounds across all two-tier propagations.
+    pub spine_rounds: u64,
+    /// Per-link advertised-level commits made by two-tier propagation.
+    pub spine_link_updates: u64,
+    /// Two-tier propagations that failed to settle and fell back to a
+    /// full exact solve.
+    pub fallback_solves: u64,
+    /// Completion instants at which ≥ 2 flows finished together (their
+    /// removals were batched into one re-solve).
+    pub batched_instants: u64,
+    /// Completions beyond the first at a batched instant — i.e. removals
+    /// that did *not* cost their own re-solve.
+    pub batched_completions: u64,
+    /// Connected components the solver tracked at the end of the drain.
+    pub components: u64,
+    /// High-water mark of the solver's reusable scratch arena, in bytes.
+    pub arena_hwm_bytes: u64,
+}
+
+impl DrainSolverStats {
+    /// Folds `other` into `self`: counters add, high-water marks take the
+    /// max.
+    pub fn merge(&mut self, other: &DrainSolverStats) {
+        self.events += other.events;
+        self.flows += other.flows;
+        self.dense_links += other.dense_links;
+        self.full_solves += other.full_solves;
+        self.component_solves += other.component_solves;
+        self.sparse_solves += other.sparse_solves;
+        self.spine_rounds += other.spine_rounds;
+        self.spine_link_updates += other.spine_link_updates;
+        self.fallback_solves += other.fallback_solves;
+        self.batched_instants += other.batched_instants;
+        self.batched_completions += other.batched_completions;
+        self.components += other.components;
+        self.arena_hwm_bytes = self.arena_hwm_bytes.max(other.arena_hwm_bytes);
+    }
 }
 
 impl DrainReport {
@@ -173,6 +242,56 @@ fn materialize(f: usize, now_s: f64, rate: f64, remaining: &mut [f64], touch_s: 
     touch_s[f] = now_s;
 }
 
+/// Releases a completed flow's contribution to the incrementally-maintained
+/// link loads/counts (two-tier mode only — exact mode rebuilds them from the
+/// solver's component feed instead). Marks the touched links so the next
+/// sparse refresh re-scores their subscribers.
+#[allow(clippy::too_many_arguments)]
+fn release_completed(
+    f: usize,
+    route: &[u32],
+    base_prev: &mut [f64],
+    link_load: &mut [f64],
+    link_flows: &mut [u32],
+    touched_mask: &mut [bool],
+    touched_links: &mut Vec<u32>,
+) {
+    for &l in route {
+        let l = l as usize;
+        link_load[l] -= base_prev[f];
+        link_flows[l] -= 1;
+        if !touched_mask[l] {
+            touched_mask[l] = true;
+            touched_links.push(l as u32);
+        }
+    }
+    base_prev[f] = 0.0;
+}
+
+/// Closes a flow's current CNP score episode (two-tier mode only):
+/// accumulates `cnp_rate(score) × Δt` at the model's mean jitter onto the
+/// flow's sender port and restamps the episode start. Called whenever a
+/// flow's score is about to change, when it completes, and once at drain
+/// end — exact integration of the piecewise-constant score signal, without
+/// the exact mode's per-event per-flow draws.
+fn flush_cnp_episode(
+    f: usize,
+    now_s: f64,
+    score: &[f64],
+    src_port_of: &[Option<usize>],
+    cnp_model: &CnpModel,
+    cnp_last_s: &mut [f64],
+    cnp_accum: &mut [f64],
+) {
+    if let Some(port) = src_port_of[f] {
+        let dt = now_s - cnp_last_s[f];
+        if dt > 0.0 {
+            cnp_accum[port] += cnp_model.cnp_rate(score[f], 0.5) * dt;
+        }
+    }
+    cnp_last_s[f] = now_s;
+}
+
 /// Static per-flow tables shared by both drain implementations.
 struct Problem {
     /// Dense capacity table over links referenced by at least one flow.
@@ -183,6 +302,9 @@ struct Problem {
     orig_routes: Vec<Vec<u32>>,
     /// Sender port of each flow (first HostUp link on the route).
     src_port_of: Vec<Option<usize>>,
+    /// Per-dense-link spine flag (leaf↔spine fabric links) — the tier the
+    /// two-tier solve gates at ε.
+    spine_mask: Vec<bool>,
 }
 
 impl Problem {
@@ -190,6 +312,7 @@ impl Problem {
         let nl = topo.num_links();
         let mut dense_of = vec![u32::MAX; nl];
         let mut dense_capacity: Vec<f64> = Vec::new();
+        let mut spine_mask: Vec<bool> = Vec::new();
         let mut dense_routes: Vec<Vec<u32>> = Vec::with_capacity(specs.len());
         let mut orig_routes: Vec<Vec<u32>> = Vec::with_capacity(specs.len());
         for s in specs {
@@ -200,11 +323,9 @@ impl Problem {
             for &l in &orig {
                 if dense_of[l as usize] == u32::MAX {
                     dense_of[l as usize] = dense_capacity.len() as u32;
-                    dense_capacity.push(
-                        topo.link(c4_topology::LinkId::from_index(l as usize))
-                            .capacity()
-                            .as_bytes_per_sec(),
-                    );
+                    let link = topo.link(c4_topology::LinkId::from_index(l as usize));
+                    dense_capacity.push(link.capacity().as_bytes_per_sec());
+                    spine_mask.push(link.kind().is_fabric());
                 }
                 dense.push(dense_of[l as usize]);
             }
@@ -226,6 +347,7 @@ impl Problem {
             dense_routes,
             orig_routes,
             src_port_of,
+            spine_mask,
         }
     }
 }
@@ -282,8 +404,13 @@ pub fn drain(
     // pin to their caps, uncapped flows stay at their private bottlenecks.
     // The differential harness holds this identity against the reference's
     // full capped re-solve at 1e-9.
+    let two_tier = matches!(cfg.solve_mode, SolveMode::TwoTier { .. });
     let mut base = MaxMinState::with_flows(&p.dense_capacity, &p.dense_routes, None)
-        .with_parallel(cfg.parallel);
+        .with_parallel(cfg.parallel)
+        .with_solve_mode(cfg.solve_mode);
+    if two_tier {
+        base.set_spine_links(&p.spine_mask);
+    }
     for (f, fin) in finish.iter().enumerate() {
         if fin.is_some() {
             base.remove_flow(f);
@@ -308,6 +435,30 @@ pub fn drain(
     let mut heap: BinaryHeap<CompletionEvent> = BinaryHeap::new();
     let cnp_model = cfg.cnp.unwrap_or_default();
     let mut events = 0u64;
+    let mut batched_instants = 0u64;
+    let mut batched_completions = 0u64;
+    // Two-tier sparse bookkeeping: `base_prev` mirrors the base rate each
+    // active flow last contributed to `link_load`, so a sparse refresh can
+    // apply per-flow deltas instead of rebuilding loads; `touched_*` track
+    // the links those deltas (and completion-time releases) moved, which
+    // bounds the per-event score recompute to their subscribers.
+    let mut base_prev = vec![0.0_f64; if two_tier { nf } else { 0 }];
+    let mut touched_mask = vec![false; if two_tier { ndl } else { 0 }];
+    let mut touched_links: Vec<u32> = Vec::new();
+    let mut decongested: Vec<u32> = Vec::new();
+    // Two-tier noise/CNP sparsification. The exact mode redraws every
+    // congested flow's noise cap and draws a CNP jitter for every active
+    // flow *per event* — reference semantics, but O(active) per event,
+    // which dwarfs the sparse solver at 16k+. The ε mode instead redraws
+    // caps only for flows whose base rate actually moved, with a full
+    // congested redraw once per `epoch` of simulated time (so the cap
+    // distribution still refreshes on the DCQCN cadence), and integrates
+    // CNP per score *episode* at the model's mean jitter — exact for the
+    // piecewise-constant scores the drain maintains.
+    let epoch_s = cfg.epoch.as_secs_f64();
+    let mut next_redraw_s = epoch_s;
+    let episodic_cnp = two_tier && cfg.cnp.is_some();
+    let mut cnp_last_s = vec![0.0_f64; if episodic_cnp { nf } else { 0 }];
 
     while !active.is_empty() {
         if let Some(deadline) = cfg.deadline {
@@ -328,6 +479,8 @@ pub fn drain(
         //    from-scratch rebuild over all active flows.
         if scope != SolveScope::Unchanged {
             let rates = base.current_rates();
+            let mut rebuild_congested = true;
+            decongested.clear();
             match scope {
                 SolveScope::Full => {
                     link_load.fill(0.0);
@@ -338,6 +491,21 @@ pub fn drain(
                             link_flows[l as usize] += 1;
                         }
                     }
+                    if episodic_cnp {
+                        // Scores are about to be rebuilt wholesale: close
+                        // every open episode at its old score first.
+                        for &f in &active {
+                            flush_cnp_episode(
+                                f,
+                                now_s,
+                                &score,
+                                &p.src_port_of,
+                                &cnp_model,
+                                &mut cnp_last_s,
+                                &mut cnp_accum,
+                            );
+                        }
+                    }
                     for &f in &active {
                         score[f] = cnp_model.flow_score(
                             &p.dense_routes[f],
@@ -345,6 +513,18 @@ pub fn drain(
                             &p.dense_capacity,
                             &link_flows,
                         );
+                    }
+                    if two_tier {
+                        // Loads were rebuilt wholesale — the delta mirror
+                        // restarts from the fresh base rates.
+                        for &l in &touched_links {
+                            touched_mask[l as usize] = false;
+                        }
+                        touched_links.clear();
+                        base_prev.fill(0.0);
+                        for &f in &active {
+                            base_prev[f] = rates[f];
+                        }
                     }
                 }
                 SolveScope::Components => {
@@ -377,13 +557,82 @@ pub fn drain(
                         }
                     }
                 }
+                SolveScope::Sparse => {
+                    // Two-tier sparse feed: only `changed_flows` moved.
+                    // Apply their rate deltas to the link loads in place
+                    // (completed flows already released theirs in step 6),
+                    // then recompute scores for the alive subscribers of
+                    // every touched link. The congested list is rebuilt
+                    // only when a score actually flips.
+                    for &f in base.changed_flows() {
+                        let f = f as usize;
+                        if finish[f].is_some() {
+                            continue;
+                        }
+                        let delta = rates[f] - base_prev[f];
+                        if delta != 0.0 {
+                            for &l in &p.dense_routes[f] {
+                                let l = l as usize;
+                                link_load[l] += delta;
+                                if !touched_mask[l] {
+                                    touched_mask[l] = true;
+                                    touched_links.push(l as u32);
+                                }
+                            }
+                            base_prev[f] = rates[f];
+                        }
+                    }
+                    let mut flipped = false;
+                    for &l in &touched_links {
+                        for &fid in base.two_tier_subscribers(l as usize) {
+                            let f = fid as usize;
+                            if finish[f].is_some() {
+                                continue;
+                            }
+                            let s = cnp_model.flow_score(
+                                &p.dense_routes[f],
+                                &link_load,
+                                &p.dense_capacity,
+                                &link_flows,
+                            );
+                            if s != score[f] {
+                                if s == 0.0 {
+                                    // Leaving the congested set: the noise
+                                    // pass stops re-capping it, so it must
+                                    // re-adopt its base rate in step 3.
+                                    decongested.push(f as u32);
+                                }
+                                if episodic_cnp {
+                                    flush_cnp_episode(
+                                        f,
+                                        now_s,
+                                        &score,
+                                        &p.src_port_of,
+                                        &cnp_model,
+                                        &mut cnp_last_s,
+                                        &mut cnp_accum,
+                                    );
+                                }
+                                score[f] = s;
+                                flipped = true;
+                            }
+                        }
+                    }
+                    for &l in &touched_links {
+                        touched_mask[l as usize] = false;
+                    }
+                    touched_links.clear();
+                    rebuild_congested = flipped;
+                }
                 SolveScope::Unchanged => unreachable!(),
             }
-            congested.clear();
-            for &f in &active {
-                if score[f] > 0.0 {
-                    congested_flags[f] = true;
-                    congested.push(f as u32);
+            if rebuild_congested {
+                congested.clear();
+                for &f in &active {
+                    if score[f] > 0.0 {
+                        congested_flags[f] = true;
+                        congested.push(f as u32);
+                    }
                 }
             }
         }
@@ -395,17 +644,71 @@ pub fn drain(
         scan.clear();
         let base_rates = base.current_rates();
         if cfg.rate_noise > 0.0 {
-            for &f in &congested {
-                let f = f as usize;
+            let redraw = |f: usize,
+                          rate: &mut [f64],
+                          stamp: &mut [u32],
+                          scan: &mut Vec<usize>,
+                          remaining: &mut [f64],
+                          touch_s: &mut [f64],
+                          rng: &mut DetRng| {
                 let b = base_rates[f];
                 let cap = b * (1.0 - cfg.rate_noise * rng.uniform());
                 let nr = if cap < b { cap } else { b };
-                materialize(f, now_s, rate[f], &mut remaining, &mut touch_s);
+                materialize(f, now_s, rate[f], remaining, touch_s);
                 if nr.to_bits() != rate[f].to_bits() {
                     stamp[f] = stamp[f].wrapping_add(1);
                     rate[f] = nr;
                 }
                 scan.push(f);
+            };
+            if !two_tier {
+                // Reference semantics: every congested flow redraws its cap
+                // every event, in ascending flow order.
+                for &f in &congested {
+                    redraw(
+                        f as usize,
+                        &mut rate,
+                        &mut stamp,
+                        &mut scan,
+                        &mut remaining,
+                        &mut touch_s,
+                        rng,
+                    );
+                }
+            } else if now_s >= next_redraw_s || scope == SolveScope::Full {
+                // ε mode: the full congested redraw runs on the epoch
+                // cadence (and after a wholesale rebuild, whose fresh base
+                // rates may undercut standing caps), not per event.
+                next_redraw_s = now_s + epoch_s;
+                for &f in &congested {
+                    redraw(
+                        f as usize,
+                        &mut rate,
+                        &mut stamp,
+                        &mut scan,
+                        &mut remaining,
+                        &mut touch_s,
+                        rng,
+                    );
+                }
+            } else if scope == SolveScope::Sparse {
+                // Between epochs only the solver-reported movers recap:
+                // an unmoved base keeps its cap ≤ base valid, and the flow
+                // keeps riding its completion-heap entry.
+                for &f in base.changed_flows() {
+                    let f = f as usize;
+                    if finish[f].is_none() && score[f] > 0.0 {
+                        redraw(
+                            f,
+                            &mut rate,
+                            &mut stamp,
+                            &mut scan,
+                            &mut remaining,
+                            &mut touch_s,
+                            rng,
+                        );
+                    }
+                }
             }
         }
         // Uncongested flows of re-solved components adopt their fresh base
@@ -457,6 +760,34 @@ pub fn drain(
                                 );
                             }
                         }
+                    }
+                }
+                SolveScope::Sparse => {
+                    // Only the solver-reported movers — plus flows that
+                    // just left the congested set (their last rate was a
+                    // noise cap the noise pass will no longer refresh).
+                    for &f in base.changed_flows() {
+                        let f = f as usize;
+                        if finish[f].is_none() {
+                            adopt(
+                                f,
+                                &mut rate,
+                                &mut stamp,
+                                &mut scan,
+                                &mut remaining,
+                                &mut touch_s,
+                            );
+                        }
+                    }
+                    for &f in &decongested {
+                        adopt(
+                            f as usize,
+                            &mut rate,
+                            &mut stamp,
+                            &mut scan,
+                            &mut remaining,
+                            &mut touch_s,
+                        );
                     }
                 }
                 SolveScope::Unchanged => unreachable!(),
@@ -527,11 +858,15 @@ pub fn drain(
         // 5. Advance.
         let step = SimDuration::from_secs_f64(dt);
         if let Some(cnp) = cfg.cnp {
-            for &f in &active {
-                if let Some(port) = p.src_port_of[f] {
-                    cnp_accum[port] += cnp.cnp_rate(score[f], rng.uniform()) * dt;
+            if !two_tier {
+                for &f in &active {
+                    if let Some(port) = p.src_port_of[f] {
+                        cnp_accum[port] += cnp.cnp_rate(score[f], rng.uniform()) * dt;
+                    }
                 }
             }
+            // Two-tier: CNP integrates per score episode instead — see
+            // `flush_cnp_episode` (score flips, completions, drain end).
         }
         let next_s = now_s + dt;
         for &f in &scan {
@@ -549,12 +884,34 @@ pub fn drain(
         //    check, stable flows by popping every heap entry now due. A
         //    batch completing at one instant issues its removals together,
         //    so the dirtied components re-solve once next event.
-        let mut completed_any = false;
+        let mut completions_now = 0u64;
         for &f in &scan {
             if remaining[f] <= 1.0 && finish[f].is_none() {
                 finish[f] = Some(now);
                 base.remove_flow(f);
-                completed_any = true;
+                completions_now += 1;
+                if episodic_cnp {
+                    flush_cnp_episode(
+                        f,
+                        now_s,
+                        &score,
+                        &p.src_port_of,
+                        &cnp_model,
+                        &mut cnp_last_s,
+                        &mut cnp_accum,
+                    );
+                }
+                if two_tier {
+                    release_completed(
+                        f,
+                        &p.dense_routes[f],
+                        &mut base_prev,
+                        &mut link_load,
+                        &mut link_flows,
+                        &mut touched_mask,
+                        &mut touched_links,
+                    );
+                }
             }
         }
         while let Some(&top) = heap.peek() {
@@ -572,7 +929,29 @@ pub fn drain(
                     // min/max folds happened when this rate episode began.
                     finish[f] = Some(now);
                     base.remove_flow(f);
-                    completed_any = true;
+                    completions_now += 1;
+                    if episodic_cnp {
+                        flush_cnp_episode(
+                            f,
+                            now_s,
+                            &score,
+                            &p.src_port_of,
+                            &cnp_model,
+                            &mut cnp_last_s,
+                            &mut cnp_accum,
+                        );
+                    }
+                    if two_tier {
+                        release_completed(
+                            f,
+                            &p.dense_routes[f],
+                            &mut base_prev,
+                            &mut link_load,
+                            &mut link_flows,
+                            &mut touched_mask,
+                            &mut touched_links,
+                        );
+                    }
                 } else {
                     // Floating-point shy of the tolerance: re-arm.
                     stamp[f] = stamp[f].wrapping_add(1);
@@ -588,12 +967,14 @@ pub fn drain(
         }
 
         // 7. Re-arm completion events for this event's re-rated movers.
-        //    Congested flows under noise skip the heap — they are
-        //    re-scanned every event until a refresh clears their score.
+        //    In exact mode congested flows under noise skip the heap —
+        //    they are re-scanned every event until a refresh clears their
+        //    score. In two-tier mode caps persist between redraws, so
+        //    capped flows ride the heap like everyone else.
         for &f in &scan {
             if finish[f].is_none()
                 && rate[f] > STALL_RATE
-                && !(cfg.rate_noise > 0.0 && score[f] > 0.0)
+                && (two_tier || !(cfg.rate_noise > 0.0 && score[f] > 0.0))
             {
                 heap.push(CompletionEvent {
                     t_zero: now_s + remaining[f] / rate[f],
@@ -602,8 +983,12 @@ pub fn drain(
                 });
             }
         }
-        if completed_any {
+        if completions_now > 0 {
             active.retain(|&f| finish[f].is_none());
+            if completions_now >= 2 {
+                batched_instants += 1;
+                batched_completions += completions_now - 1;
+            }
         }
     }
 
@@ -611,6 +996,20 @@ pub fn drain(
     // byte accounting below sees the full elapsed drain.
     for &f in &active {
         materialize(f, now_s, rate[f], &mut remaining, &mut touch_s);
+    }
+    if episodic_cnp {
+        // Close the surviving flows' open score episodes at the drain end.
+        for &f in &active {
+            flush_cnp_episode(
+                f,
+                now_s,
+                &score,
+                &p.src_port_of,
+                &cnp_model,
+                &mut cnp_last_s,
+                &mut cnp_accum,
+            );
+        }
     }
 
     // Per-link byte accounting: every link on a flow's route carried
@@ -626,14 +1025,21 @@ pub fn drain(
         }
     }
 
-    if std::env::var_os("C4_DRAIN_STATS").is_some() {
-        eprintln!(
-            "drain stats: flows={nf} dense_links={ndl} events={events} base_full={} base_comp={} comps={}",
-            base.full_solves(),
-            base.component_solves(),
-            base.component_count(),
-        );
-    }
+    let solver = DrainSolverStats {
+        events,
+        flows: nf as u64,
+        dense_links: ndl as u64,
+        full_solves: base.full_solves(),
+        component_solves: base.component_solves(),
+        sparse_solves: base.sparse_solves(),
+        spine_rounds: base.spine_rounds(),
+        spine_link_updates: base.spine_link_updates(),
+        fallback_solves: base.fallback_solves(),
+        batched_instants,
+        batched_completions,
+        components: base.component_count() as u64,
+        arena_hwm_bytes: base.arena_hwm_bytes() as u64,
+    };
 
     finalize_report(
         specs,
@@ -645,6 +1051,7 @@ pub fn drain(
         link_bytes,
         cnp_accum,
         congested_flags,
+        solver,
     )
 }
 
@@ -703,6 +1110,8 @@ pub fn drain_reference(
     let noisy = cfg.rate_noise > 0.0 || cfg.cnp.is_some();
     let mut now = cfg.start;
     let mut active: Vec<usize> = (0..nf).filter(|&f| finish[f].is_none()).collect();
+    let mut events = 0u64;
+    let mut full_solves = 0u64;
 
     while !active.is_empty() {
         if let Some(deadline) = cfg.deadline {
@@ -710,10 +1119,12 @@ pub fn drain_reference(
                 break;
             }
         }
+        events += 1;
 
         // Base max-min allocation over the active flows.
         let act_routes: Vec<Vec<u32>> = active.iter().map(|&f| routes[f].clone()).collect();
         let mut rates = maxmin::solve(&capacity, &act_routes, None);
+        full_solves += 1;
 
         // Identify sharing pressure for noise/CNP.
         let mut link_load = vec![0.0_f64; nl];
@@ -750,6 +1161,7 @@ pub fn drain_reference(
                 })
                 .collect();
             rates = maxmin::solve(&capacity, &act_routes, Some(&caps));
+            full_solves += 1;
         }
 
         for (i, &f) in active.iter().enumerate() {
@@ -829,6 +1241,12 @@ pub fn drain_reference(
         link_bytes,
         cnp_accum,
         congested_flags,
+        DrainSolverStats {
+            events,
+            flows: nf as u64,
+            full_solves,
+            ..DrainSolverStats::default()
+        },
     )
 }
 
@@ -845,6 +1263,7 @@ fn finalize_report(
     link_bytes: Vec<f64>,
     cnp_accum: Vec<f64>,
     congested_flags: Vec<bool>,
+    solver: DrainSolverStats,
 ) -> DrainReport {
     let end = finish
         .iter()
@@ -894,6 +1313,7 @@ fn finalize_report(
         link_bytes,
         cnp_per_port,
         congested_flows: congested_flags.iter().filter(|c| **c).count(),
+        solver,
     }
 }
 

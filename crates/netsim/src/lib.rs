@@ -68,8 +68,22 @@
 //!   [`drain_reference()`](drain::drain_reference) across randomized
 //!   topologies, faults, noise epochs and deadlines.
 //!
-//! Set `C4_DRAIN_STATS=1` to print per-drain solver statistics (events,
-//! full vs component solves, component count) to stderr.
+//! * **Opt-in two-tier spine solve.** At cluster scale the spine keeps
+//!   every concurrent job in one connected component, so exact component
+//!   re-solves still touch O(live flows) per completion.
+//!   [`SolveMode::TwoTier`] solves pod-local subproblems exactly and
+//!   couples them across the spine tier through per-link advertised
+//!   levels, committing a spine level only when it moves by more than a
+//!   fraction of the configured ε — re-solve work becomes proportional to
+//!   the completion's blast radius instead of the component size, with the
+//!   max relative rate error bounded by ε (pinned by differential
+//!   proptest). The default [`SolveMode::Exact`] is bit-identical to the
+//!   historical solver.
+//!
+//! Every [`DrainReport`] carries a
+//! [`DrainSolverStats`] with per-run solver
+//! counters (events, solves per tier, batched completion instants, scratch
+//! arena high-water mark), surfaced as a column in the `c4-bench-v1` JSON.
 
 pub mod congestion;
 pub mod drain;
@@ -79,8 +93,8 @@ pub mod maxmin;
 pub mod selector;
 
 pub use congestion::CnpModel;
-pub use drain::{drain, drain_reference, DrainConfig, DrainReport};
+pub use drain::{drain, drain_reference, DrainConfig, DrainReport, DrainSolverStats};
 pub use flow::{FlowKey, FlowOutcome, FlowSpec};
 pub use hash::mix64;
-pub use maxmin::{MaxMinState, SolveScope};
+pub use maxmin::{MaxMinState, SolveMode, SolveScope};
 pub use selector::{EcmpSelector, PathChoice, PathSelector, RailLocalSelector};

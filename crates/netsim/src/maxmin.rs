@@ -226,8 +226,65 @@ impl Ord for LinkEvent {
     }
 }
 
+/// Reusable buffers for [`waterfill_event_into`]: every per-call allocation
+/// of the event kernel (index arenas, residual tables, the saturation heap,
+/// the cap sweep order) plus the staging vectors the serial component loop
+/// uses to assemble each sub-problem. Buffers are **cleared, not freed**
+/// between solves, so the drain hot loop stops allocating once the largest
+/// component has been seen; `hwm_bytes` records the arena's high-water mark
+/// for [`DrainSolverStats`](crate::DrainSolverStats).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SolveScratch {
+    active_count: Vec<u32>,
+    active: Vec<bool>,
+    fol_offsets: Vec<u32>,
+    fol_flows: Vec<u32>,
+    cursor: Vec<u32>,
+    remaining: Vec<f64>,
+    base_level: Vec<f64>,
+    stamp: Vec<u32>,
+    heap: std::collections::BinaryHeap<LinkEvent>,
+    cap_order: Vec<u32>,
+    /// Staging for the serial component loop (link capacities, masked caps
+    /// and rates of the component being solved).
+    local_capacity: Vec<f64>,
+    local_caps: Vec<f64>,
+    local_rates: Vec<f64>,
+    /// Largest total capacity (bytes) this arena has held.
+    hwm_bytes: usize,
+}
+
+impl SolveScratch {
+    /// Records the arena's current footprint if it is a new high-water mark.
+    fn note_hwm(&mut self) {
+        let bytes = self.active_count.capacity() * 4
+            + self.active.capacity()
+            + self.fol_offsets.capacity() * 4
+            + self.fol_flows.capacity() * 4
+            + self.cursor.capacity() * 4
+            + self.remaining.capacity() * 8
+            + self.base_level.capacity() * 8
+            + self.stamp.capacity() * 4
+            + self.heap.capacity() * std::mem::size_of::<LinkEvent>()
+            + self.cap_order.capacity() * 4
+            + self.local_capacity.capacity() * 8
+            + self.local_caps.capacity() * 8
+            + self.local_rates.capacity() * 8;
+        if bytes > self.hwm_bytes {
+            self.hwm_bytes = bytes;
+        }
+    }
+}
+
 /// Event-driven progressive-filling kernel — the fast path behind
-/// [`MaxMinState`].
+/// [`MaxMinState`]. Allocation-free wrapper state lives in `scratch`; see
+/// [`waterfill_event_into`] for the algorithm.
+fn waterfill_event(capacity: &[f64], links_of: &RouteTable, caps: &[f64], rates: &mut [f64]) {
+    let mut scratch = SolveScratch::default();
+    waterfill_event_into(capacity, links_of, caps, rates, &mut scratch, None);
+}
+
+/// Event-driven progressive-filling kernel.
 ///
 /// Exploits the invariant that every *active* flow sits at the same water
 /// level `L`: instead of raising rates round by round, it jumps `L` directly
@@ -242,17 +299,52 @@ impl Ord for LinkEvent {
 /// `O(eps)` freeze-threshold differences (the reference freezes flows an
 /// `eps` early); the differential harness bounds the divergence at 1e-9
 /// relative.
-fn waterfill_event(capacity: &[f64], links_of: &RouteTable, caps: &[f64], rates: &mut [f64]) {
+///
+/// All working memory comes from `scratch` (cleared, never freed), so a
+/// reused scratch makes repeated solves allocation-free; the reinitialized
+/// buffers hold exactly the values a fresh allocation would, keeping results
+/// bit-identical whether the scratch is new or recycled.
+///
+/// When `levels` is provided it receives each link's final saturation level:
+/// the water level at which the link's residual reached zero, or
+/// [`UNBOUNDED`] for links that never saturated. This is the per-link
+/// bottleneck ("advertised") level the two-tier solve seeds its fixed point
+/// with.
+fn waterfill_event_into(
+    capacity: &[f64],
+    links_of: &RouteTable,
+    caps: &[f64],
+    rates: &mut [f64],
+    scratch: &mut SolveScratch,
+    levels: Option<&mut Vec<f64>>,
+) {
     let nf = links_of.len();
     debug_assert_eq!(caps.len(), nf);
     debug_assert_eq!(rates.len(), nf);
+    let nl = capacity.len();
+    // Saturation levels for a problem with no routed flows: a link is
+    // "saturated" only if it has no capacity at all.
+    let trivial_levels = |levels: Option<&mut Vec<f64>>| {
+        if let Some(levels) = levels {
+            levels.clear();
+            levels.extend(
+                capacity
+                    .iter()
+                    .map(|c| if c.max(0.0) == 0.0 { 0.0 } else { UNBOUNDED }),
+            );
+        }
+    };
     if nf == 0 {
+        trivial_levels(levels);
         return;
     }
-    let nl = capacity.len();
 
-    let mut active_count = vec![0u32; nl];
-    let mut active = vec![false; nf];
+    let active_count = &mut scratch.active_count;
+    active_count.clear();
+    active_count.resize(nl, 0);
+    let active = &mut scratch.active;
+    active.clear();
+    active.resize(nf, false);
     let mut n_active = 0usize;
     for f in 0..nf {
         let ls = links_of.route(f);
@@ -271,12 +363,15 @@ fn waterfill_event(capacity: &[f64], links_of: &RouteTable, caps: &[f64], rates:
         }
     }
     if n_active == 0 {
+        trivial_levels(levels);
         return;
     }
 
     // Per-link flow lists in CSR form (counting sort over the route table:
     // two contiguous passes, zero per-link allocations).
-    let mut fol_offsets = vec![0u32; nl + 1];
+    let fol_offsets = &mut scratch.fol_offsets;
+    fol_offsets.clear();
+    fol_offsets.resize(nl + 1, 0);
     for (f, &is_active) in active.iter().enumerate() {
         if is_active {
             for &l in links_of.route(f) {
@@ -287,8 +382,12 @@ fn waterfill_event(capacity: &[f64], links_of: &RouteTable, caps: &[f64], rates:
     for l in 0..nl {
         fol_offsets[l + 1] += fol_offsets[l];
     }
-    let mut fol_flows = vec![0u32; fol_offsets[nl] as usize];
-    let mut cursor: Vec<u32> = fol_offsets[..nl].to_vec();
+    let fol_flows = &mut scratch.fol_flows;
+    fol_flows.clear();
+    fol_flows.resize(fol_offsets[nl] as usize, 0);
+    let cursor = &mut scratch.cursor;
+    cursor.clear();
+    cursor.extend_from_slice(&fol_offsets[..nl]);
     for (f, &is_active) in active.iter().enumerate() {
         if is_active {
             for &l in links_of.route(f) {
@@ -301,11 +400,18 @@ fn waterfill_event(capacity: &[f64], links_of: &RouteTable, caps: &[f64], rates:
     // Lazily-materialized residuals: `remaining[l]` is exact as of water
     // level `base_level[l]`; in between, the true residual is
     // `remaining[l] - (L - base_level[l]) * active_count[l]`.
-    let mut remaining: Vec<f64> = capacity.iter().map(|c| c.max(0.0)).collect();
-    let mut base_level = vec![0.0_f64; nl];
-    let mut stamp = vec![0u32; nl];
+    let remaining = &mut scratch.remaining;
+    remaining.clear();
+    remaining.extend(capacity.iter().map(|c| c.max(0.0)));
+    let base_level = &mut scratch.base_level;
+    base_level.clear();
+    base_level.resize(nl, 0.0);
+    let stamp = &mut scratch.stamp;
+    stamp.clear();
+    stamp.resize(nl, 0);
 
-    let mut heap: std::collections::BinaryHeap<LinkEvent> = std::collections::BinaryHeap::new();
+    let heap = &mut scratch.heap;
+    heap.clear();
     for l in 0..nl {
         if active_count[l] > 0 {
             heap.push(LinkEvent {
@@ -317,9 +423,10 @@ fn waterfill_event(capacity: &[f64], links_of: &RouteTable, caps: &[f64], rates:
     }
 
     // Flows with finite caps, sorted ascending; swept once.
-    let mut cap_order: Vec<u32> = (0..nf as u32)
-        .filter(|&f| active[f as usize] && caps[f as usize].is_finite())
-        .collect();
+    let cap_order = &mut scratch.cap_order;
+    cap_order.clear();
+    cap_order
+        .extend((0..nf as u32).filter(|&f| active[f as usize] && caps[f as usize].is_finite()));
     cap_order.sort_unstable_by(|&a, &b| {
         caps[a as usize]
             .partial_cmp(&caps[b as usize])
@@ -386,11 +493,11 @@ fn waterfill_event(capacity: &[f64], links_of: &RouteTable, caps: &[f64], rates:
                     release_link(
                         l as usize,
                         level,
-                        &mut remaining,
-                        &mut base_level,
-                        &mut active_count,
-                        &mut stamp,
-                        &mut heap,
+                        remaining,
+                        base_level,
+                        active_count,
+                        stamp,
+                        heap,
                     );
                 }
             }
@@ -426,16 +533,34 @@ fn waterfill_event(capacity: &[f64], links_of: &RouteTable, caps: &[f64], rates:
                     release_link(
                         l as usize,
                         level,
-                        &mut remaining,
-                        &mut base_level,
-                        &mut active_count,
-                        &mut stamp,
-                        &mut heap,
+                        remaining,
+                        base_level,
+                        active_count,
+                        stamp,
+                        heap,
                     );
                 }
             }
         }
     }
+
+    if let Some(levels) = levels {
+        // A link's final `remaining` is its residual at `base_level` with
+        // every subscriber frozen, so residual ≈ 0 means the link saturated
+        // exactly at `base_level` — the advertised level the two-tier solve
+        // seeds with. Links with slack never constrain anyone.
+        levels.clear();
+        levels.reserve(nl);
+        for l in 0..nl {
+            let cap_pos = capacity[l].max(0.0);
+            levels.push(if remaining[l] <= 1e-9 * cap_pos.max(1.0) {
+                base_level[l]
+            } else {
+                UNBOUNDED
+            });
+        }
+    }
+    scratch.note_hwm();
 }
 
 /// Materializes a link's residual at the current water level, drops one
@@ -557,9 +682,108 @@ pub enum SolveScope {
     /// Only the components listed by [`MaxMinState::resolved_components`]
     /// re-solved; every other flow's rate is bit-identical to before.
     Components,
+    /// Two-tier propagation ran: only the flows listed by
+    /// [`MaxMinState::changed_flows`] have different rates — every other
+    /// flow's rate is bit-identical to before. Only produced under
+    /// [`SolveMode::TwoTier`].
+    Sparse,
     /// A full solve ran (with re-partition): component ids were reassigned
     /// and every rate is fresh — derived state must rebuild from scratch.
     Full,
+}
+
+/// How [`MaxMinState`] re-solves after perturbations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SolveMode {
+    /// Component-granular exact re-solves — bit-identical to the reference
+    /// solver within 1e-9 and to itself at any thread count. The default
+    /// everywhere.
+    #[default]
+    Exact,
+    /// Two-tier approximate re-solves: pod-local updates propagate exactly,
+    /// while updates crossing designated *spine* links
+    /// ([`MaxMinState::set_spine_links`]) only commit when a link's
+    /// advertised bottleneck level moves by more than `epsilon / 8`
+    /// relative. Bounds every flow's rate within `epsilon` relative of the
+    /// exact allocation (pinned by `tests/maxmin_differential.rs`) while
+    /// turning each perturbation into work proportional to the links it
+    /// actually moved — instead of an exact re-solve of the spine-connected
+    /// giant component.
+    TwoTier {
+        /// Maximum relative rate error tolerated against the exact solver.
+        epsilon: f64,
+    },
+}
+
+/// Incremental state for [`SolveMode::TwoTier`]: a Charny-style fixed point
+/// over per-link advertised bottleneck levels `mu`.
+///
+/// Invariants at quiescence: `mu[l]` is the water level at which link `l`
+/// saturates given its alive subscribers' demands (or [`UNBOUNDED`] when it
+/// never constrains anyone); each flow's `(min1, min1_link, min2)` caches
+/// the two smallest `mu` values on its route; and each flow's rate is
+/// `min(cap, min1)`. Perturbations mark route links dirty, and the worklist
+/// re-fills each dirty link from its subscribers' demands — committing (and
+/// rescanning subscribers) only when the level moves past the link's gate.
+#[derive(Debug, Clone, Default)]
+struct TwoTierState {
+    /// Whether `mu`/triples/subscribers reflect the current flow table.
+    initialized: bool,
+    /// Advertised saturation level per link.
+    mu: Vec<f64>,
+    /// Subscriber CSR: alive routed flows per link (stale entries are
+    /// alive-checked; compacted when dead entries reach half the table).
+    sub_offsets: Vec<u32>,
+    sub_flows: Vec<u32>,
+    /// CSR entries owned by removed flows (compaction trigger).
+    sub_dead_entries: usize,
+    /// Smallest and second-smallest `mu` on each flow's route, plus the
+    /// link holding the smallest.
+    min1: Vec<f64>,
+    min1_link: Vec<u32>,
+    min2: Vec<f64>,
+    /// Worklist of links whose fill level must be recomputed.
+    link_dirty: Vec<bool>,
+    dirty_links: Vec<u32>,
+    /// Flows whose rate changed since the last refresh (mask-deduped).
+    flow_mask: Vec<bool>,
+    pending: Vec<u32>,
+    /// The changed-flow set of the *last* refresh (ascending) — the
+    /// [`SolveScope::Sparse`] feed.
+    changed: Vec<u32>,
+    /// Scratch: demand staging for the per-link fill, and the per-round
+    /// worklist batch.
+    demand: Vec<f64>,
+    batch: Vec<u32>,
+    /// Statistics for [`DrainSolverStats`](crate::DrainSolverStats).
+    sparse_solves: u64,
+    spine_rounds: u64,
+    spine_link_updates: u64,
+    fallback_solves: u64,
+}
+
+impl TwoTierState {
+    /// Rewrites the subscriber CSR keeping only alive flows, so long drains
+    /// do not scan ever-growing dead entries. In-place, O(entries).
+    fn compact_subscribers(&mut self, alive: &[bool]) {
+        let nl = self.sub_offsets.len().saturating_sub(1);
+        let mut write = 0usize;
+        let mut read = 0usize;
+        for l in 0..nl {
+            let read_end = self.sub_offsets[l + 1] as usize;
+            while read < read_end {
+                let f = self.sub_flows[read];
+                if alive[f as usize] {
+                    self.sub_flows[write] = f;
+                    write += 1;
+                }
+                read += 1;
+            }
+            self.sub_offsets[l + 1] = write as u32;
+        }
+        self.sub_flows.truncate(write);
+        self.sub_dead_entries = 0;
+    }
 }
 
 /// One connected component of the flow–link sharing graph — the "pod" unit
@@ -656,7 +880,27 @@ pub struct MaxMinState {
     /// Statistics: full solves vs component re-solves since construction.
     full_solves: u64,
     component_solves: u64,
+    /// Reusable solve arena for the serial path (cleared, never freed).
+    /// Worker threads allocate their own buffers; the merge order makes the
+    /// results bit-identical either way.
+    scratch: SolveScratch,
+    /// Exact (default) or two-tier approximate re-solving.
+    mode: SolveMode,
+    /// Spine-link mask for [`SolveMode::TwoTier`] gating (empty = no link
+    /// is spine: everything propagates at the exactness gate).
+    spine: Vec<bool>,
+    two_tier: TwoTierState,
 }
+
+/// Relative change below which a non-spine link's advertised level is not
+/// worth re-propagating under [`SolveMode::TwoTier`] — tight enough that
+/// pod-local arithmetic stays effectively exact.
+const POD_GATE: f64 = 1e-12;
+
+/// Worklist rounds before a two-tier propagation gives up and falls back
+/// to one exact global solve (convergence insurance; the Charny iteration
+/// settles in a handful of rounds in practice).
+const TWO_TIER_MAX_ROUNDS: usize = 64;
 
 impl MaxMinState {
     /// Creates an empty state over the given link-capacity table.
@@ -679,7 +923,43 @@ impl MaxMinState {
             parallel: ParallelPolicy::default(),
             full_solves: 0,
             component_solves: 0,
+            scratch: SolveScratch::default(),
+            mode: SolveMode::Exact,
+            spine: Vec::new(),
+            two_tier: TwoTierState::default(),
         }
+    }
+
+    /// Sets the solve mode (builder form). Switching modes invalidates the
+    /// incremental tables; the next refresh runs one full solve.
+    pub fn with_solve_mode(mut self, mode: SolveMode) -> Self {
+        self.set_solve_mode(mode);
+        self
+    }
+
+    /// Sets the solve mode. Switching modes invalidates the incremental
+    /// tables; the next refresh runs one full solve.
+    pub fn set_solve_mode(&mut self, mode: SolveMode) {
+        if self.mode == mode {
+            return;
+        }
+        self.mode = mode;
+        self.partition_stale = true;
+        self.two_tier.initialized = false;
+    }
+
+    /// The current solve mode.
+    pub fn solve_mode(&self) -> SolveMode {
+        self.mode
+    }
+
+    /// Marks which links belong to the spine tier for
+    /// [`SolveMode::TwoTier`] gating. `mask` is indexed like the capacity
+    /// table; out-of-range links default to non-spine. A no-op for
+    /// [`SolveMode::Exact`] correctness (the mask only affects gating).
+    pub fn set_spine_links(&mut self, mask: &[bool]) {
+        self.spine.clear();
+        self.spine.extend_from_slice(mask);
     }
 
     /// Sets the thread budget for batched component re-solves (builder
@@ -754,6 +1034,32 @@ impl MaxMinState {
         self.alive[f] = false;
         self.n_alive -= 1;
         self.rates[f] = 0.0;
+        if matches!(self.mode, SolveMode::TwoTier { .. }) {
+            if self.two_tier.initialized {
+                let MaxMinState {
+                    routes,
+                    alive,
+                    two_tier,
+                    ..
+                } = self;
+                let r = routes.route(f);
+                if !two_tier.flow_mask[f] {
+                    two_tier.flow_mask[f] = true;
+                    two_tier.pending.push(f as u32);
+                }
+                for &l in r {
+                    if !two_tier.link_dirty[l as usize] {
+                        two_tier.link_dirty[l as usize] = true;
+                        two_tier.dirty_links.push(l);
+                    }
+                }
+                two_tier.sub_dead_entries += r.len();
+                if two_tier.sub_dead_entries * 2 >= two_tier.sub_flows.len() {
+                    two_tier.compact_subscribers(alive);
+                }
+            }
+            return;
+        }
         let c = self.comp_of_flow[f];
         if c != u32::MAX {
             self.comps[c as usize].alive_count =
@@ -772,6 +1078,45 @@ impl MaxMinState {
             return;
         }
         self.caps[f] = cap;
+        if matches!(self.mode, SolveMode::TwoTier { .. }) {
+            if self.two_tier.initialized {
+                let MaxMinState {
+                    routes,
+                    rates,
+                    two_tier,
+                    ..
+                } = self;
+                let r = routes.route(f);
+                // The rate tracks `min(cap, min1)` immediately — a cap move
+                // must reach the drain even when no link level re-commits.
+                let new_rate = if r.is_empty() {
+                    if cap.is_finite() {
+                        cap.max(0.0)
+                    } else {
+                        UNBOUNDED
+                    }
+                } else if cap.is_finite() {
+                    cap.max(0.0).min(two_tier.min1[f])
+                } else {
+                    two_tier.min1[f]
+                };
+                if new_rate.to_bits() != rates[f].to_bits() {
+                    rates[f] = new_rate;
+                    if !two_tier.flow_mask[f] {
+                        two_tier.flow_mask[f] = true;
+                        two_tier.pending.push(f as u32);
+                    }
+                }
+                // The flow's demand toward every route link changed.
+                for &l in r {
+                    if !two_tier.link_dirty[l as usize] {
+                        two_tier.link_dirty[l as usize] = true;
+                        two_tier.dirty_links.push(l);
+                    }
+                }
+            }
+            return;
+        }
         let c = self.comp_of_flow[f];
         if c == u32::MAX {
             // Empty-route flow: rate is its cap directly.
@@ -796,6 +1141,13 @@ impl MaxMinState {
             return;
         }
         self.capacity[l] = capacity;
+        if matches!(self.mode, SolveMode::TwoTier { .. }) {
+            if self.two_tier.initialized && !self.two_tier.link_dirty[l] {
+                self.two_tier.link_dirty[l] = true;
+                self.two_tier.dirty_links.push(l as u32);
+            }
+            return;
+        }
         let c = self.comp_of_link[l];
         if c != u32::MAX {
             self.mark_dirty(c);
@@ -819,6 +1171,9 @@ impl MaxMinState {
     /// [`current_rates`]: MaxMinState::current_rates
     /// [`resolved_components`]: MaxMinState::resolved_components
     pub fn refresh(&mut self) -> SolveScope {
+        if let SolveMode::TwoTier { epsilon } = self.mode {
+            return self.refresh_two_tier(epsilon);
+        }
         self.last_resolved.clear();
         if self.needs_full_solve() {
             self.solve_full();
@@ -912,6 +1267,324 @@ impl MaxMinState {
         self.component_solves
     }
 
+    /// High-water mark (bytes) of the reusable solve arena — how much
+    /// scratch the serial kernel path retains between solves.
+    pub fn arena_hwm_bytes(&self) -> usize {
+        self.scratch.hwm_bytes
+    }
+
+    /// Flows whose rate changed in the last [`refresh`] (ascending, deduped)
+    /// — the [`SolveScope::Sparse`] feed. Removed flows appear here once
+    /// (their rate dropped to 0). Empty unless the last refresh returned
+    /// `Sparse`.
+    ///
+    /// [`refresh`]: MaxMinState::refresh
+    pub fn changed_flows(&self) -> &[u32] {
+        &self.two_tier.changed
+    }
+
+    /// Routed flows subscribed to dense link `l` (two-tier mode only; empty
+    /// before the first two-tier refresh). May still list flows removed
+    /// since the last CSR compaction — callers filter by their own liveness.
+    pub(crate) fn two_tier_subscribers(&self, l: usize) -> &[u32] {
+        let t = &self.two_tier;
+        if !t.initialized || l + 1 >= t.sub_offsets.len() {
+            return &[];
+        }
+        &t.sub_flows[t.sub_offsets[l] as usize..t.sub_offsets[l + 1] as usize]
+    }
+
+    /// How many sparse (two-tier) propagations this state has run.
+    pub fn sparse_solves(&self) -> u64 {
+        self.two_tier.sparse_solves
+    }
+
+    /// Total worklist rounds across all two-tier propagations.
+    pub fn spine_rounds(&self) -> u64 {
+        self.two_tier.spine_rounds
+    }
+
+    /// How many per-link advertised-level commits two-tier propagation made.
+    pub fn spine_link_updates(&self) -> u64 {
+        self.two_tier.spine_link_updates
+    }
+
+    /// How many two-tier propagations failed to settle and fell back to an
+    /// exact global solve.
+    pub fn fallback_solves(&self) -> u64 {
+        self.two_tier.fallback_solves
+    }
+
+    /// [`refresh`](MaxMinState::refresh) under [`SolveMode::TwoTier`].
+    fn refresh_two_tier(&mut self, epsilon: f64) -> SolveScope {
+        self.last_resolved.clear();
+        self.two_tier.changed.clear();
+        if self.partition_stale || !self.two_tier.initialized {
+            self.two_tier_init();
+            self.last_scope = SolveScope::Full;
+        } else if self.two_tier.dirty_links.is_empty() && self.two_tier.pending.is_empty() {
+            self.last_scope = SolveScope::Unchanged;
+        } else if self.two_tier_propagate(epsilon) {
+            let t = &mut self.two_tier;
+            t.sparse_solves += 1;
+            std::mem::swap(&mut t.pending, &mut t.changed);
+            t.changed.sort_unstable();
+            for &f in &t.changed {
+                t.flow_mask[f as usize] = false;
+            }
+            self.last_scope = SolveScope::Sparse;
+        } else {
+            // The worklist did not settle within the round budget: fall
+            // back to one exact global solve (which also re-seeds `mu`).
+            self.two_tier.fallback_solves += 1;
+            self.two_tier_init();
+            self.last_scope = SolveScope::Full;
+        }
+        self.last_scope
+    }
+
+    /// (Re)seeds the two-tier tables with one exact global solve: rates come
+    /// straight from the event kernel, `mu` from its per-link saturation
+    /// levels, and the subscriber CSR / route-min triples are rebuilt.
+    fn two_tier_init(&mut self) {
+        let nf = self.routes.len();
+        let nl = self.capacity.len();
+        let masked_caps: Vec<f64> = (0..nf).map(|f| self.masked_cap(f)).collect();
+        for r in self.rates.iter_mut() {
+            *r = 0.0;
+        }
+        {
+            let MaxMinState {
+                capacity,
+                routes,
+                rates,
+                scratch,
+                two_tier,
+                ..
+            } = self;
+            waterfill_event_into(
+                capacity,
+                routes,
+                &masked_caps,
+                rates,
+                scratch,
+                Some(&mut two_tier.mu),
+            );
+        }
+        let t = &mut self.two_tier;
+        // Subscriber CSR over alive routed flows (counting sort).
+        t.sub_offsets.clear();
+        t.sub_offsets.resize(nl + 1, 0);
+        for f in 0..nf {
+            if self.alive[f] {
+                for &l in self.routes.route(f) {
+                    t.sub_offsets[l as usize + 1] += 1;
+                }
+            }
+        }
+        for l in 0..nl {
+            t.sub_offsets[l + 1] += t.sub_offsets[l];
+        }
+        t.sub_flows.clear();
+        t.sub_flows.resize(t.sub_offsets[nl] as usize, 0);
+        {
+            let cursor = &mut t.batch;
+            cursor.clear();
+            cursor.extend_from_slice(&t.sub_offsets[..nl]);
+            for f in 0..nf {
+                if self.alive[f] {
+                    for &l in self.routes.route(f) {
+                        t.sub_flows[cursor[l as usize] as usize] = f as u32;
+                        cursor[l as usize] += 1;
+                    }
+                }
+            }
+            cursor.clear();
+        }
+        t.sub_dead_entries = 0;
+        // Route-min triples from the seeded levels.
+        t.min1.clear();
+        t.min1.resize(nf, f64::INFINITY);
+        t.min1_link.clear();
+        t.min1_link.resize(nf, u32::MAX);
+        t.min2.clear();
+        t.min2.resize(nf, f64::INFINITY);
+        for f in 0..nf {
+            let (mut m1, mut m1l, mut m2) = (f64::INFINITY, u32::MAX, f64::INFINITY);
+            for &l in self.routes.route(f) {
+                let v = t.mu[l as usize];
+                if v < m1 {
+                    m2 = m1;
+                    m1 = v;
+                    m1l = l;
+                } else if v < m2 {
+                    m2 = v;
+                }
+            }
+            t.min1[f] = m1;
+            t.min1_link[f] = m1l;
+            t.min2[f] = m2;
+        }
+        t.link_dirty.clear();
+        t.link_dirty.resize(nl, false);
+        t.dirty_links.clear();
+        t.flow_mask.clear();
+        t.flow_mask.resize(nf, false);
+        t.pending.clear();
+        t.initialized = true;
+        self.partition_stale = false;
+        self.full_solves += 1;
+    }
+
+    /// Runs the two-tier worklist to quiescence. Returns `false` when the
+    /// round budget is exhausted (caller falls back to an exact solve).
+    fn two_tier_propagate(&mut self, epsilon: f64) -> bool {
+        let MaxMinState {
+            capacity,
+            routes,
+            caps,
+            alive,
+            rates,
+            spine,
+            two_tier,
+            ..
+        } = self;
+        let TwoTierState {
+            mu,
+            sub_offsets,
+            sub_flows,
+            min1,
+            min1_link,
+            min2,
+            link_dirty,
+            dirty_links,
+            flow_mask,
+            pending,
+            demand,
+            batch,
+            spine_rounds,
+            spine_link_updates,
+            ..
+        } = two_tier;
+        let spine_gate = epsilon / 8.0;
+        let mut rounds = 0usize;
+        while !dirty_links.is_empty() {
+            rounds += 1;
+            if rounds > TWO_TIER_MAX_ROUNDS {
+                return false;
+            }
+            *spine_rounds += 1;
+            batch.clear();
+            batch.append(dirty_links);
+            // Ascending link order keeps propagation deterministic
+            // regardless of the order perturbations arrived in.
+            batch.sort_unstable();
+            for &l in batch.iter() {
+                link_dirty[l as usize] = false;
+            }
+            for bi in 0..batch.len() {
+                let l = batch[bi] as usize;
+                let subs = &sub_flows[sub_offsets[l] as usize..sub_offsets[l + 1] as usize];
+                // Single-link progressive fill over the alive subscribers'
+                // demands (each demand excludes `l` itself: the rate the
+                // flow could take if this link did not constrain it).
+                demand.clear();
+                for &fid in subs {
+                    let f = fid as usize;
+                    if !alive[f] {
+                        continue;
+                    }
+                    let excl = if min1_link[f] == l as u32 {
+                        min2[f]
+                    } else {
+                        min1[f]
+                    };
+                    demand.push(excl.min(caps[f].max(0.0)));
+                }
+                let mut new_mu = UNBOUNDED;
+                if !demand.is_empty() {
+                    demand.sort_unstable_by(|a, b| a.partial_cmp(b).expect("demands are not NaN"));
+                    let mut rem = capacity[l].max(0.0);
+                    let mut k = demand.len();
+                    for &d in demand.iter() {
+                        let share = rem / k as f64;
+                        if d <= share {
+                            rem -= d;
+                            k -= 1;
+                        } else {
+                            new_mu = share;
+                            break;
+                        }
+                    }
+                    // Every demand fit: the link constrains nobody.
+                }
+                let old_mu = mu[l];
+                if new_mu == old_mu {
+                    continue;
+                }
+                let gate = if spine.get(l).copied().unwrap_or(false) {
+                    spine_gate
+                } else {
+                    POD_GATE
+                };
+                let rel = (new_mu - old_mu).abs() / old_mu.abs().max(new_mu.abs()).max(1.0);
+                if rel <= gate {
+                    continue;
+                }
+                mu[l] = new_mu;
+                *spine_link_updates += 1;
+                // Commit: rescan subscribers' route-min triples; flows whose
+                // demand profile moved ripple to their other links.
+                for &fid in subs {
+                    let f = fid as usize;
+                    if !alive[f] {
+                        continue;
+                    }
+                    let r = routes.route(f);
+                    let (mut m1, mut m1l, mut m2) = (f64::INFINITY, u32::MAX, f64::INFINITY);
+                    for &rl in r {
+                        let v = mu[rl as usize];
+                        if v < m1 {
+                            m2 = m1;
+                            m1 = v;
+                            m1l = rl;
+                        } else if v < m2 {
+                            m2 = v;
+                        }
+                    }
+                    if m1.to_bits() == min1[f].to_bits()
+                        && m1l == min1_link[f]
+                        && m2.to_bits() == min2[f].to_bits()
+                    {
+                        continue;
+                    }
+                    min1[f] = m1;
+                    min1_link[f] = m1l;
+                    min2[f] = m2;
+                    let new_rate = if caps[f].is_finite() {
+                        caps[f].max(0.0).min(m1)
+                    } else {
+                        m1
+                    };
+                    if new_rate.to_bits() != rates[f].to_bits() {
+                        rates[f] = new_rate;
+                        if !flow_mask[f] {
+                            flow_mask[f] = true;
+                            pending.push(fid);
+                        }
+                    }
+                    for &rl in r {
+                        if rl as usize != l && !link_dirty[rl as usize] {
+                            link_dirty[rl as usize] = true;
+                            dirty_links.push(rl);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
     fn mark_dirty(&mut self, c: u32) {
         if !self.dirty[c as usize] {
             self.dirty[c as usize] = true;
@@ -981,6 +1654,56 @@ impl MaxMinState {
         } else {
             self.parallel
         };
+        if policy.threads() <= 1 {
+            // Serial fast path: solve each component in place through the
+            // state-owned scratch arena — zero allocations once the arena
+            // has grown to the largest component. Same kernel, same inputs,
+            // same merge order as the fan-out below, so the rates are
+            // bit-identical to the parallel path.
+            let MaxMinState {
+                capacity,
+                caps,
+                alive,
+                rates,
+                comps,
+                scratch,
+                ..
+            } = self;
+            let mut local_capacity = std::mem::take(&mut scratch.local_capacity);
+            let mut local_caps = std::mem::take(&mut scratch.local_caps);
+            let mut local_rates = std::mem::take(&mut scratch.local_rates);
+            for &c in comp_ids {
+                let comp = &comps[c as usize];
+                local_capacity.clear();
+                local_capacity.extend(comp.links.iter().map(|&l| capacity[l as usize]));
+                local_caps.clear();
+                local_caps.extend(comp.flows.iter().map(|&f| {
+                    if alive[f as usize] {
+                        caps[f as usize]
+                    } else {
+                        0.0
+                    }
+                }));
+                local_rates.clear();
+                local_rates.resize(comp.flows.len(), 0.0);
+                waterfill_event_into(
+                    &local_capacity,
+                    &comp.local_routes,
+                    &local_caps,
+                    &mut local_rates,
+                    scratch,
+                    None,
+                );
+                for (i, &f) in comp.flows.iter().enumerate() {
+                    rates[f as usize] = local_rates[i];
+                }
+            }
+            scratch.local_capacity = local_capacity;
+            scratch.local_caps = local_caps;
+            scratch.local_rates = local_rates;
+            scratch.note_hwm();
+            return;
+        }
         let results: Vec<Vec<f64>> = {
             let this = &*self;
             scoped_map(policy, comp_ids, |&c| this.component_rates(c as usize))

@@ -22,7 +22,7 @@ use c4_collectives::{
     channel_pair, run_concurrent_cached, CollKind, CollectiveRequest, CommConfig, Communicator,
     EpSkew, PlanCache, QpWeightFn,
 };
-use c4_netsim::{DrainConfig, PathSelector};
+use c4_netsim::{DrainConfig, DrainSolverStats, PathSelector};
 use c4_simcore::{DetRng, SimDuration, SimTime};
 use c4_telemetry::{DataType, LoadSample};
 use c4_topology::{NodeId, Topology};
@@ -106,6 +106,10 @@ pub struct HybridIterationReport {
     /// expert-load signal the EP-imbalance detection study feeds into
     /// `c4d`'s raw and smoothed straggler tests.
     pub ep_recv_bytes: Vec<Vec<u64>>,
+    /// Drain-solver counters folded across the iteration's phases (each
+    /// phase is one shared drain; counters add, high-water marks take the
+    /// max).
+    pub solver: DrainSolverStats,
 }
 
 impl HybridIterationReport {
@@ -350,6 +354,7 @@ impl HybridJob {
         let mut t = start;
         let mut phases = Vec::with_capacity(4);
         let mut ep_recv_bytes = Vec::new();
+        let mut solver = DrainSolverStats::default();
 
         struct Phase<'a> {
             kind: CollKind,
@@ -416,6 +421,11 @@ impl HybridJob {
                 Some(&mut self.plan_cache),
             );
 
+            // One shared drain per phase: every sub-result carries the same
+            // per-drain counters, so fold the first rather than summing.
+            if let Some(first) = results.first() {
+                solver.merge(&first.report.solver);
+            }
             let hung = results.iter().any(|r| r.hung());
             let end = results
                 .iter()
@@ -454,6 +464,7 @@ impl HybridJob {
             hung: phases.iter().any(|p| p.hung),
             phases,
             ep_recv_bytes,
+            solver,
         }
     }
 }

@@ -464,6 +464,7 @@ proptest! {
             rate_noise: [0.0, 0.1, 0.0, 0.25][noise_kind],
             cnp: (noise_kind >= 2).then(CnpModel::paper_default),
             parallel: ParallelPolicy::SERIAL,
+            ..DrainConfig::default()
         };
 
         let mut rng_a = DetRng::seed_from(seed ^ 0xAAAA);
@@ -631,6 +632,7 @@ proptest! {
             rate_noise: [0.04, 0.10, 0.25][noise_kind],
             cnp: Some(CnpModel::paper_default()),
             parallel: ParallelPolicy::SERIAL,
+            ..DrainConfig::default()
         };
         let mut rng_a = DetRng::seed_from(seed ^ 0xCCCC);
         let mut rng_b = DetRng::seed_from(seed ^ 0xCCCC);
@@ -753,6 +755,7 @@ proptest! {
             rate_noise: [0.04, 0.10, 0.25][noise_kind],
             cnp: Some(CnpModel::paper_default()),
             parallel: ParallelPolicy::SERIAL,
+            ..DrainConfig::default()
         };
         let mut rng_a = DetRng::seed_from(seed ^ 0x16AA);
         let mut rng_b = DetRng::seed_from(seed ^ 0x16AA);
@@ -840,4 +843,297 @@ fn engine_flows_agree_with_reference_end_to_end() {
     let inc = drain(&topo, &specs, &cfg, &mut rng_a);
     let reference = drain_reference(&topo, &specs, &cfg, &mut rng_b);
     assert_reports_agree(&inc, &reference, "engine allreduce flow set");
+}
+
+/// Builds fully pod-disjoint "jobs": per selected node, two equal-size QPs
+/// over the same intra-node NVLink route. Jobs on different nodes share no
+/// links at all, so each is its own solver component — and equal sizes make
+/// their completions land at exactly the same instant across components.
+fn disjoint_pod_specs(topo: &Topology, jobs: usize) -> Vec<FlowSpec> {
+    let mut specs = Vec::new();
+    for j in 0..jobs {
+        let src = topo.gpu_at(NodeId::from_index(j), 0);
+        let dst = topo.gpu_at(NodeId::from_index(j), 1);
+        let route = topo.intra_node_route(src, dst);
+        // Two size classes → two distinct cross-component batch instants.
+        let bytes = if j % 2 == 0 {
+            ByteSize::from_mib(64)
+        } else {
+            ByteSize::from_mib(32)
+        };
+        for qp in 0..2u16 {
+            let key = FlowKey {
+                src_gpu: src,
+                dst_gpu: dst,
+                comm: 1 + j as u64,
+                channel: j as u16,
+                qp,
+                incarnation: 0,
+            };
+            specs.push(FlowSpec::new(key, bytes, route.clone()));
+        }
+    }
+    specs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cross-component same-instant batching: disjoint-pod jobs with
+    /// equal-size flows complete at one instant in *different* components,
+    /// and the completion step must batch all of their removals into one
+    /// re-solve. Pinned three ways: drain == reference rates, RNG position
+    /// bit-for-bit, and 1/2/4-thread bit-identity — plus, on the noiseless
+    /// cases, the solver stats must show the batches actually formed.
+    #[test]
+    fn drain_batches_same_instant_completions_across_components(
+        jobs in 4usize..13,
+        seed in 0u64..1_000_000,
+        noise_kind in 0usize..3,
+    ) {
+        let topo = Topology::build(&ClosConfig::pod_grouped(16, 2));
+        let specs = disjoint_pod_specs(&topo, jobs);
+        let cfg = DrainConfig {
+            epoch: SimDuration::from_micros(500),
+            rate_noise: [0.0, 0.1, 0.25][noise_kind],
+            cnp: (noise_kind > 0).then(CnpModel::paper_default),
+            ..DrainConfig::default()
+        };
+        let mut rng_a = DetRng::seed_from(seed ^ 0xBA7C);
+        let mut rng_b = DetRng::seed_from(seed ^ 0xBA7C);
+        let inc = drain(&topo, &specs, &cfg, &mut rng_a);
+        let reference = drain_reference(&topo, &specs, &cfg, &mut rng_b);
+        assert_reports_agree(&inc, &reference, "disjoint-pod batched drain");
+        let next_after_serial = rng_a.uniform();
+        assert_eq!(
+            next_after_serial.to_bits(),
+            rng_b.uniform().to_bits(),
+            "batched drain must consume the RNG in exactly the reference's order"
+        );
+
+        if noise_kind == 0 {
+            // Without noise every job of a size class completes at the same
+            // instant: two classes → exactly two batched instants covering
+            // all but one completion each.
+            assert_eq!(
+                inc.solver.batched_instants, 2,
+                "expected both size-class completion waves to batch: {:?}",
+                inc.solver
+            );
+            assert_eq!(
+                inc.solver.batched_completions,
+                (2 * jobs - 2) as u64,
+                "every completion but one per wave rides a batch: {:?}",
+                inc.solver
+            );
+        }
+
+        for threads in [2usize, 4] {
+            let par_cfg = DrainConfig {
+                parallel: ParallelPolicy::with_threads(threads),
+                ..cfg.clone()
+            };
+            let mut rng_p = DetRng::seed_from(seed ^ 0xBA7C);
+            let par = drain(&topo, &specs, &par_cfg, &mut rng_p);
+            assert_reports_identical(
+                &par,
+                &inc,
+                &format!("disjoint-pod {threads}-thread drain"),
+            );
+            assert_eq!(
+                rng_p.uniform().to_bits(),
+                next_after_serial.to_bits(),
+                "thread count must not change RNG consumption in batched drains"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The two-tier spine solve stays within its configured ε of the exact
+    /// allocation on 16k-shaped railed fabrics, from the initial solve and
+    /// through long completion scripts — and is deterministic (two states
+    /// fed the same script stay bit-identical).
+    #[test]
+    fn two_tier_rates_stay_within_epsilon_of_exact(
+        seed in 0u64..1_000_000,
+        streams in 12usize..32,
+        eps_kind in 0usize..2,
+    ) {
+        let topo = Topology::build(&ClosConfig::pod_grouped_railed(2048, 8));
+        let specs = railed_16k_specs(&topo, seed, streams);
+        prop_assume!(!specs.is_empty());
+        let epsilon = [0.01, 0.05][eps_kind];
+
+        let nl = topo.num_links();
+        let capacity: Vec<f64> = (0..nl)
+            .map(|l| {
+                topo.link(LinkId::from_index(l))
+                    .capacity()
+                    .as_bytes_per_sec()
+            })
+            .collect();
+        let spine: Vec<bool> = (0..nl)
+            .map(|l| topo.link(LinkId::from_index(l)).kind().is_fabric())
+            .collect();
+        let routes: Vec<Vec<u32>> = specs
+            .iter()
+            .map(|s| {
+                let mut r: Vec<u32> = s.route.iter().map(|l| l.index() as u32).collect();
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+
+        let mut exact = MaxMinState::with_flows(&capacity, &routes, None)
+            .with_parallel(ParallelPolicy::SERIAL);
+        let make_tt = || {
+            let mut s = MaxMinState::with_flows(&capacity, &routes, None)
+                .with_parallel(ParallelPolicy::SERIAL)
+                .with_solve_mode(SolveMode::TwoTier { epsilon });
+            s.set_spine_links(&spine);
+            s
+        };
+        let mut tt = make_tt();
+        let mut tt_witness = make_tt();
+
+        let assert_eps = |approx: &[f64], exact: &[f64], what: &str| {
+            for (f, (&a, &b)) in approx.iter().zip(exact).enumerate() {
+                let err = (a - b).abs() / a.abs().max(b.abs()).max(1.0);
+                assert!(
+                    err <= epsilon + 1e-9,
+                    "{what}: flow {f} two-tier {a} vs exact {b} (rel err {err} > ε {epsilon})"
+                );
+            }
+        };
+
+        assert_eps(&tt.rates().to_vec(), exact.rates(), "initial solve");
+        assert_rates_bit_identical(
+            tt_witness.rates(),
+            tt.rates(),
+            "two-tier witness after initial solve",
+        );
+
+        // Completion script: remove flows in small batches, exactly the
+        // mutation stream a drain feeds the solver.
+        let mut rng = DetRng::seed_from(seed ^ 0x271E);
+        let mut alive: Vec<usize> = (0..specs.len()).collect();
+        let mut step = 0usize;
+        while alive.len() > specs.len() / 4 {
+            let batch = 1 + rng.index(4.min(alive.len()));
+            for _ in 0..batch {
+                let pick = rng.index(alive.len());
+                let f = alive.swap_remove(pick);
+                exact.remove_flow(f);
+                tt.remove_flow(f);
+                tt_witness.remove_flow(f);
+            }
+            step += 1;
+            assert_eps(
+                &tt.rates().to_vec(),
+                exact.rates(),
+                &format!("after completion batch {step}"),
+            );
+            assert_rates_bit_identical(
+                tt_witness.rates(),
+                tt.rates(),
+                &format!("two-tier witness after batch {step}"),
+            );
+        }
+    }
+
+    /// End-to-end: a two-tier drain on the 16k shape completes the same
+    /// flows as the exact drain with completion times within a few ε, is
+    /// bit-identical to itself, and actually exercises the sparse path.
+    #[test]
+    fn two_tier_drain_tracks_exact_on_16k_shape(
+        seed in 0u64..1_000_000,
+        streams in 12usize..24,
+    ) {
+        let topo = Topology::build(&ClosConfig::pod_grouped_railed(2048, 8));
+        let specs = railed_16k_specs(&topo, seed, streams);
+        prop_assume!(!specs.is_empty());
+
+        let cfg_exact = DrainConfig::default();
+        let cfg_tt = DrainConfig {
+            solve_mode: SolveMode::TwoTier { epsilon: 0.01 },
+            ..DrainConfig::default()
+        };
+        let ex = drain(&topo, &specs, &cfg_exact, &mut DetRng::seed_from(seed));
+        let tt = drain(&topo, &specs, &cfg_tt, &mut DetRng::seed_from(seed));
+        let tt_again = drain(&topo, &specs, &cfg_tt, &mut DetRng::seed_from(seed));
+
+        assert_eq!(ex.outcomes.len(), tt.outcomes.len());
+        let secs = |t: SimTime| (t - SimTime::ZERO).as_secs_f64();
+        for (f, (a, b)) in tt.outcomes.iter().zip(&ex.outcomes).enumerate() {
+            assert_eq!(
+                a.completed(),
+                b.completed(),
+                "two-tier vs exact: flow {f} completion"
+            );
+            if let (Some(x), Some(y)) = (a.finish, b.finish) {
+                let (x, y) = (secs(x), secs(y));
+                let err = (x - y).abs() / x.abs().max(y.abs()).max(1e-9);
+                assert!(
+                    err <= 0.05,
+                    "two-tier finish {x} drifted {err} from exact {y} (flow {f})"
+                );
+            }
+        }
+        assert_reports_identical(&tt_again, &tt, "two-tier repeat run");
+        if tt.solver.events >= 3 {
+            assert!(
+                tt.solver.sparse_solves >= 1,
+                "two-tier drain never took the sparse path: {:?}",
+                tt.solver
+            );
+        }
+
+        for threads in [2usize, 4] {
+            let par_cfg = DrainConfig {
+                parallel: ParallelPolicy::with_threads(threads),
+                ..cfg_tt.clone()
+            };
+            let par = drain(&topo, &specs, &par_cfg, &mut DetRng::seed_from(seed));
+            assert_reports_identical(
+                &par,
+                &tt,
+                &format!("two-tier {threads}-thread drain"),
+            );
+        }
+
+        // The noisy/CNP two-tier path (sparse cap redraws on the epoch
+        // cadence, episodic CNP integration) must stay deterministic and
+        // thread-invariant too, and every flow must still complete on a
+        // healthy fabric.
+        let cfg_noisy = DrainConfig {
+            rate_noise: 0.10,
+            cnp: Some(CnpModel::paper_default()),
+            solve_mode: SolveMode::TwoTier { epsilon: 0.01 },
+            ..DrainConfig::default()
+        };
+        let nz = drain(&topo, &specs, &cfg_noisy, &mut DetRng::seed_from(seed));
+        let nz_again = drain(&topo, &specs, &cfg_noisy, &mut DetRng::seed_from(seed));
+        assert_reports_identical(&nz_again, &nz, "noisy two-tier repeat run");
+        for o in &nz.outcomes {
+            assert!(o.completed(), "noisy two-tier drain must complete flows");
+        }
+        let nz_par = drain(
+            &topo,
+            &specs,
+            &DrainConfig {
+                parallel: ParallelPolicy::with_threads(4),
+                ..cfg_noisy.clone()
+            },
+            &mut DetRng::seed_from(seed),
+        );
+        assert_reports_identical(&nz_par, &nz, "noisy two-tier 4-thread drain");
+        assert!(
+            nz.cnp_per_port.iter().any(|&c| c > 0.0),
+            "congested railed traffic must accumulate CNPs episodically"
+        );
+    }
 }
